@@ -1,0 +1,35 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench prints the rows/series the paper reports *and* saves them
+under ``benchmarks/reports/`` so the output survives pytest's stdout
+capture.  Benches use ``benchmark.pedantic`` with a single round when
+the measured function is a whole experiment (the timing numbers are
+incidental; the scientific payload is the report).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench report and persist it to benchmarks/reports/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def fmt_rows(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width ASCII table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

@@ -1,0 +1,71 @@
+"""A4 — bit-count ablation: quantization error vs. thermometer width.
+
+The paper picks 7 bits "in this example".  This ablation rebuilds the
+array at widths 3..15 (interpolating the trim-cap ladder over the same
+span) and scores quantization error on a uniform supply sweep — the
+cost/resolution trade a user of the sensor would tune.
+
+Shape expectation: LSB and RMS decoded error shrink ~1/N while the
+measurable range endpoints stay put.
+"""
+
+import numpy as np
+
+from benchmarks._report import emit, fmt_rows
+from repro.analysis.statistics import quantization_step, tracking_rmse
+from repro.core.array import SensorArray
+
+
+def widen_design(design, n_bits):
+    """Same cap span, n_bits rungs (linear interpolation)."""
+    lo, hi = design.load_caps[0], design.load_caps[-1]
+    caps = tuple(
+        lo + (hi - lo) * i / (n_bits - 1) for i in range(n_bits)
+    )
+    return design.with_load_caps(caps)
+
+
+def run_bits(design):
+    out = []
+    sweep = np.arange(0.84, 1.05, 0.005)
+    for n_bits in (3, 5, 7, 11, 15):
+        d = widen_design(design, n_bits)
+        arr = SensorArray(d)
+        thresholds = arr.supply_thresholds(3)
+        ranges = []
+        truths = []
+        for v in sweep:
+            m = arr.measure(3, vdd_n=float(v))
+            rng = arr.decode(m.word, 3)
+            if rng.bounded:
+                ranges.append(rng)
+                truths.append(float(v))
+        rmse = tracking_rmse(ranges, truths)
+        out.append((n_bits, quantization_step(thresholds),
+                    thresholds[0], thresholds[-1], rmse))
+    return out
+
+
+def test_bit_count_ablation(benchmark, design):
+    results = benchmark.pedantic(lambda: run_bits(design),
+                                 rounds=1, iterations=1)
+    rows = [
+        [n, f"{lsb * 1e3:.1f}", f"{lo:.3f}", f"{hi:.3f}",
+         f"{rmse * 1e3:.1f}"]
+        for n, lsb, lo, hi, rmse in results
+    ]
+    emit("ablation_bits", fmt_rows(
+        ["stages", "LSB [mV]", "range lo [V]", "range hi [V]",
+         "decode RMSE [mV]"],
+        rows,
+    ) + "\nshape: error shrinks ~1/N at fixed range; the paper's 7 "
+        "stages sit at ~30 mV resolution")
+    lsbs = [lsb for _, lsb, _, _, _ in results]
+    rmses = [r for *_, r in results]
+    assert all(b < a for a, b in zip(lsbs, lsbs[1:]))
+    assert rmses[-1] < rmses[0] / 2
+    # Range endpoints unchanged by the ladder density.
+    los = [lo for _, _, lo, _, _ in results]
+    his = [hi for _, _, _, hi, _ in results]
+    assert max(los) - min(los) < 1e-9
+    assert max(his) - min(his) < 1e-9

@@ -1,0 +1,58 @@
+"""A3 — Razor baseline (ref [8]).
+
+Paper §I on Razor: "highly interesting, though it requires a careful
+design of the sense block and of the recovering system which is
+suitable for a pipeline based processor, and not for a general
+architecture" — and, implicitly, it detects errors without reporting
+noise *magnitude*.
+
+The bench sweeps the supply and reports, per level, what each scheme
+knows: Razor's ternary outcome vs. the thermometer's 8-level reading.
+"""
+
+import numpy as np
+
+from benchmarks._report import emit, fmt_rows
+from repro.baselines.razor import RazorOutcome, RazorStage
+from repro.core.array import SensorArray
+from repro.units import NS
+
+
+def run_sweep(design):
+    razor = RazorStage(design.tech, path_delay_nominal=1.55 * NS,
+                       clock_period=2 * NS, delta=0.25 * NS,
+                       setup_time=60e-12)
+    arr = SensorArray(design)
+    levels = np.arange(0.80, 1.11, 0.03)
+    rows = []
+    for v in levels:
+        obs = razor.observe(float(v))
+        word = arr.word_for(3, vdd_n=float(v))
+        rows.append((float(v), obs.outcome, word))
+    return razor, rows
+
+
+def test_razor_vs_thermometer_information(benchmark, design):
+    razor, results = benchmark.pedantic(lambda: run_sweep(design),
+                                        rounds=1, iterations=1)
+    table_rows = [
+        [f"{v:.2f}", outcome.value, word, word.count("1")]
+        for v, outcome, word in results
+    ]
+    threshold = razor.error_threshold()
+    distinct_razor = len({o for _, o, _ in results})
+    distinct_thermo = len({w for _, _, w in results})
+    emit("ablation_razor", fmt_rows(
+        ["VDD [V]", "Razor outcome", "thermometer word", "level"],
+        table_rows,
+    ) + f"\nRazor single error threshold: {threshold:.3f} V"
+        f"\ndistinct readings over the sweep: Razor {distinct_razor} "
+        f"vs thermometer {distinct_thermo}"
+        "\nshape: Razor collapses the droop axis to error/no-error "
+        "around one path-specific threshold; the thermometer grades it")
+    assert distinct_thermo > distinct_razor
+    # Razor is silent (NO_ERROR) across the entire range where the
+    # thermometer already resolves multiple distinct droop levels.
+    no_error_words = {w for v, o, w in results
+                      if o is RazorOutcome.NO_ERROR}
+    assert len(no_error_words) >= 3

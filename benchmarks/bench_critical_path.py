@@ -1,0 +1,59 @@
+"""E7 — §III-B claim: "The critical path of the whole control system at
+90nm is 1.22ns, thus it can work with most of the typical CUTs system
+clock."
+
+The bench runs the supply-aware STA engine over the gate-level control
+netlist (FSM + counter + ENC) and reports the path, then re-times it
+under a 5 % supply droop — the ref-[9]-style PSN-aware STA variant.
+"""
+
+import pytest
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.control import build_control_netlist
+from repro.sta.analysis import analyze
+from repro.sta.delay_calc import DelayCalculator
+from repro.units import NS, to_ns, to_ps
+
+
+def test_critical_path_1p22ns(benchmark, design):
+    nl, _ = build_control_netlist(design)
+    report = benchmark.pedantic(
+        lambda: analyze(nl, clock_period=2 * NS), rounds=1, iterations=1,
+    )
+    rows = [
+        [seg.instance, f"{seg.input_pin}->{seg.output_pin}",
+         f"{to_ps(seg.delay):.1f}", f"{to_ps(seg.cumulative):.1f}"]
+        for seg in report.critical_path
+    ]
+    emit("critical_path", fmt_rows(
+        ["instance", "arc", "delay [ps]", "cumulative [ps]"], rows,
+    ) + f"\nmin clock period: {to_ns(report.min_period):.4f} ns "
+        f"(paper: 1.22 ns)"
+        f"\nslack at a 2 ns (500 MHz) CUT clock: "
+        f"{to_ps(report.wns):.1f} ps")
+    assert report.min_period == pytest.approx(1.22 * NS, rel=0.02)
+    assert report.wns > 0  # closes at the typical CUT clock
+
+
+def test_critical_path_under_droop(benchmark, design):
+    """PSN-aware STA: the same netlist timed at a 5 % drooped rail."""
+    nl, _ = build_control_netlist(design)
+
+    def run():
+        nl.set_supply_waveform("VDD", 0.95)
+        try:
+            calc = DelayCalculator(nl)
+            return analyze(nl, calculator=calc)
+        finally:
+            nl.set_supply_waveform("VDD", 1.0)
+
+    drooped = benchmark.pedantic(run, rounds=1, iterations=1)
+    nominal = analyze(nl)
+    emit("critical_path_droop", fmt_rows(
+        ["supply", "min period [ns]"],
+        [["1.00 V", f"{to_ns(nominal.min_period):.4f}"],
+         ["0.95 V", f"{to_ns(drooped.min_period):.4f}"]],
+    ) + "\nshape: droop slows the control system, as ref [9]'s "
+        "PSN-aware STA predicts")
+    assert drooped.min_period > nominal.min_period

@@ -1,0 +1,37 @@
+"""E2 — Fig. 3: two PREPARE/SENSE measures.
+
+Paper: "The first for a nominal VDD = 1V and the second for a
+VDD = 0.95V ... the first measure gives a '1' while the second gives a
+'0' as the set-up time is violated."
+"""
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.sensor import SensorBit, SensorBitHarness
+from repro.sim.waveform import StepWaveform
+from repro.units import NS, to_ps
+
+
+def run_fig3(design):
+    harness = SensorBitHarness(design, 5)  # threshold 0.992 V
+    rail = StepWaveform(1.00, 0.95, 7 * NS)
+    return harness.run_measures(3, [4 * NS, 10 * NS], vdd_n=rail)
+
+
+def test_fig3_prepare_sense(benchmark, design):
+    results = benchmark.pedantic(lambda: run_fig3(design),
+                                 rounds=1, iterations=1)
+    rows = []
+    for k, (v, r) in enumerate(zip((1.00, 0.95), results), start=1):
+        rows.append([
+            k, f"{v:.2f}",
+            f"{to_ps(r.ds_delay):.2f}",
+            r.value,
+            "respected" if r.passed else "violated",
+        ])
+    emit("fig3_prepare_sense", fmt_rows(
+        ["measure", "VDD [V]", "DS delay [ps]", "OUT", "setup time"],
+        rows,
+    ) + "\npaper: first measure '1' (setup respected), second '0' "
+        "(setup violated)")
+    assert results[0].value == 1
+    assert results[1].value == 0

@@ -1,0 +1,64 @@
+"""E3 — Fig. 4: sensor-sensitivity characterization.
+
+Paper: "the VDD-n value below which the FF fails as a function of the
+capacitance C.  For example, if C=2pF ... the VDD-n value below which
+the FF fails is 0.9360V.  Note that the characteristic has a linear
+behavior within the VDD-n range of interest (0.9V - 1.1V)."
+"""
+
+import pytest
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.characterization import (
+    linearity_report,
+    threshold_vs_capacitance,
+)
+from repro.units import PF, to_pf
+
+
+def run_fig4(design):
+    caps = [(1.75 + 0.05 * i) * PF for i in range(11)]
+    return threshold_vs_capacitance(design, caps)
+
+
+def test_fig4_threshold_vs_capacitance(benchmark, design):
+    points = benchmark.pedantic(lambda: run_fig4(design),
+                                rounds=1, iterations=1)
+    rows = [[f"{to_pf(c):.2f}", f"{v:.4f}"] for c, v in points]
+    in_band = [(c, v) for c, v in points if 0.9 <= v <= 1.1]
+    rep = linearity_report(in_band)
+    anchor = threshold_vs_capacitance(design, [2 * PF])[0][1]
+    emit("fig4_threshold_vs_cap", fmt_rows(
+        ["C [pF]", "VDD-n threshold [V]"], rows,
+    ) + f"\nanchor: C=2pF -> {anchor:.4f} V (paper: 0.9360 V)"
+        f"\nlinearity in 0.9-1.1 V: R^2={rep['r_squared']:.5f}, "
+        f"max residual={rep['max_residual'] * 1e3:.2f} mV "
+        f"(paper: 'linear behavior within the range of interest')")
+    assert anchor == pytest.approx(0.9360, abs=5e-4)
+    assert rep["r_squared"] > 0.995
+    vals = [v for _, v in points]
+    assert all(b > a for a, b in zip(vals, vals[1:]))
+
+
+def test_fig4_sim_crosscheck(benchmark, design):
+    """Event-simulated bisection at three caps must land on the
+    analytic curve (the ELDO-equivalence check)."""
+    caps = [1.85 * PF, 2.0 * PF, 2.15 * PF]
+
+    def run():
+        return threshold_vs_capacitance(design, caps, method="sim",
+                                        tol=0.25e-3)
+
+    sim_pts = benchmark.pedantic(run, rounds=1, iterations=1)
+    ana_pts = threshold_vs_capacitance(design, caps)
+    rows = [
+        [f"{to_pf(c):.2f}", f"{vs:.4f}", f"{va:.4f}",
+         f"{(vs - va) * 1e3:+.2f}"]
+        for (c, vs), (_, va) in zip(sim_pts, ana_pts)
+    ]
+    emit("fig4_sim_crosscheck", fmt_rows(
+        ["C [pF]", "sim threshold [V]", "analytic [V]", "diff [mV]"],
+        rows,
+    ))
+    for (_, vs), (_, va) in zip(sim_pts, ana_pts):
+        assert vs == pytest.approx(va, abs=1e-3)

@@ -1,0 +1,46 @@
+"""E4 — Fig. 5: multibit sensor characteristic for three delay codes.
+
+Paper: "in the delay code 011 case, the threshold range goes from
+0.827V (all errors) to 1.053V (no errors); ... code 0011111 if VDD-n is
+lower than 1.021V and greater than 0.992V.  In case the delay code is
+010, the dynamic ranges from 0.951V to 1.237V (also overvoltages can be
+measured)."
+"""
+
+import math
+
+import pytest
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.characterization import characterize_array
+
+
+def run_fig5(design):
+    return characterize_array(design, codes=(1, 2, 3))
+
+
+def test_fig5_multibit_characteristic(benchmark, design):
+    chars = benchmark.pedantic(lambda: run_fig5(design),
+                               rounds=1, iterations=1)
+    blocks = []
+    for code in (1, 2, 3):
+        ch = chars[code]
+        rows = []
+        for word, rng in ch.table:
+            lo = "-inf" if math.isinf(rng.lo) else f"{rng.lo:.4f}"
+            hi = "+inf" if math.isinf(rng.hi) else f"{rng.hi:.4f}"
+            rows.append([word, lo, hi])
+        blocks.append(
+            f"delay code {code:03b}: dynamic {ch.v_min:.3f} V (all "
+            f"errors) .. {ch.v_max:.3f} V (no errors)\n"
+            + fmt_rows(["output word", "VDD-n >", "VDD-n <="], rows)
+        )
+    emit("fig5_multibit_characteristic", "\n\n".join(blocks)
+         + "\npaper: code 011 -> 0.827-1.053 V; code 010 -> "
+           "0.951-1.237 V; 0011111 <-> 0.992-1.021 V")
+    assert chars[3].v_min == pytest.approx(0.827, abs=5e-4)
+    assert chars[3].v_max == pytest.approx(1.053, abs=5e-4)
+    assert chars[2].v_min == pytest.approx(0.951, abs=5e-4)
+    assert chars[2].v_max == pytest.approx(1.237, abs=5e-4)
+    # Smaller skew -> range shifts up (who wins where: monotone shift).
+    assert chars[1].v_min > chars[2].v_min > chars[3].v_min

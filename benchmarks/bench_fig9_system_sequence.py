@@ -1,0 +1,42 @@
+"""E6 — Fig. 9: full-system sequence of two measures.
+
+Paper: delay code 011 (65 ps); VDD-n = 1 V -> '0011111' (0.992-1.021 V)
+then VDD-n = 0.9 V -> '0000011' (0.896-0.929 V); PREPARE phase reads
+'0000000'.
+"""
+
+import pytest
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.system import SensorSystem
+from repro.sim.waveform import StepWaveform
+from repro.units import NS
+
+
+def run_fig9(design):
+    system = SensorSystem(design, include_ls=False)
+    rail = StepWaveform(1.0, 0.9, 16 * NS)
+    return system.run(2, code_hs=3, vdd_n=rail)
+
+
+def test_fig9_system_sequence(benchmark, design):
+    run = benchmark.pedantic(lambda: run_fig9(design),
+                             rounds=1, iterations=1)
+    rows = []
+    for k, (v, m) in enumerate(zip((1.0, 0.9), run.hs), start=1):
+        rows.append([
+            k, f"{v:.1f}", m.prepare_word, m.word.to_string(),
+            m.encoded.oute,
+            f"({m.decoded.lo:.4f}, {m.decoded.hi:.4f})",
+        ])
+    emit("fig9_system_sequence", fmt_rows(
+        ["measure", "VDD-n [V]", "PREPARE word", "SENSE word", "OUTE",
+         "decoded range [V]"],
+        rows,
+    ) + "\npaper: '0011111' <-> 0.992-1.021 V; '0000011' <-> "
+        "0.896-0.929 V; PREPARE '0000000'")
+    assert run.hs[0].word.to_string() == "0011111"
+    assert run.hs[1].word.to_string() == "0000011"
+    assert run.hs[0].decoded.lo == pytest.approx(0.992, abs=5e-4)
+    assert run.hs[1].decoded.hi == pytest.approx(0.929, abs=5e-4)
+    assert all(m.prepare_word == "0000000" for m in run.hs)

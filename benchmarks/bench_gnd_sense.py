@@ -1,0 +1,45 @@
+"""E9 — the GND-n characteristic the paper omits "for sake of brevity".
+
+§III-A: "Similar characteristics have been generated for other delay
+codes and for the GND-n measure, but not reported for sake of
+brevity."  We generate it: the LOW-SENSE array's per-bit tolerable
+ground-bounce thresholds for the three plotted codes, mirroring Fig. 5.
+"""
+
+import pytest
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.characterization import characterize_bit_thresholds
+from repro.core.sensor import SenseRail
+from repro.units import to_mv
+
+
+def run_gnd(design):
+    return {
+        code: characterize_bit_thresholds(design, code,
+                                          rail=SenseRail.GND)
+        for code in (1, 2, 3)
+    }
+
+
+def test_gnd_sense_characteristic(benchmark, design):
+    tables = benchmark.pedantic(lambda: run_gnd(design),
+                                rounds=1, iterations=1)
+    rows = []
+    for bit in range(1, design.n_bits + 1):
+        rows.append([bit] + [
+            f"{to_mv(tables[code][bit - 1]):+.1f}"
+            for code in (1, 2, 3)
+        ])
+    emit("gnd_sense_characteristic", fmt_rows(
+        ["bit", "code 001 [mV]", "code 010 [mV]", "code 011 [mV]"],
+        rows,
+    ) + "\n(tolerable GND-n rise per bit; negative = the stage already "
+        "fails at a quiet ground, mirroring VDD thresholds above "
+        "nominal)\nshape: complements the Fig. 5 VDD ladder: "
+        "gnd* = vdd_nominal - vdd*")
+    vdd_ts = characterize_bit_thresholds(design, 3)
+    for g, v in zip(tables[3], vdd_ts):
+        assert g == pytest.approx(design.tech.vdd_nominal - v, abs=1e-9)
+    # Larger cap -> less tolerable bounce (descending per bit).
+    assert all(b < a for a, b in zip(tables[3], tables[3][1:]))

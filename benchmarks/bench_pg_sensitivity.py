@@ -1,0 +1,129 @@
+"""E5b — PG robustness: why the paper demands matched routing.
+
+§III-B: "P and CP require also an accurate routing as they were a
+differential pair (a delay introduced by routing on both does not
+influence the measure but only the moment in which the measure is
+executed, while the skew between them must be accurately checked)."
+
+Two quantitative forms of that sentence:
+
+* **common-mode immunity** — adding the *same* extra delay to both
+  paths must leave the realized skew and the thresholds untouched;
+* **differential sensitivity** — an *unmatched* extra delay shifts the
+  window 1:1, moving every threshold by ~dV/dD (≈ 8 mV/ps near code
+  011) — the number that tells a layout engineer the matching budget.
+
+Plus the second-order effect the PG inherits from its own rail: a
+droop on the *nominal* supply stretches the skew and biases the
+measurement of the noisy one.
+"""
+
+import pytest
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.pulsegen import PulseGenerator, build_pg_netlist
+from repro.core.sensor import SensorBit
+from repro.sim.engine import SimulationEngine
+from repro.units import NS, PS, to_ps
+
+
+def measure_structural_skew(design, *, common_extra=0.0,
+                            cp_only_extra=0.0):
+    """Realized P/CP skew with deliberate routing capacitance added."""
+    nl, ports = build_pg_netlist(design, prefix="pgx")
+    nl.nets[ports.p_out].extra_cap += common_extra
+    nl.nets[ports.cp_out].extra_cap += common_extra + cp_only_extra
+    engine = SimulationEngine(nl)
+    for s, b in zip(ports.selects, (1, 1, 0)):  # code 011
+        engine.set_initial(s, b)
+    engine.set_initial(ports.p_in, 0)
+    engine.set_initial(ports.cp_in, 0)
+    engine.settle()
+    engine.schedule_stimulus(ports.p_in, 1, 2 * NS)
+    engine.schedule_stimulus(ports.cp_in, 1, 2 * NS)
+    engine.run(7 * NS)
+    p_edge = [t for t in engine.trace.edges(ports.p_out, rising=True)
+              if t >= 2 * NS][0]
+    cp_edge = [t for t in engine.trace.edges(ports.cp_out, rising=True)
+               if t >= 2 * NS][0]
+    return cp_edge - p_edge
+
+
+def test_common_mode_routing_cancels(benchmark, design):
+    """Equal extra load on both outputs: skew unchanged (the
+    'differential pair' property)."""
+    def run():
+        base = measure_structural_skew(design)
+        loaded = measure_structural_skew(design, common_extra=20e-15)
+        return base, loaded
+
+    base, loaded = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("pg_common_mode", fmt_rows(
+        ["routing", "skew [ps]"],
+        [["matched (baseline)", f"{to_ps(base):.2f}"],
+         ["matched + 20 fF on both", f"{to_ps(loaded):.2f}"]],
+    ) + "\nshape: common-mode routing shifts WHEN the measure happens, "
+        "not WHAT it reads (skew unchanged)")
+    assert loaded == pytest.approx(base, abs=0.05 * PS)
+
+
+def test_differential_mismatch_budget(benchmark, design):
+    """Unmatched CP load: skew error, converted to threshold error —
+    the layout matching budget."""
+    def run():
+        rows = []
+        base = measure_structural_skew(design)
+        bit = SensorBit(design, 4)
+        t_ref = bit.threshold(3)
+        # dV/dD from the code table: thresholds shift ~(t(010)-t(011))
+        # per (50-65) ps of window.
+        dv_dd = (design.bit_threshold(4, 2) - design.bit_threshold(4, 3)) \
+            / (design.delay_codes[2] - design.delay_codes[3])
+        for extra_ff in (1e-15, 2e-15, 5e-15):
+            skew = measure_structural_skew(design, cp_only_extra=extra_ff)
+            d_err = skew - base
+            v_err = -d_err * dv_dd  # larger window -> lower threshold
+            rows.append((extra_ff, d_err, v_err))
+        return base, t_ref, dv_dd, rows
+
+    base, t_ref, dv_dd, rows = benchmark.pedantic(run, rounds=1,
+                                                  iterations=1)
+    table = [[f"{c * 1e15:.0f}", f"{to_ps(d):+.2f}",
+              f"{v * 1e3:+.1f}"] for c, d, v in rows]
+    emit("pg_mismatch_budget", fmt_rows(
+        ["CP-only extra load [fF]", "skew error [ps]",
+         "threshold shift [mV]"],
+        table,
+    ) + f"\nsensitivity: {abs(dv_dd) * 1e3 * 1e-12:.1f} mV per ps of "
+        f"skew error — one LSB (~32 mV) is burned by ~4 ps of "
+        f"unmatched routing; hence the paper's differential-pair rule")
+    errors = [abs(d) for _, d, _ in rows]
+    assert all(b > a for a, b in zip(errors, errors[1:]))
+    # 5 fF of mismatch already costs > 1 ps.
+    assert errors[-1] > 1 * PS
+
+
+def test_pg_supply_droop_biases_skew(benchmark, design):
+    """A droop on the PG's own (nominal) rail stretches the skew —
+    the control-rail integrity requirement of Fig. 6."""
+    def run():
+        pg = PulseGenerator(design)
+        return {v: pg.skew(3, supply_v=v) for v in (1.0, 0.97, 0.95)}
+
+    skews = benchmark.pedantic(run, rounds=1, iterations=1)
+    bit = SensorBit(design, 4)
+    dv_dd = (design.bit_threshold(4, 2) - design.bit_threshold(4, 3)) \
+        / (design.delay_codes[2] - design.delay_codes[3])
+    rows = []
+    for v, s in skews.items():
+        err = s - skews[1.0]
+        rows.append([f"{v:.2f}", f"{to_ps(s):.2f}",
+                     f"{-err * dv_dd * 1e3:+.1f}"])
+    emit("pg_supply_droop", fmt_rows(
+        ["PG rail [V]", "code-011 skew [ps]",
+         "induced threshold bias [mV]"],
+        rows,
+    ) + "\nshape: the sensor's *own* rail must be clean (the paper "
+        "gives the control system 'a dedicated power supply pin'); a "
+        "3-5% droop there biases readings by a fraction of an LSB")
+    assert skews[0.95] > skews[0.97] > skews[1.0]

@@ -1,0 +1,66 @@
+"""E10 — §III-A: process-variation-aware delay-code retrimming.
+
+Paper: "a variation of P and CP, conveniently trimmed, allows ... to
+compensate the different sensor behavior in presence of process
+variations".
+
+Two scenarios are benched:
+
+* **PG tracks corner** (everything on-die): the drive shift cancels;
+  only the Vth shift moves the characteristic — sub-code, no retrim
+  needed;
+* **external timing reference**: the full corner shift lands on the
+  sensor inverter and the policy moves whole codes to restore the
+  reference range.
+
+Direction note: the paper asserts "in slow conditions ... the VDD-n
+threshold value is lower"; under this reproduction's symmetric model a
+slow corner with an external reference shifts thresholds *up* (slower
+inverter, same deadline).  The compensation mechanism is identical in
+either direction; the bench reports the measured shifts.
+"""
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.trimming import retrim_for_corner
+from repro.devices.corners import CORNERS
+
+
+def run_corners(design, pg_tracks):
+    return {
+        name: retrim_for_corner(design, corner,
+                                pg_tracks_corner=pg_tracks)
+        for name, corner in CORNERS.items() if name != "TT"
+    }
+
+
+def test_corner_retrimming(benchmark, design):
+    tracked = run_corners(design, True)
+    external = benchmark.pedantic(
+        lambda: run_corners(design, False), rounds=1, iterations=1,
+    )
+    rows = []
+    for name in ("SS", "FF", "SF", "FS"):
+        t, e = tracked[name], external[name]
+        rows.append([
+            name,
+            f"{t.untrimmed_residual * 1e3:.1f}",
+            format(t.chosen_code, "03b"),
+            f"{e.untrimmed_residual * 1e3:.1f}",
+            format(e.chosen_code, "03b"),
+            f"{e.residual * 1e3:.1f}",
+        ])
+    emit("process_corners", fmt_rows(
+        ["corner", "tracked shift [mV]", "tracked code",
+         "external shift [mV]", "retrimmed code", "residual [mV]"],
+        rows,
+    ) + "\nreference: code 011 range 0.827-1.053 V at TT"
+        "\nshape: retrimming recovers the reference characteristic; "
+        "with an on-die PG the corners nearly self-compensate")
+    # External-reference corners actually need (and get) new codes.
+    assert external["SS"].chosen_code != 3
+    assert external["FF"].chosen_code != 3
+    for name in ("SS", "FF", "SF", "FS"):
+        assert external[name].residual < external[name].untrimmed_residual
+    # Tracked corners stay within one code of the reference.
+    for name in ("SS", "FF"):
+        assert abs(tracked[name].chosen_code - 3) <= 1

@@ -1,0 +1,59 @@
+"""A6 — PSN scan chain: spatial IR-drop map reconstruction.
+
+Paper §IV: "The array sensors can be placed in many points of the DUT,
+whilst only a control system is required.  This sensor system can be
+thought for PSN as scan chains are for data faults."
+
+The bench places 9 sensor sites on an 8x8 power grid with a current
+hotspot, shifts the words out scan-style, rebuilds the spatial map and
+scores it against the grid solver's ground truth.
+"""
+
+import numpy as np
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.scanchain import PSNScanChain
+from repro.psn.grid import IRDropGrid
+
+
+def run_scanchain(design):
+    # Sized so every site's rail stays inside code 011's 0.827-1.053 V
+    # window (a deeper event would call for retrimming to code 111).
+    grid = IRDropGrid(rows=8, cols=8, r_segment=0.05, r_pad=0.01)
+    sites = [(r, c) for r in (1, 3, 6) for c in (1, 4, 6)]
+    chain = PSNScanChain(design, grid, sites, code=3)
+    currents = grid.hotspot_currents(total_current=5.0, hotspot=(3, 4),
+                                     hotspot_share=0.8)
+    measures = chain.measure_map(currents)
+    stream = chain.scan_out(measures)
+    words = chain.deserialize(stream)
+    return chain, measures, stream, words
+
+
+def test_scanchain_spatial_map(benchmark, design):
+    chain, measures, stream, words = benchmark.pedantic(
+        lambda: run_scanchain(design), rounds=1, iterations=1,
+    )
+    rows = [
+        [str(m.site), f"{m.true_voltage:.4f}", m.word.to_string(),
+         f"{m.estimate:.4f}", "yes" if m.brackets_truth else "NO"]
+        for m in measures
+    ]
+    err = chain.map_error(measures)
+    emit("scanchain_map", fmt_rows(
+        ["site", "true V [V]", "word", "estimate [V]", "brackets?"],
+        rows,
+    ) + f"\nscan stream: {len(stream)} bits for {len(measures)} sites"
+        f"\nmap RMSE {err['rmse'] * 1e3:.1f} mV, worst "
+        f"{err['worst'] * 1e3:.1f} mV, bracket rate "
+        f"{err['bracket_rate']:.2f}"
+        f"\nhotspot located at {chain.hotspot_site(measures)} "
+        f"(true hotspot (3, 4))")
+    assert err["bracket_rate"] == 1.0
+    assert err["rmse"] < 0.02
+    # Scan-out round trip is lossless.
+    assert [w.to_string() for w in words] == \
+        [m.word.to_string() for m in measures]
+    # The located hotspot is the site nearest the injected one.
+    hr, hc = chain.hotspot_site(measures)
+    assert abs(hr - 3) <= 1 and abs(hc - 4) <= 1

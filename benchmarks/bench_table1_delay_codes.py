@@ -1,0 +1,52 @@
+"""E5 — §III-B delay-code table.
+
+Paper: "Delay Code 000 001 010 011 100 101 110 111 /
+        CP delay [ps] 26 40 50 65 77 92 100 107"
+
+The bench measures the *structural* PG (tap elements + matched mux
+trees) in the event simulator and compares against both the behavioural
+PG and the paper's table.
+"""
+
+import pytest
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.pulsegen import PulseGenerator, PulseGeneratorHarness
+from repro.units import PS, to_ps
+
+PAPER_PS = (26, 40, 50, 65, 77, 92, 100, 107)
+
+
+def test_table1_delay_codes(benchmark, design):
+    harness = PulseGeneratorHarness(design)
+    structural = benchmark.pedantic(harness.measure_table,
+                                    rounds=1, iterations=1)
+    behavioural = PulseGenerator(design).delay_table()
+    rows = []
+    for code in range(8):
+        rows.append([
+            format(code, "03b"),
+            PAPER_PS[code],
+            f"{to_ps(behavioural[code]):.2f}",
+            f"{to_ps(structural[code]):.2f}",
+        ])
+    emit("table1_delay_codes", fmt_rows(
+        ["delay code", "paper [ps]", "behavioural [ps]",
+         "structural sim [ps]"],
+        rows,
+    ))
+    for code in range(8):
+        assert structural[code] == pytest.approx(PAPER_PS[code] * PS,
+                                                 abs=0.5 * PS)
+
+
+def test_table1_mux_insertion_cancels(benchmark, design):
+    """The matched-tree property: realized skew is independent of the
+    common-mode mux/driver insertion."""
+    harness = PulseGeneratorHarness(design)
+
+    def run():
+        return harness.measure_skew(3)
+
+    skew = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert skew == pytest.approx(65 * PS, abs=0.5 * PS)

@@ -1,0 +1,61 @@
+"""A8 — Monte-Carlo yield under process mismatch.
+
+The paper assumes "INV-i and FF-i are identical" and handles die-level
+variation with code trimming; per-instance mismatch is the unmodelled
+residual.  This bench samples lots at three mismatch levels and reports
+threshold spread, bubble rates, and the decode-accuracy gap between the
+nominal ladder and a per-die characterized ladder — quantifying how far
+the paper's "careful characterization of the sensor" must go.
+"""
+
+from benchmarks._report import emit, fmt_rows
+from repro.analysis.yield_study import run_yield_study
+from repro.devices.variation import VariationModel
+
+
+LEVELS = (
+    ("mild", VariationModel(sigma_vth_inter=5e-3, sigma_vth_intra=2e-3,
+                            sigma_drive_inter=0.01,
+                            sigma_drive_intra=0.005)),
+    ("typical", VariationModel()),
+    ("heavy", VariationModel(sigma_vth_intra=20e-3,
+                             sigma_drive_intra=0.06)),
+)
+
+
+def run_lots(design):
+    return {
+        name: run_yield_study(design, model, n_dies=60, seed=11)
+        for name, model in LEVELS
+    }
+
+
+def test_variation_yield(benchmark, design):
+    reports = benchmark.pedantic(lambda: run_lots(design),
+                                 rounds=1, iterations=1)
+    rows = []
+    for name, _ in LEVELS:
+        r = reports[name]
+        rows.append([
+            name,
+            f"{max(r.threshold_sigma) * 1e3:.1f}",
+            f"{r.monotone_fraction:.2f}",
+            f"{r.bubble_rate:.3f}",
+            f"{r.bracket_rate:.2f}",
+            f"{r.bracket_rate_calibrated:.2f}",
+        ])
+    emit("variation_yield", fmt_rows(
+        ["mismatch", "worst sigma(th) [mV]", "monotone dies",
+         "bubble rate", "bracket (nominal)", "bracket (per-die cal)"],
+        rows,
+    ) + "\nshape: mismatch produces bubbles (the ENC's ones-counting "
+        "absorbs them) and inter-die shift dominates nominal-ladder "
+        "error; per-die characterization recovers most of it — the "
+        "quantitative case for the paper's trimming/characterization "
+        "step")
+    mild, typical, heavy = (reports[n] for n, _ in LEVELS)
+    assert mild.bubble_rate < typical.bubble_rate < heavy.bubble_rate
+    assert mild.monotone_fraction > heavy.monotone_fraction
+    for r in (mild, typical, heavy):
+        assert r.bracket_rate_calibrated >= r.bracket_rate
+    assert typical.bracket_rate_calibrated > 0.85

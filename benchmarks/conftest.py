@@ -1,0 +1,12 @@
+"""Bench fixtures: the calibrated paper design, shared session-wide."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import fit_paper_design
+
+
+@pytest.fixture(scope="session")
+def design():
+    return fit_paper_design()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Capture a power-delivery droop transient with iterated measures.
+
+The paper: "measures should be iterated so that noise values can be
+captured in different moments of the CUT transient behavior."  This
+example builds a realistic rail — an RLC power delivery network excited
+by a CUT waking from idle — then samples it with repeated thermometer
+measures and reconstructs the droop, printing an ASCII strip chart of
+truth vs. sensor estimate.
+
+Run:  python examples/droop_capture.py
+"""
+
+import numpy as np
+
+from repro import SensorArray, paper_design
+from repro.analysis.reconstruct import WaveformReconstructor
+from repro.psn.activity import ActivityProfile, ClockedActivityGenerator
+from repro.psn.pdn import PDNModel, PDNParameters
+from repro.units import NS
+
+
+def build_rail():
+    """A first-droop event: CUT steps from idle to full activity."""
+    pdn = PDNModel(PDNParameters())
+    activity = ClockedActivityGenerator(
+        clock_period=2 * NS, peak_current=14.0,
+        profile=ActivityProfile.STEP, step_cycle=25,
+    )
+    dt = 0.05 * NS
+    t_end = 400 * NS
+    return pdn.simulate(activity.sample(t_end=t_end, dt=dt),
+                        t_end=t_end, dt=dt), t_end
+
+
+def strip_chart(times, truth, estimate, *, width=60):
+    v_lo = min(min(truth), min(estimate)) - 0.01
+    v_hi = max(max(truth), max(estimate)) + 0.01
+
+    def col(v):
+        return int((v - v_lo) / (v_hi - v_lo) * (width - 1))
+
+    lines = [f"{'t [ns]':>8}  {'V':<{width}}  truth(*) estimate(o)"]
+    for t, tv, ev in zip(times, truth, estimate):
+        row = [" "] * width
+        row[col(tv)] = "*"
+        c = col(ev)
+        row[c] = "o" if row[c] == " " else "@"
+        lines.append(f"{t / NS:>8.1f}  {''.join(row)}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    design = paper_design()
+    array = SensorArray(design)
+    rail, t_end = build_rail()
+
+    # Equivalent-time sampling: 3.1 ns spacing deliberately
+    # incommensurate with the ~10 ns PDN resonance.
+    times = np.arange(10 * NS, t_end - 10 * NS, 3.1 * NS)
+    rec = WaveformReconstructor()
+    saturated = 0
+    for t in times:
+        v = rail(float(t))
+        word = array.measure(3, vdd_n=v).word
+        if word.ones in (0, array.n_bits):
+            saturated += 1
+            # Re-range: code 010 reaches overvoltages, 111 deep droops.
+            code = 2 if word.ones == array.n_bits else 7
+            word = array.measure(code, vdd_n=v).word
+            rec.add(float(t), array.decode(word, code))
+        else:
+            rec.add(float(t), array.decode(word, 3))
+
+    rmse = rec.rmse_against(rail)
+    est_min, est_max = rec.extremes()
+    print(f"{len(times)} iterated measures, {saturated} re-ranged")
+    print(f"true rail:    min {rail.min_over(0, t_end):.4f} V, "
+          f"max {rail.max_over(0, t_end):.4f} V")
+    print(f"reconstructed: min {est_min:.4f} V, max {est_max:.4f} V")
+    print(f"tracking RMSE: {rmse * 1e3:.1f} mV "
+          f"(~1 LSB of the 7-stage ladder)\n")
+
+    # Chart a window around the droop.
+    window = [(t, rail(float(t)), est) for t, est in
+              zip(times, rec.interpolate(times))
+              if 30 * NS <= t <= 150 * NS]
+    ts, truth, est = zip(*window)
+    print(strip_chart(ts, truth, est))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Process-variation-aware trimming of the delay code.
+
+The paper (§III-A): the sensor characteristic shifts with process
+corner, and re-choosing the P/CP delay code restores it — "having as an
+input an information on the process corner and having a careful
+characterization of the sensor in such condition".
+
+This example characterizes the array at all five corners under both
+corner models (on-die PG that tracks the corner, vs. an external timing
+reference), runs the trimming policy, and verifies the retrimmed sensor
+against the event simulator at the corner.
+
+Run:  python examples/process_trimming.py
+"""
+
+from repro import SensorArrayHarness, corner_by_name, paper_design
+from repro.core.trimming import TrimmingPolicy
+
+
+def main() -> None:
+    design = paper_design()
+    reference = TrimmingPolicy(design, reference_code=3)
+    print(f"Reference (TT, code 011) range: "
+          f"{reference.reference_range[0]:.3f} - "
+          f"{reference.reference_range[1]:.3f} V\n")
+
+    for tracks in (True, False):
+        label = ("PG tracks corner (all on-die)" if tracks
+                 else "external timing reference")
+        print(f"=== {label} ===")
+        policy = TrimmingPolicy(design, 3, pg_tracks_corner=tracks)
+        for name in ("SS", "TT", "FF", "SF", "FS"):
+            corner = corner_by_name(name)
+            tech = corner.apply(design.tech)
+            result = policy.retrim(tech, corner_name=name)
+            print(f"  {name}: untrimmed mismatch "
+                  f"{result.untrimmed_residual * 1e3:6.1f} mV -> code "
+                  f"{result.chosen_code:03b}, range "
+                  f"({result.achieved_range[0]:.3f}, "
+                  f"{result.achieved_range[1]:.3f}) V, residual "
+                  f"{result.residual * 1e3:5.1f} mV")
+        print()
+
+    # Verify one retrimmed corner in the event simulator: at SS with
+    # the on-die PG, the corner-characterized decode still brackets a
+    # true 0.95 V rail.
+    ss_tech = corner_by_name("SS").apply(design.tech)
+    harness = SensorArrayHarness(design, tech=ss_tech)
+    measure = harness.measure_once(3, vdd_n=0.95)
+    from repro import SensorArray
+
+    decoder = SensorArray(design, tech=ss_tech)
+    rng = decoder.decode(measure.word, 3)
+    print("Event-simulated check at the SS corner, 0.95 V rail:")
+    print(f"  word {measure.word.to_string()} -> ({rng.lo:.4f}, "
+          f"{rng.hi:.4f}] V, brackets truth: {rng.contains(0.95)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this offline environment lacks the `wheel` package, so
+`pip install -e .` (PEP 660) cannot build an editable wheel.  `python
+setup.py develop` installs the same editable mapping without wheel."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — reproduction of "A Fully Digital Power Supply Noise
+Thermometer" (Graziano & Vittori, IEEE SOCC 2009).
+
+The package builds, from the transistor model up, the paper's fully
+digital PSN sensor and everything it needs to be evaluated:
+
+* :mod:`repro.devices` — alpha-power-law 90 nm device models, corners,
+  statistical variation;
+* :mod:`repro.cells` — the standard-cell library (INV/FF/MUX/delay
+  elements) with NLDM characterization;
+* :mod:`repro.sim` — a supply-aware event-driven simulator;
+* :mod:`repro.psn` — RLC PDN models, activity generators, IR-drop grid;
+* :mod:`repro.core` — the sensor itself: single bit, thermometer array,
+  pulse generator, encoder, control FSM, full system, calibration to
+  the paper's published anchors, trimming, scan chain;
+* :mod:`repro.sta` — supply-aware static timing analysis;
+* :mod:`repro.baselines` — RO sensor, Razor, ideal analog sampler;
+* :mod:`repro.analysis` — word decoding, statistics, reconstruction.
+
+Quickstart::
+
+    from repro import paper_design, SensorSystem
+    from repro.sim.waveform import StepWaveform
+
+    design = paper_design()
+    system = SensorSystem(design)
+    run = system.run(2, vdd_n=StepWaveform(1.0, 0.9, 16e-9))
+    for measure in run.hs:
+        print(measure.word.to_string(), measure.decoded)
+"""
+
+from repro.core.calibration import (
+    SensorDesign,
+    fit_paper_design,
+    paper_design,
+)
+from repro.core.sensor import SenseRail, SensorBit, SensorBitHarness
+from repro.core.array import SensorArray, SensorArrayHarness
+from repro.core.pulsegen import PulseGenerator, PulseGeneratorHarness
+from repro.core.encoder import ThermometerEncoder
+from repro.core.counter import MeasurementCounter
+from repro.core.control import ControlFSM, ControlState
+from repro.core.system import MeasurementResult, SensorSystem, SystemRun
+from repro.core.trimming import TrimmingPolicy, retrim_for_corner
+from repro.core.scanchain import PSNScanChain
+from repro.core.autorange import AutoRangingMeter
+from repro.core.monitor import NoiseMonitor
+from repro.analysis.thermometer import (
+    ThermometerWord,
+    VoltageRange,
+    decode_word,
+)
+from repro.analysis.yield_study import run_yield_study
+from repro.devices.technology import TECH_90NM, Technology
+from repro.devices.corners import CORNERS, corner_by_name
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SensorDesign",
+    "fit_paper_design",
+    "paper_design",
+    "SenseRail",
+    "SensorBit",
+    "SensorBitHarness",
+    "SensorArray",
+    "SensorArrayHarness",
+    "PulseGenerator",
+    "PulseGeneratorHarness",
+    "ThermometerEncoder",
+    "MeasurementCounter",
+    "ControlFSM",
+    "ControlState",
+    "MeasurementResult",
+    "SensorSystem",
+    "SystemRun",
+    "TrimmingPolicy",
+    "retrim_for_corner",
+    "PSNScanChain",
+    "AutoRangingMeter",
+    "NoiseMonitor",
+    "run_yield_study",
+    "ThermometerWord",
+    "VoltageRange",
+    "decode_word",
+    "TECH_90NM",
+    "Technology",
+    "CORNERS",
+    "corner_by_name",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Measurement decoding and statistics.
+
+Turns raw thermometer output words into voltage ranges (the flash-ADC
+reading the paper describes), checks/repairs code integrity, and
+aggregates repeated measures into waveform estimates:
+
+* :mod:`repro.analysis.thermometer` — output words, bubble detection
+  and correction, word→voltage-range decoding;
+* :mod:`repro.analysis.statistics` — quantization/accuracy metrics for
+  the comparison benches;
+* :mod:`repro.analysis.reconstruct` — iterated-measure waveform
+  reconstruction (the paper's "measures should be iterated so that
+  noise values can be captured in different moments").
+"""
+
+from repro.analysis.thermometer import (
+    ThermometerWord,
+    VoltageRange,
+    decode_word,
+    decode_table,
+)
+from repro.analysis.statistics import (
+    quantization_step,
+    range_error,
+    tracking_rmse,
+    coverage_probability,
+)
+from repro.analysis.reconstruct import WaveformReconstructor
+from repro.analysis.yield_study import run_yield_study, YieldReport
+from repro.analysis.repeatability import (
+    measure_s_curve,
+    extract_ladder_via_s_curves,
+    word_histogram,
+)
+from repro.analysis.converter_metrics import (
+    linearity,
+    effective_resolution_bits,
+)
+
+__all__ = [
+    "ThermometerWord",
+    "VoltageRange",
+    "decode_word",
+    "decode_table",
+    "quantization_step",
+    "range_error",
+    "tracking_rmse",
+    "coverage_probability",
+    "WaveformReconstructor",
+    "run_yield_study",
+    "YieldReport",
+    "measure_s_curve",
+    "extract_ladder_via_s_curves",
+    "word_histogram",
+    "linearity",
+    "effective_resolution_bits",
+]

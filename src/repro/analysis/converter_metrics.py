@@ -1,0 +1,122 @@
+"""Converter linearity metrics: DNL and INL of the thermometer ladder.
+
+The paper describes the array as "in principle similar to a flash A/D
+converter", which invites the standard flash-ADC report card:
+
+* **DNL** (differential nonlinearity): per-code deviation of each step
+  from the ideal (mean) step, in LSB — how uniform the rungs are;
+* **INL** (integral nonlinearity): per-threshold deviation from the
+  best-fit (endpoint or least-squares) line, in LSB — how straight the
+  transfer curve is.
+
+Both come straight from a threshold ladder, so they apply equally to
+the design ladder, a corner ladder, or an S-curve-extracted ladder from
+:mod:`repro.analysis.repeatability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinearityReport:
+    """DNL/INL of one threshold ladder.
+
+    Attributes:
+        lsb: The ideal step used for normalization, volts.
+        dnl: Per-step DNL, LSB (length ``n_thresholds - 1``).
+        inl: Per-threshold INL, LSB (length ``n_thresholds``).
+        reference: Which reference line INL was taken against.
+    """
+
+    lsb: float
+    dnl: tuple[float, ...]
+    inl: tuple[float, ...]
+    reference: str
+
+    @property
+    def max_dnl(self) -> float:
+        """Worst |DNL|, LSB."""
+        return max(abs(d) for d in self.dnl)
+
+    @property
+    def max_inl(self) -> float:
+        """Worst |INL|, LSB."""
+        return max(abs(i) for i in self.inl)
+
+    @property
+    def monotonic(self) -> bool:
+        """True when no step is negative (DNL > -1 everywhere)."""
+        return all(d > -1.0 for d in self.dnl)
+
+
+def linearity(thresholds: Sequence[float], *,
+              reference: Literal["endpoint", "best-fit"] = "endpoint"
+              ) -> LinearityReport:
+    """DNL/INL of a threshold ladder.
+
+    Args:
+        thresholds: The ladder, ascending, volts (>= 3 entries).
+        reference: ``"endpoint"`` draws the INL reference line through
+            the first and last thresholds (the production-test
+            convention); ``"best-fit"`` uses the least-squares line.
+
+    Raises:
+        ConfigurationError: too few thresholds, non-ascending ladder,
+            or unknown reference.
+    """
+    t = np.asarray(thresholds, dtype=float)
+    if t.size < 3:
+        raise ConfigurationError("need at least 3 thresholds")
+    if np.any(np.diff(t) <= 0):
+        raise ConfigurationError("thresholds must be strictly ascending")
+
+    steps = np.diff(t)
+    lsb = float((t[-1] - t[0]) / (t.size - 1))
+    dnl = steps / lsb - 1.0
+
+    idx = np.arange(t.size, dtype=float)
+    if reference == "endpoint":
+        line = t[0] + idx * lsb
+    elif reference == "best-fit":
+        slope, intercept = np.polyfit(idx, t, 1)
+        line = intercept + slope * idx
+    else:
+        raise ConfigurationError(f"unknown reference {reference!r}")
+    inl = (t - line) / lsb
+    return LinearityReport(
+        lsb=lsb,
+        dnl=tuple(float(d) for d in dnl),
+        inl=tuple(float(i) for i in inl),
+        reference=reference,
+    )
+
+
+def effective_resolution_bits(thresholds: Sequence[float],
+                              noise_rms: float) -> float:
+    """Effective number of resolvable levels, expressed in bits.
+
+    Quantization contributes ``lsb / sqrt(12)`` of RMS error; rail
+    noise adds in quadrature.  The effective resolution over the
+    ladder's full range is ``log2(range / (sqrt(12) * total_rms))`` —
+    the flash-ADC ENOB formula applied to the thermometer.
+
+    Raises:
+        ConfigurationError: negative noise or a degenerate ladder.
+    """
+    if noise_rms < 0:
+        raise ConfigurationError("noise_rms must be non-negative")
+    t = np.asarray(thresholds, dtype=float)
+    if t.size < 2 or t[-1] <= t[0]:
+        raise ConfigurationError("degenerate ladder")
+    lsb = (t[-1] - t[0]) / (t.size - 1)
+    q_rms = lsb / np.sqrt(12.0)
+    total_rms = float(np.hypot(q_rms, noise_rms))
+    full_range = float(t[-1] - t[0])
+    return float(np.log2(full_range / (np.sqrt(12.0) * total_rms)))

@@ -1,0 +1,113 @@
+"""Iterated-measure waveform reconstruction.
+
+The sensor takes one quantized reading per PREPARE/SENSE sequence.  The
+paper notes that "measures should be iterated so that noise values can
+be captured in different moments of the CUT transient behavior" — i.e.
+the sensor is used as an equivalent-time sampler: repeat the transient,
+slide the SENSE instant, and stitch the decoded ranges into a waveform
+estimate.  :class:`WaveformReconstructor` implements that stitching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.thermometer import VoltageRange
+from repro.errors import ConfigurationError, DecodingError
+
+
+@dataclass(frozen=True)
+class ReconstructionPoint:
+    """One reconstructed sample: the decoded range at one instant."""
+
+    time: float
+    voltage_range: VoltageRange
+
+    @property
+    def estimate(self) -> float:
+        return self.voltage_range.midpoint
+
+
+@dataclass
+class WaveformReconstructor:
+    """Accumulates (time, decoded range) points into a waveform estimate.
+
+    Points may arrive in any order (repeated transients interleave);
+    queries sort by time.  Duplicate times are averaged by intersecting
+    ranges when they overlap and keeping both midpoints otherwise.
+    """
+
+    _points: list[ReconstructionPoint] = field(default_factory=list)
+
+    def add(self, time: float, rng: VoltageRange) -> None:
+        """Record one measure."""
+        self._points.append(ReconstructionPoint(time=time,
+                                                voltage_range=rng))
+
+    @property
+    def n_points(self) -> int:
+        return len(self._points)
+
+    def points(self) -> list[ReconstructionPoint]:
+        """All points, time-sorted."""
+        return sorted(self._points, key=lambda p: p.time)
+
+    def estimate_arrays(self) -> tuple[np.ndarray, np.ndarray,
+                                       np.ndarray, np.ndarray]:
+        """``(times, midpoints, lowers, uppers)`` arrays, time-sorted.
+
+        Unbounded edges are reported as NaN in the lower/upper arrays.
+
+        Raises:
+            DecodingError: when no points have been added.
+        """
+        pts = self.points()
+        if not pts:
+            raise DecodingError("no measures recorded")
+        times = np.array([p.time for p in pts])
+        mids = np.array([p.estimate for p in pts])
+        lows = np.array([
+            p.voltage_range.lo if np.isfinite(p.voltage_range.lo)
+            else np.nan for p in pts
+        ])
+        highs = np.array([
+            p.voltage_range.hi if np.isfinite(p.voltage_range.hi)
+            else np.nan for p in pts
+        ])
+        return times, mids, lows, highs
+
+    def interpolate(self, ts: np.ndarray) -> np.ndarray:
+        """Midpoint estimate interpolated onto an arbitrary time grid."""
+        times, mids, _, _ = self.estimate_arrays()
+        return np.interp(np.asarray(ts, dtype=float), times, mids)
+
+    def rmse_against(self, waveform, *, at_times=None) -> float:
+        """RMS error of the midpoint estimate vs. a true waveform.
+
+        Args:
+            waveform: Callable ``v(t)`` — the true rail.
+            at_times: Times to score at; defaults to the measure times.
+        """
+        times, mids, _, _ = self.estimate_arrays()
+        if at_times is None:
+            at_times = times
+            estimates = mids
+        else:
+            at_times = np.asarray(at_times, dtype=float)
+            estimates = self.interpolate(at_times)
+        truth = np.array([waveform(t) for t in at_times])
+        return float(np.sqrt(np.mean((estimates - truth) ** 2)))
+
+    def extremes(self) -> tuple[float, float]:
+        """(min, max) of the midpoint estimates — droop depth summary.
+
+        Raises:
+            DecodingError: when no points have been added.
+        """
+        _, mids, _, _ = self.estimate_arrays()
+        return float(np.min(mids)), float(np.max(mids))
+
+    def clear(self) -> None:
+        self._points.clear()

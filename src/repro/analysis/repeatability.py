@@ -1,0 +1,196 @@
+"""Measurement repeatability and S-curve threshold extraction.
+
+A real rail is never static: broadband noise rides on any level the
+sensor measures, so repeated measures at the same nominal level scatter
+across adjacent codes.  Two standard converter-test techniques apply
+directly to the thermometer:
+
+* **code histograms** — the distribution of output words over repeated
+  measures at one nominal level (how stable is a reading?);
+* **S-curves** — per-stage pass *probability* vs. nominal level.  With
+  Gaussian rail noise the hard threshold smears into a normal CDF whose
+  50 % point is the threshold and whose width is the noise sigma —
+  letting a tester extract both from purely digital pass/fail data.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+from scipy import optimize, special
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.calibration import SensorDesign
+    from repro.core.sensor import SenseRail
+
+
+def _sense_rail():
+    # Imported lazily: repro.core imports repro.analysis at package
+    # load, so a module-level import here would be circular.
+    from repro.core.sensor import SenseRail
+
+    return SenseRail
+
+
+def word_histogram(design: "SensorDesign", *, level: float,
+                   noise_rms: float, n_measures: int = 200,
+                   code: int = 3, seed: int = 7,
+                   rail: "SenseRail | None" = None
+                   ) -> dict[str, int]:
+    """Distribution of output words at a noisy nominal level.
+
+    Each measure draws an independent Gaussian rail sample
+    ``level + N(0, noise_rms)`` (the sensor's per-measure aperture is
+    far shorter than broadband noise correlation anyway).
+
+    Raises:
+        ConfigurationError: non-positive measure count / negative rms.
+    """
+    if n_measures < 1:
+        raise ConfigurationError("n_measures must be positive")
+    if noise_rms < 0:
+        raise ConfigurationError("noise_rms must be non-negative")
+    from repro.core.array import SensorArray
+
+    if rail is None:
+        rail = _sense_rail().VDD
+    rng = np.random.default_rng(seed)
+    array = SensorArray(design, rail)
+    counts: Counter[str] = Counter()
+    is_vdd = rail is _sense_rail().VDD
+    for _ in range(n_measures):
+        v = level + rng.normal(0.0, noise_rms)
+        kwargs = {"vdd_n": v} if is_vdd else {"gnd_n": v}
+        counts[array.measure(code, **kwargs).word.to_string()] += 1
+    return dict(counts)
+
+
+@dataclass(frozen=True)
+class SCurve:
+    """Per-stage pass probability vs. nominal level.
+
+    Attributes:
+        bit: The characterized stage (1-based).
+        levels: Nominal levels, volts (ascending).
+        pass_probability: Estimated pass probability per level.
+        n_per_level: Measures per level.
+    """
+
+    bit: int
+    levels: tuple[float, ...]
+    pass_probability: tuple[float, ...]
+    n_per_level: int
+
+    def fit(self) -> "SCurveFit":
+        """Fit a normal CDF; returns threshold and noise estimates.
+
+        Raises:
+            ConfigurationError: when the curve never crosses 50 %
+                inside the swept range (cannot be fit).
+        """
+        p = np.asarray(self.pass_probability)
+        x = np.asarray(self.levels)
+        if p.max() < 0.5 or p.min() > 0.5:
+            raise ConfigurationError(
+                f"bit {self.bit}: S-curve does not cross 50% in the "
+                f"swept range"
+            )
+
+        def model(v, mu, sigma):
+            return 0.5 * (1.0 + special.erf((v - mu)
+                                            / (np.sqrt(2) * sigma)))
+
+        mu0 = float(x[np.argmin(np.abs(p - 0.5))])
+        sigma0 = max((x[-1] - x[0]) / 10.0, 1e-4)
+        popt, _ = optimize.curve_fit(model, x, p, p0=(mu0, sigma0),
+                                     maxfev=10_000)
+        residuals = p - model(x, *popt)
+        return SCurveFit(
+            bit=self.bit,
+            threshold=float(popt[0]),
+            noise_sigma=float(abs(popt[1])),
+            rms_residual=float(np.sqrt(np.mean(residuals ** 2))),
+        )
+
+
+@dataclass(frozen=True)
+class SCurveFit:
+    """Normal-CDF fit of one S-curve."""
+
+    bit: int
+    threshold: float
+    noise_sigma: float
+    rms_residual: float
+
+
+def measure_s_curve(design: "SensorDesign", bit: int, *,
+                    noise_rms: float, code: int = 3,
+                    span_sigmas: float = 4.0,
+                    n_levels: int = 15,
+                    n_per_level: int = 200,
+                    seed: int = 11) -> SCurve:
+    """Sweep nominal levels across one stage's threshold with noise.
+
+    The sweep covers ``threshold ± span_sigmas * noise_rms``; each
+    level takes ``n_per_level`` seeded noisy measures.
+
+    Raises:
+        ConfigurationError: bad parameters.
+    """
+    if not 1 <= bit <= design.n_bits:
+        raise ConfigurationError(f"bit {bit} outside 1..{design.n_bits}")
+    if noise_rms <= 0:
+        raise ConfigurationError(
+            "noise_rms must be positive (an S-curve needs noise)"
+        )
+    if n_levels < 5 or n_per_level < 10:
+        raise ConfigurationError("need >= 5 levels and >= 10 measures")
+    from repro.core.array import SensorArray
+
+    center = design.bit_threshold(bit, code)
+    half = span_sigmas * noise_rms
+    levels = np.linspace(center - half, center + half, n_levels)
+    rng = np.random.default_rng(seed)
+    array = SensorArray(design)
+    probs = []
+    for level in levels:
+        draws = level + rng.normal(0.0, noise_rms, size=n_per_level)
+        passes = sum(
+            1 for v in draws
+            if array.bits[bit - 1].measure(code, vdd_n=float(v)).passed
+        )
+        probs.append(passes / n_per_level)
+    return SCurve(
+        bit=bit,
+        levels=tuple(float(v) for v in levels),
+        pass_probability=tuple(probs),
+        n_per_level=n_per_level,
+    )
+
+
+def extract_ladder_via_s_curves(design: "SensorDesign", *,
+                                noise_rms: float = 5e-3,
+                                code: int = 3,
+                                seed: int = 13,
+                                n_per_level: int = 150
+                                ) -> list[SCurveFit]:
+    """Tester-style ladder extraction: S-curve fit per stage.
+
+    This is how a production tester would *measure* the decode ladder
+    of a fabricated die (the paper's "careful characterization of the
+    sensor"): purely digital pass/fail statistics under known applied
+    levels, no analog probing.
+    """
+    return [
+        measure_s_curve(design, bit, noise_rms=noise_rms, code=code,
+                        seed=seed + bit,
+                        n_per_level=n_per_level).fit()
+        for bit in range(1, design.n_bits + 1)
+    ]

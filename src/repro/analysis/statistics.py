@@ -1,0 +1,98 @@
+"""Accuracy and quantization metrics for measurement evaluation.
+
+Used by the comparison benches (sensor vs. ideal analog sampler, bit
+count ablation) to score how well a sequence of decoded ranges tracks a
+known supply waveform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.thermometer import VoltageRange
+from repro.errors import ConfigurationError
+
+
+def quantization_step(thresholds: Sequence[float]) -> float:
+    """Mean threshold spacing — the sensor's LSB, volts.
+
+    Raises:
+        ConfigurationError: for fewer than two thresholds.
+    """
+    t = np.asarray(thresholds, dtype=float)
+    if t.size < 2:
+        raise ConfigurationError("need at least two thresholds")
+    return float(np.mean(np.diff(t)))
+
+
+def range_error(rng: VoltageRange, true_v: float) -> float:
+    """Distance from a true voltage to a decoded range, volts.
+
+    Zero when the range brackets the truth; otherwise the distance to
+    the nearest edge.  Unbounded edges never contribute error on their
+    open side.
+    """
+    if rng.contains(true_v):
+        return 0.0
+    if math.isfinite(rng.lo) and true_v <= rng.lo:
+        return rng.lo - true_v
+    if math.isfinite(rng.hi) and true_v > rng.hi:
+        return true_v - rng.hi
+    return 0.0
+
+
+def tracking_rmse(ranges: Sequence[VoltageRange],
+                  truths: Sequence[float], *,
+                  use_midpoint: bool = True) -> float:
+    """RMS error of a sequence of decoded measures vs. ground truth.
+
+    Args:
+        ranges: Decoded measurement ranges, in time order.
+        truths: True supply values at the same instants.
+        use_midpoint: Score the range midpoint against truth (point
+            estimate) rather than the bracket distance.
+
+    Raises:
+        ConfigurationError: on length mismatch or empty input.
+    """
+    if len(ranges) != len(truths) or not ranges:
+        raise ConfigurationError(
+            "ranges and truths must be equal-length and non-empty"
+        )
+    if use_midpoint:
+        errors = []
+        for rng, tv in zip(ranges, truths):
+            mid = rng.midpoint
+            errors.append(mid - tv)
+        return float(np.sqrt(np.mean(np.square(errors))))
+    errs = [range_error(r, tv) for r, tv in zip(ranges, truths)]
+    return float(np.sqrt(np.mean(np.square(errs))))
+
+
+def coverage_probability(ranges: Sequence[VoltageRange],
+                         truths: Sequence[float]) -> float:
+    """Fraction of measures whose decoded range brackets the truth.
+
+    A perfectly calibrated sensor scores 1.0 regardless of bit count
+    (quantization widens the ranges, it does not bias them) — the
+    property test behind the decoded-range invariant.
+    """
+    if len(ranges) != len(truths) or not ranges:
+        raise ConfigurationError(
+            "ranges and truths must be equal-length and non-empty"
+        )
+    hits = sum(1 for r, tv in zip(ranges, truths) if r.contains(tv))
+    return hits / len(ranges)
+
+
+def worst_case_error(ranges: Sequence[VoltageRange],
+                     truths: Sequence[float]) -> float:
+    """Largest bracket miss across the sequence, volts."""
+    if len(ranges) != len(truths) or not ranges:
+        raise ConfigurationError(
+            "ranges and truths must be equal-length and non-empty"
+        )
+    return max(range_error(r, tv) for r, tv in zip(ranges, truths))

@@ -1,0 +1,234 @@
+"""Thermometer output words and their decoding.
+
+Conventions (matching the paper):
+
+* bit *i* (1-based) is the stage with the *i*-th smallest load
+  capacitance, hence the *i*-th lowest failure threshold ``T_i``;
+* ``OUT-i = 1`` means stage *i* sampled correctly (supply above its
+  threshold), ``0`` means it failed;
+* printed words are MSB-first — the *highest*-threshold bit leftmost —
+  so a mild droop reads ``0011111`` (two high-threshold stages failed),
+  exactly the strings of the paper's Fig. 9;
+* a word is a *valid thermometer code* when the pass bits are a prefix
+  of the threshold ladder: every stage below a passing stage also
+  passes.  Mismatch (intra-die variation, metastability) produces
+  "bubbles", which :meth:`ThermometerWord.corrected` repairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError, DecodingError
+
+
+@dataclass(frozen=True)
+class VoltageRange:
+    """A half-open voltage interval ``(lo, hi)`` decoded from a word.
+
+    ``lo`` may be ``-inf`` (all stages failed: supply below the
+    measurable range) and ``hi`` may be ``+inf`` (no stage failed).
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise ConfigurationError(
+                f"empty voltage range [{self.lo}, {self.hi}]"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    @property
+    def midpoint(self) -> float:
+        """Range midpoint; for unbounded ranges, the finite endpoint.
+
+        Raises:
+            DecodingError: when neither endpoint is finite.
+        """
+        if self.bounded:
+            return 0.5 * (self.lo + self.hi)
+        if math.isfinite(self.lo):
+            return self.lo
+        if math.isfinite(self.hi):
+            return self.hi
+        raise DecodingError("range has no finite endpoint")
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def contains(self, v: float) -> bool:
+        return self.lo < v <= self.hi
+
+
+class ThermometerWord:
+    """An N-bit sensor output word.
+
+    Args:
+        bits: Per-stage pass flags, **bit 1 first** (ascending
+            threshold).  Values must be 0 or 1; use
+            :meth:`from_samples` to map metastable/unknown samples.
+    """
+
+    def __init__(self, bits: Sequence[int]) -> None:
+        if not bits:
+            raise ConfigurationError("word must have at least one bit")
+        for b in bits:
+            if b not in (0, 1):
+                raise ConfigurationError(
+                    f"bit values must be 0 or 1, got {b!r}"
+                )
+        self._bits = tuple(int(b) for b in bits)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_string(cls, word: str) -> "ThermometerWord":
+        """Parse an MSB-first string like ``"0011111"`` (paper style)."""
+        if not word or any(ch not in "01" for ch in word):
+            raise ConfigurationError(f"invalid word string {word!r}")
+        return cls(tuple(int(ch) for ch in reversed(word)))
+
+    @classmethod
+    def from_samples(cls, values: Sequence[int | None], *,
+                     unknown_as: int = 0) -> "ThermometerWord":
+        """Build from FF sample values; unresolved samples map to
+        ``unknown_as`` (default 0 = treat metastable as failed, the
+        conservative choice for a droop detector)."""
+        if unknown_as not in (0, 1):
+            raise ConfigurationError("unknown_as must be 0 or 1")
+        return cls(tuple(unknown_as if v is None else int(v)
+                         for v in values))
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def bits(self) -> tuple[int, ...]:
+        """Per-stage bits, bit 1 (lowest threshold) first."""
+        return self._bits
+
+    @property
+    def n_bits(self) -> int:
+        return len(self._bits)
+
+    @property
+    def ones(self) -> int:
+        """Number of passing stages — the thermometer reading."""
+        return sum(self._bits)
+
+    def to_string(self) -> str:
+        """MSB-first rendering (paper's Fig. 9 style)."""
+        return "".join(str(b) for b in reversed(self._bits))
+
+    @property
+    def is_valid_thermometer(self) -> bool:
+        """True when pass bits form a prefix (no bubbles)."""
+        seen_zero = False
+        for b in self._bits:
+            if b == 0:
+                seen_zero = True
+            elif seen_zero:
+                return False
+        return True
+
+    @property
+    def bubble_count(self) -> int:
+        """Number of bits that must flip to make the code a prefix.
+
+        0 for a valid code; equals the Hamming distance to the nearest
+        valid thermometer code with the same number of ones rounded by
+        the majority rule below.
+        """
+        corrected = self.corrected()
+        return sum(
+            1 for a, b in zip(self._bits, corrected.bits) if a != b
+        )
+
+    def corrected(self) -> "ThermometerWord":
+        """Bubble-corrected word: keep the ones *count*, pack as prefix.
+
+        Ones-counting is the standard flash-ADC bubble suppressor: the
+        number of passing stages is preserved and repacked against the
+        threshold ladder.  A valid code is returned unchanged.
+        """
+        k = self.ones
+        return ThermometerWord(
+            tuple(1 if i < k else 0 for i in range(self.n_bits))
+        )
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ThermometerWord):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        return f"ThermometerWord({self.to_string()!r})"
+
+
+def decode_word(word: ThermometerWord,
+                thresholds: Sequence[float], *,
+                strict: bool = True) -> VoltageRange:
+    """Decode a word into the supply range it implies.
+
+    With ``k`` passing stages against ascending thresholds ``T_1..T_N``:
+    the supply exceeded ``T_k`` but not ``T_{k+1}`` — the interval
+    ``(T_k, T_{k+1}]``, with ``-inf``/``+inf`` at the ladder ends.
+
+    Args:
+        word: The output word.
+        thresholds: Ascending per-stage thresholds, volts (same length
+            as the word).
+        strict: When True, a bubbled word raises
+            :class:`DecodingError`; when False it is bubble-corrected
+            first.
+
+    Raises:
+        DecodingError: width mismatch, non-ascending thresholds, or a
+            bubbled word under ``strict``.
+    """
+    if len(thresholds) != word.n_bits:
+        raise DecodingError(
+            f"word has {word.n_bits} bits but {len(thresholds)} "
+            f"thresholds given"
+        )
+    ladder = list(thresholds)
+    if any(b >= a for a, b in zip(ladder[1:], ladder)):
+        raise DecodingError("thresholds must be strictly ascending")
+    if not word.is_valid_thermometer:
+        if strict:
+            raise DecodingError(
+                f"word {word.to_string()} is not a valid thermometer code"
+            )
+        word = word.corrected()
+    k = word.ones
+    lo = ladder[k - 1] if k >= 1 else float("-inf")
+    hi = ladder[k] if k < len(ladder) else float("inf")
+    return VoltageRange(lo=lo, hi=hi)
+
+
+def decode_table(thresholds: Sequence[float]) -> list[tuple[str,
+                                                            VoltageRange]]:
+    """All valid words of an N-stage ladder with their decoded ranges.
+
+    Ordered from all-fail (``0…0``) to all-pass (``1…1``) — the rows of
+    the paper's Fig. 5 characteristic.
+    """
+    n = len(thresholds)
+    out = []
+    for k in range(n + 1):
+        word = ThermometerWord(tuple(1 if i < k else 0 for i in range(n)))
+        out.append((word.to_string(),
+                    decode_word(word, thresholds)))
+    return out

@@ -1,0 +1,183 @@
+"""Monte-Carlo yield analysis of the thermometer under mismatch.
+
+The paper's array argument assumes "INV-i and FF-i are identical";
+real silicon adds per-instance mismatch on top of the die corner, which
+can swap adjacent thresholds and produce bubbled output words — the
+failure mode the encoder's ones-counting bubble suppression exists for.
+This module quantifies it: sample a lot of dies from a
+:class:`~repro.devices.variation.VariationModel`, derive each die's
+per-bit thresholds (sensor inverters take the per-instance technology;
+the shared window blocks take the die technology), and report threshold
+spread, monotonicity violations, bubble rates and decode accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.thermometer import ThermometerWord, decode_word
+from repro.devices.variation import VariationModel, VariationSample
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at call sites: repro.core imports repro.analysis
+    # at package load, so a module-level import would be circular.
+    from repro.core.calibration import SensorDesign
+
+
+@dataclass(frozen=True)
+class DieCharacteristic:
+    """One sampled die's array characteristic.
+
+    Attributes:
+        thresholds: Per-bit failure thresholds in bit order (NOT
+            sorted), volts.
+        monotone: True when the physical bit order is already the
+            threshold order (no possible bubbles).
+    """
+
+    thresholds: tuple[float, ...]
+
+    @property
+    def monotone(self) -> bool:
+        return all(b > a for a, b in
+                   zip(self.thresholds, self.thresholds[1:]))
+
+    def word_at(self, v: float) -> ThermometerWord:
+        """The raw output word at a static supply (bubbles possible)."""
+        return ThermometerWord(
+            tuple(1 if v > t else 0 for t in self.thresholds)
+        )
+
+    def decode_at(self, v: float):
+        """Bubble-corrected decode against the *sorted* ladder."""
+        ladder = tuple(sorted(self.thresholds))
+        return decode_word(self.word_at(v), ladder, strict=False)
+
+
+@dataclass(frozen=True)
+class YieldReport:
+    """Lot-level statistics.
+
+    Attributes:
+        n_dies: Dies sampled.
+        threshold_sigma: Per-bit threshold standard deviation across
+            the lot, volts (bit order).
+        monotone_fraction: Fraction of dies whose ladder needs no
+            bubble correction at any supply.
+        bubble_rate: Fraction of (die, supply) evaluations whose raw
+            word was bubbled.
+        bracket_rate: Fraction of (die, supply) evaluations whose
+            bubble-corrected decode bracketed the true supply using the
+            *nominal* (design) ladder — i.e. without per-die
+            recalibration.
+        bracket_rate_calibrated: Same, decoding against each die's own
+            characterized ladder — the upper bound a per-die
+            calibration ("careful characterization of the sensor",
+            §III-A) recovers.
+        mean_abs_error: Mean |decode midpoint - truth| with the nominal
+            ladder, volts.
+    """
+
+    n_dies: int
+    threshold_sigma: tuple[float, ...]
+    monotone_fraction: float
+    bubble_rate: float
+    bracket_rate: float
+    bracket_rate_calibrated: float
+    mean_abs_error: float
+
+
+def die_characteristic(design: "SensorDesign", sample: VariationSample, *,
+                       code: int = 3) -> DieCharacteristic:
+    """Per-bit thresholds of one sampled die.
+
+    Sensor inverter *i* takes the instance-varied technology; the
+    shared window (PG + route + FF) takes the die technology.
+    """
+    if sample.n_instances < design.n_bits:
+        raise ConfigurationError(
+            f"sample has {sample.n_instances} instances; need "
+            f"{design.n_bits}"
+        )
+    die_tech = sample.die_technology(design.tech)
+    thresholds = tuple(
+        design.bit_threshold(
+            b, code,
+            sample.technology_for(design.tech, b - 1),
+            window_tech=die_tech,
+        )
+        for b in range(1, design.n_bits + 1)
+    )
+    return DieCharacteristic(thresholds=thresholds)
+
+
+def run_yield_study(design: "SensorDesign",
+                    variation: VariationModel, *,
+                    n_dies: int = 100,
+                    code: int = 3,
+                    supplies: np.ndarray | None = None,
+                    seed: int = 2024) -> YieldReport:
+    """Sample a lot and score the array under mismatch.
+
+    Args:
+        design: Calibrated design.
+        variation: Mismatch model to sample from.
+        n_dies: Lot size.
+        code: Delay code under study.
+        supplies: Evaluation supply grid, volts; defaults to 17 points
+            across the code's nominal range.
+        seed: Lot seed (deterministic studies).
+    """
+    if n_dies < 1:
+        raise ConfigurationError("n_dies must be positive")
+    if supplies is None:
+        lo = design.bit_threshold(1, code)
+        hi = design.bit_threshold(design.n_bits, code)
+        supplies = np.linspace(lo + 0.005, hi - 0.005, 17)
+    nominal_ladder = tuple(
+        design.bit_threshold(b, code)
+        for b in range(1, design.n_bits + 1)
+    )
+
+    lot = variation.sample_lot(n_dies, design.n_bits, seed=seed)
+    per_bit = np.empty((n_dies, design.n_bits))
+    monotone = 0
+    bubbled = 0
+    bracketed = 0
+    bracketed_cal = 0
+    errors: list[float] = []
+    total_evals = 0
+    for k, sample in enumerate(lot):
+        die = die_characteristic(design, sample, code=code)
+        per_bit[k] = die.thresholds
+        if die.monotone:
+            monotone += 1
+        die_ladder = tuple(sorted(die.thresholds))
+        for v in supplies:
+            v = float(v)
+            word = die.word_at(v)
+            total_evals += 1
+            if not word.is_valid_thermometer:
+                bubbled += 1
+            rng = decode_word(word, nominal_ladder, strict=False)
+            if rng.contains(v):
+                bracketed += 1
+            if rng.bounded:
+                errors.append(abs(rng.midpoint - v))
+            rng_cal = decode_word(word, die_ladder, strict=False)
+            if rng_cal.contains(v):
+                bracketed_cal += 1
+    return YieldReport(
+        n_dies=n_dies,
+        threshold_sigma=tuple(float(s) for s in np.std(per_bit, axis=0)),
+        monotone_fraction=monotone / n_dies,
+        bubble_rate=bubbled / total_evals,
+        bracket_rate=bracketed / total_evals,
+        bracket_rate_calibrated=bracketed_cal / total_evals,
+        mean_abs_error=float(np.mean(errors)) if errors else 0.0,
+    )

@@ -1,0 +1,80 @@
+"""Idealized on-chip analog supply sampler (the paper's ref [5]).
+
+High-performance designs (the cited Itanium-family processor) embed
+analog samplers that digitize the rail directly.  This model is the
+golden reference: an N-bit uniform quantizer with optional aperture
+jitter and input-referred noise, sampling any rail waveform at chosen
+instants.  The tracking ablation scores the thermometer against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class IdealAnalogSampler:
+    """N-bit sampler over a fixed input range.
+
+    Attributes:
+        resolution_bits: Quantizer resolution.
+        v_min / v_max: Input range, volts; out-of-range inputs clip.
+        jitter_rms: Aperture jitter (RMS of the sampling-instant
+            error), seconds.
+        noise_rms: Input-referred noise, volts RMS.
+        seed: RNG seed for jitter/noise (deterministic runs).
+    """
+
+    resolution_bits: int = 8
+    v_min: float = 0.6
+    v_max: float = 1.4
+    jitter_rms: float = 0.0
+    noise_rms: float = 0.0
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ConfigurationError("resolution_bits must be >= 1")
+        if self.v_max <= self.v_min:
+            raise ConfigurationError("v_max must exceed v_min")
+        if self.jitter_rms < 0 or self.noise_rms < 0:
+            raise ConfigurationError("jitter/noise must be non-negative")
+
+    @property
+    def lsb(self) -> float:
+        """Quantization step, volts."""
+        return (self.v_max - self.v_min) / (2 ** self.resolution_bits)
+
+    def quantize(self, v: float) -> float:
+        """Mid-tread quantization of one voltage, with clipping."""
+        clipped = min(max(v, self.v_min), self.v_max)
+        code = round((clipped - self.v_min) / self.lsb)
+        code = min(code, 2 ** self.resolution_bits - 1)
+        return self.v_min + code * self.lsb
+
+    def sample(self, waveform: Waveform,
+               times: np.ndarray) -> np.ndarray:
+        """Sample a rail at many instants; returns quantized volts."""
+        ts = np.asarray(times, dtype=float)
+        if ts.size == 0:
+            raise ConfigurationError("times must be non-empty")
+        rng = np.random.default_rng(self.seed)
+        if self.jitter_rms > 0:
+            ts = ts + rng.normal(0.0, self.jitter_rms, size=ts.size)
+        raw = np.array([waveform(t) for t in ts])
+        if self.noise_rms > 0:
+            raw = raw + rng.normal(0.0, self.noise_rms, size=ts.size)
+        return np.array([self.quantize(v) for v in raw])
+
+    def rmse_against(self, waveform: Waveform,
+                     times: np.ndarray) -> float:
+        """RMS sampling error vs. the true waveform at the instants."""
+        ts = np.asarray(times, dtype=float)
+        est = self.sample(waveform, ts)
+        truth = np.array([waveform(t) for t in ts])
+        return float(np.sqrt(np.mean((est - truth) ** 2)))

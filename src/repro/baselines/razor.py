@@ -1,0 +1,271 @@
+"""Razor-style shadow-latch error detection (the paper's ref [8]).
+
+Razor augments a pipeline register with a shadow latch clocked
+``delta`` after the main edge.  When supply droop stretches the
+combinational path past the main FF's setup but not past the shadow's,
+the two disagree — a detected (and architecturally recoverable) timing
+error.  As a *sensor* it is binary and datapath-bound: it reports only
+"this path failed this cycle", with no noise magnitude and only below
+the path's own failure threshold — the comparison the ablation bench
+quantifies against the thermometer's multi-level reading.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.devices.mosfet import voltage_factor
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+
+
+class RazorOutcome(enum.Enum):
+    """What one Razor cycle observed."""
+
+    #: Path met the main FF's setup: no information beyond "fast enough".
+    NO_ERROR = "no_error"
+    #: Main FF failed, shadow latch caught it: detected, recoverable.
+    DETECTED_ERROR = "detected_error"
+    #: Path blew past the shadow latch too: silent data corruption.
+    UNDETECTED_FAILURE = "undetected_failure"
+
+
+@dataclass(frozen=True)
+class RazorObservation:
+    """One cycle's outcome plus the underlying timing."""
+
+    outcome: RazorOutcome
+    path_delay: float
+    main_deadline: float
+    shadow_deadline: float
+
+
+class RazorStage:
+    """One Razor-protected pipeline stage.
+
+    Args:
+        tech: Technology (scales the path delay with supply).
+        path_delay_nominal: Combinational path delay at nominal supply,
+            seconds.
+        clock_period: Pipeline clock period, seconds.
+        delta: Shadow-latch clock skew after the main edge, seconds.
+        setup_time: FF setup time, seconds.
+    """
+
+    def __init__(self, tech: Technology, *, path_delay_nominal: float,
+                 clock_period: float, delta: float,
+                 setup_time: float) -> None:
+        if min(path_delay_nominal, clock_period, delta, setup_time) <= 0:
+            raise ConfigurationError("all timing parameters must be > 0")
+        if path_delay_nominal >= clock_period - setup_time:
+            raise ConfigurationError(
+                "path must meet timing at nominal supply"
+            )
+        self.tech = tech
+        self.path_delay_nominal = path_delay_nominal
+        self.clock_period = clock_period
+        self.delta = delta
+        self.setup_time = setup_time
+
+    def path_delay(self, v_eff: float) -> float:
+        """Path delay at an effective supply, seconds."""
+        g_nom = voltage_factor(self.tech.vdd_nominal, self.tech.vth,
+                               self.tech.alpha)
+        g = voltage_factor(v_eff, self.tech.vth, self.tech.alpha)
+        return self.path_delay_nominal * g / g_nom
+
+    def observe(self, v_eff: float) -> RazorObservation:
+        """Evaluate one cycle at a static effective supply."""
+        d = self.path_delay(v_eff)
+        main_deadline = self.clock_period - self.setup_time
+        shadow_deadline = main_deadline + self.delta
+        if d <= main_deadline:
+            outcome = RazorOutcome.NO_ERROR
+        elif d <= shadow_deadline:
+            outcome = RazorOutcome.DETECTED_ERROR
+        else:
+            outcome = RazorOutcome.UNDETECTED_FAILURE
+        return RazorObservation(
+            outcome=outcome,
+            path_delay=d,
+            main_deadline=main_deadline,
+            shadow_deadline=shadow_deadline,
+        )
+
+    def error_threshold(self, *, v_lo: float = 0.4, v_hi: float = 1.5,
+                        tol: float = 1e-5) -> float:
+        """The supply below which errors start — Razor's single
+        'threshold', against the thermometer's seven.
+
+        Raises:
+            ConfigurationError: when the bracket does not straddle the
+                onset.
+        """
+        def errs(v: float) -> bool:
+            return self.observe(v).outcome is not RazorOutcome.NO_ERROR
+
+        if errs(v_hi) or not errs(v_lo):
+            raise ConfigurationError(
+                f"bracket [{v_lo}, {v_hi}] does not straddle the error "
+                f"onset"
+            )
+        lo, hi = v_lo, v_hi
+        while hi - lo > tol:
+            mid = 0.5 * (lo + hi)
+            if errs(mid):
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def detection_window(self) -> tuple[float, float]:
+        """Supply interval where errors are *detected* (not silent).
+
+        Below the lower edge the shadow latch misses too.
+        """
+        upper = self.error_threshold()
+
+        def silent(v: float) -> bool:
+            return self.observe(v).outcome is \
+                RazorOutcome.UNDETECTED_FAILURE
+
+        lo, hi = 0.3, upper
+        if not silent(lo):
+            return (lo, upper)
+        while hi - lo > 1e-5:
+            mid = 0.5 * (lo + hi)
+            if silent(mid):
+                lo = mid
+            else:
+                hi = mid
+        return (0.5 * (lo + hi), upper)
+
+
+class RazorHarness:
+    """Structural Razor stage in the event simulator.
+
+    The real circuit: a datapath (an inverter chain on the noisy rail)
+    feeds a main FF clocked at ``t_clk`` and a shadow FF clocked
+    ``delta`` later through a delay element; an XOR compares the two
+    captures.  Complements the analytic :class:`RazorStage` exactly the
+    way the sensor's harnesses complement its analytic models.
+
+    Args:
+        tech: Technology of every cell.
+        n_stages: Datapath inverter-chain length (sets the path delay).
+        delta: Shadow clock skew, seconds.
+        clock_period: Pipeline period, seconds.
+    """
+
+    def __init__(self, tech, *, n_stages: int = 120,
+                 delta: float = 0.25e-9,
+                 clock_period: float = 2e-9) -> None:
+        from repro.cells.combinational import Inverter, Xor2
+        from repro.cells.delay_elements import DelayElement
+        from repro.cells.sequential import DFlipFlop
+        from repro.sim.netlist import Netlist
+
+        if n_stages < 2 or n_stages % 2:
+            raise ConfigurationError("n_stages must be even and >= 2")
+        self.tech = tech
+        self.clock_period = clock_period
+        self.delta = delta
+        nl = Netlist("razor_stage")
+        nl.add_supply("VDD", tech.vdd_nominal)
+        nl.add_supply("GND", 0.0, is_ground=True)
+        nl.add_supply("VDDN", tech.vdd_nominal)
+        for net in ("din", "clk"):
+            nl.add_net(net)
+            nl.mark_external_input(net)
+        prev = "din"
+        for i in range(n_stages):
+            nl.add_net(f"p{i}")
+            inv = Inverter(tech, name=f"path{i}")
+            nl.add_instance(f"path{i}", inv,
+                            {"A": prev, "Y": f"p{i}"},
+                            vdd="VDDN", gnd="GND")
+            prev = f"p{i}"
+        self._path_out = prev
+        for net in ("sclk", "qmain", "qshadow", "error"):
+            nl.add_net(net)
+        delay = DelayElement(tech, delta, name="shadow_skew")
+        nl.add_instance("shadow_skew", delay, {"A": "clk", "Y": "sclk"},
+                        vdd="VDD", gnd="GND")
+        nl.add_instance("ff_main", DFlipFlop(tech, name="ff_main"),
+                        {"D": prev, "CP": "clk", "Q": "qmain"},
+                        vdd="VDD", gnd="GND")
+        nl.add_instance("ff_shadow", DFlipFlop(tech, name="ff_shadow"),
+                        {"D": prev, "CP": "sclk", "Q": "qshadow"},
+                        vdd="VDD", gnd="GND")
+        nl.add_instance("cmp", Xor2(tech, name="cmp"),
+                        {"A": "qmain", "B": "qshadow", "Y": "error"},
+                        vdd="VDD", gnd="GND")
+        self.netlist = nl
+
+    def path_delay_nominal(self) -> float:
+        """Datapath delay at the nominal rail (for parity with the
+        analytic stage)."""
+        from repro.sim.engine import SimulationEngine
+
+        return self._measure_path_delay(self.tech.vdd_nominal)
+
+    def _measure_path_delay(self, v_eff: float) -> float:
+        from repro.sim.engine import SimulationEngine
+
+        self.netlist.set_supply_waveform("VDDN", v_eff)
+        engine = SimulationEngine(self.netlist)
+        engine.set_initial("din", 0)
+        engine.set_initial("clk", 0)
+        engine.set_initial("sclk", 0)
+        engine.settle()
+        engine.schedule_stimulus("din", 1, 1e-9)
+        engine.run(20e-9)
+        edges = [t for t in engine.trace.edges(self._path_out,
+                                               rising=True)
+                 if t >= 1e-9]
+        return edges[0] - 1e-9
+
+    def observe(self, v_eff: float) -> "RazorObservation":
+        """One launch/capture cycle at a static effective supply.
+
+        Launch the data edge one period before the capture clock, then
+        read the XOR error flag after the shadow capture.
+        """
+        from repro.sim.engine import SimulationEngine
+
+        self.netlist.set_supply_waveform("VDDN", v_eff)
+        engine = SimulationEngine(self.netlist)
+        engine.set_initial("din", 0)
+        engine.set_initial("clk", 0)
+        engine.set_initial("qmain", 0)
+        engine.set_initial("qshadow", 0)
+        engine.settle()
+        t_launch = 2e-9
+        t_clk = t_launch + self.clock_period
+        engine.schedule_stimulus("din", 1, t_launch)
+        engine.schedule_stimulus("clk", 1, t_clk)
+        engine.schedule_stimulus("clk", 0, t_clk + self.clock_period / 2)
+        engine.run(t_clk + self.clock_period)
+        t_read = t_clk + self.clock_period * 0.9
+        qmain = engine.trace.value_at("qmain", t_read)
+        qshadow = engine.trace.value_at("qshadow", t_read)
+        error = engine.trace.value_at("error", t_read)
+        arrival = [t for t in engine.trace.edges(self._path_out,
+                                                 rising=True)
+                   if t >= t_launch]
+        d = (arrival[0] - t_launch) if arrival else float("inf")
+        if qmain == 1 and error == 0:
+            outcome = RazorOutcome.NO_ERROR
+        elif qshadow == 1 and error == 1:
+            outcome = RazorOutcome.DETECTED_ERROR
+        else:
+            outcome = RazorOutcome.UNDETECTED_FAILURE
+        ff = self.netlist.instances["ff_main"].cell
+        main_deadline = self.clock_period - ff.setup_time
+        return RazorObservation(
+            outcome=outcome,
+            path_delay=d,
+            main_deadline=main_deadline,
+            shadow_deadline=main_deadline + self.delta,
+        )

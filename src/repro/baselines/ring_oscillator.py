@@ -1,0 +1,184 @@
+"""Ring-oscillator PSN sensor (the paper's ref [7] baseline).
+
+A ring of inverters powered by the rail under test oscillates at a
+frequency set by the inverter delay, hence by the *effective* supply
+``vdd - gnd``; counting its edges over a window digitizes the supply.
+Two structural limitations — both stated by the paper and both
+reproduced by this model — are:
+
+* the count is an **average** over the window: fast droop events are
+  smeared (the thermometer takes an instantaneous sample per measure);
+* the ring sees only the supply *difference*: a 50 mV VDD droop and a
+  50 mV ground bounce produce the same count — "it cannot distinguish
+  between power and ground voltage variations" (§I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cells.combinational import Inverter, Nand2
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+from repro.sim.waveform import ConstantWaveform, Waveform
+from repro.units import NS
+
+
+class RingOscillatorSensor:
+    """Analytic RO sensor model.
+
+    Args:
+        tech: Technology of the ring inverters.
+        n_stages: Ring length (odd; period = 2 * n * stage delay).
+        strength: Inverter drive strength.
+    """
+
+    def __init__(self, tech: Technology, *, n_stages: int = 31,
+                 strength: float = 1.0) -> None:
+        if n_stages < 3 or n_stages % 2 == 0:
+            raise ConfigurationError("n_stages must be odd and >= 3")
+        self.tech = tech
+        self.n_stages = n_stages
+        self.inv = Inverter(tech, strength=strength)
+        # Each stage drives the next stage's input.
+        self._stage_load = self.inv.pin("A").cap
+
+    def stage_delay(self, v_eff: float) -> float:
+        """One inverter delay at an effective supply, seconds."""
+        return self.inv.model.delay(v_eff, self._stage_load)
+
+    def period(self, v_eff: float) -> float:
+        """Oscillation period at an effective supply, seconds."""
+        return 2.0 * self.n_stages * self.stage_delay(v_eff)
+
+    def frequency(self, v_eff: float) -> float:
+        """Oscillation frequency, hertz (0 below threshold)."""
+        p = self.period(v_eff)
+        if np.isinf(p):
+            return 0.0
+        return 1.0 / p
+
+    def count(self, window: float, *,
+              vdd_n: Waveform | float = 1.0,
+              gnd_n: Waveform | float = 0.0,
+              dt: float = 10e-12) -> int:
+        """Oscillation count over a window with time-varying rails.
+
+        Integrates the instantaneous frequency — the defining
+        *averaging* behaviour of a counted RO.
+
+        Raises:
+            ConfigurationError: non-positive window or dt.
+        """
+        if window <= 0 or dt <= 0:
+            raise ConfigurationError("window and dt must be positive")
+        vdd = (ConstantWaveform(vdd_n) if isinstance(vdd_n, (int, float))
+               else vdd_n)
+        gnd = (ConstantWaveform(gnd_n) if isinstance(gnd_n, (int, float))
+               else gnd_n)
+        ts = np.arange(0.0, window, dt)
+        freqs = np.array([self.frequency(vdd(t) - gnd(t)) for t in ts])
+        return int(np.floor(np.trapezoid(freqs, dx=dt)))
+
+    def calibration_curve(self, v_grid: np.ndarray,
+                          window: float) -> list[tuple[float, int]]:
+        """(effective supply, count) pairs for static levels."""
+        return [(float(v), self.count(window, vdd_n=float(v)))
+                for v in np.asarray(v_grid, dtype=float)]
+
+    def estimate_supply(self, count: int, window: float, *,
+                        v_lo: float = 0.5, v_hi: float = 1.5,
+                        tol: float = 1e-4) -> float:
+        """Invert the count under the *assumption* GND-n is nominal.
+
+        This is the flawed step the paper calls out: the estimate is
+        really of ``vdd - gnd``, so ground bounce masquerades as a
+        supply droop.  Bisection over static levels.
+
+        Raises:
+            ConfigurationError: when the count is outside the bracket's
+                count range.
+        """
+        c_lo = self.count(window, vdd_n=v_lo)
+        c_hi = self.count(window, vdd_n=v_hi)
+        if not c_lo <= count <= c_hi:
+            raise ConfigurationError(
+                f"count {count} outside [{c_lo}, {c_hi}] for bracket "
+                f"[{v_lo}, {v_hi}]"
+            )
+        lo, hi = v_lo, v_hi
+        while hi - lo > tol:
+            mid = 0.5 * (lo + hi)
+            if self.count(window, vdd_n=mid) < count:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+class RingOscillatorHarness:
+    """Structural RO: a NAND-enabled inverter ring in the simulator.
+
+    The ring actually oscillates in the event engine; edges on the tap
+    net are counted over the window.  Kept short (default 7 stages) so
+    the event count stays reasonable.
+    """
+
+    def __init__(self, tech: Technology, *, n_stages: int = 7,
+                 strength: float = 1.0) -> None:
+        if n_stages < 3 or n_stages % 2 == 0:
+            raise ConfigurationError("n_stages must be odd and >= 3")
+        self.tech = tech
+        self.n_stages = n_stages
+        self.strength = strength
+        self._build()
+
+    def _build(self) -> None:
+        nl = Netlist("ring_oscillator")
+        nl.add_supply("VDDN", self.tech.vdd_nominal)
+        nl.add_supply("GNDN", 0.0, is_ground=True)
+        nl.add_net("EN")
+        nl.mark_external_input("EN")
+        # Stage 0 is the enable NAND; stages 1..n-1 are inverters.
+        for i in range(self.n_stages):
+            nl.add_net(f"n{i}")
+        nand = Nand2(self.tech, strength=self.strength, name="ring_nand")
+        nl.add_instance("ring_nand", nand,
+                        {"A": "EN", "B": f"n{self.n_stages - 1}",
+                         "Y": "n0"},
+                        vdd="VDDN", gnd="GNDN")
+        for i in range(1, self.n_stages):
+            inv = Inverter(self.tech, strength=self.strength,
+                           name=f"ring_inv{i}")
+            nl.add_instance(f"ring_inv{i}", inv,
+                            {"A": f"n{i - 1}", "Y": f"n{i}"},
+                            vdd="VDDN", gnd="GNDN")
+        self.netlist = nl
+
+    def count_edges(self, window: float, *,
+                    vdd_n: Waveform | float = 1.0,
+                    gnd_n: Waveform | float = 0.0,
+                    max_events: int = 2_000_000) -> int:
+        """Enable the ring for a window; count rising tap edges.
+
+        Raises:
+            SimulationError: when the ring fails to oscillate.
+        """
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self.netlist.set_supply_waveform("VDDN", vdd_n)
+        self.netlist.set_supply_waveform("GNDN", gnd_n)
+        engine = SimulationEngine(self.netlist, max_events=max_events)
+        engine.set_initial("EN", 0)
+        engine.settle()
+        t_on = 1.0 * NS
+        engine.schedule_stimulus("EN", 1, t_on)
+        engine.run(t_on + window)
+        tap = f"n{self.n_stages - 1}"
+        edges = [t for t in engine.trace.edges(tap, rising=True)
+                 if t >= t_on]
+        if not edges:
+            raise SimulationError("ring did not oscillate")
+        return len(edges)

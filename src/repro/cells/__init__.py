@@ -1,0 +1,71 @@
+"""Standard-cell library: the behavioural 90 nm cell set.
+
+The paper's sensor is "fully digital and standard cell based": an
+inverter, a flip-flop, a mux-based pulse generator and ordinary control
+logic.  This package provides those cells with timing derived from the
+alpha-power device model (:mod:`repro.devices`):
+
+* :mod:`repro.cells.base` — cell/pin/timing framework and logic values;
+* :mod:`repro.cells.combinational` — INV/BUF/NAND/NOR/XOR/AOI/MUX;
+* :mod:`repro.cells.sequential` — D flip-flops with setup/hold checking
+  and a regenerative metastability model;
+* :mod:`repro.cells.delay_elements` — trimmed delay buffers for the PG;
+* :mod:`repro.cells.library` — named library container;
+* :mod:`repro.cells.characterize` — NLDM-style lookup-table generation.
+"""
+
+from repro.cells.base import (
+    LOW,
+    HIGH,
+    UNKNOWN,
+    LogicValue,
+    PinDirection,
+    Pin,
+    Cell,
+)
+from repro.cells.combinational import (
+    Inverter,
+    Buffer,
+    Nand2,
+    Nor2,
+    And2,
+    Or2,
+    Xor2,
+    Xnor2,
+    Aoi21,
+    Oai21,
+    Mux2,
+)
+from repro.cells.sequential import DFlipFlop, SampleOutcome, SampleResult
+from repro.cells.delay_elements import DelayElement
+from repro.cells.library import StdCellLibrary, default_library
+from repro.cells.characterize import NLDMTable, characterize_cell
+
+__all__ = [
+    "LOW",
+    "HIGH",
+    "UNKNOWN",
+    "LogicValue",
+    "PinDirection",
+    "Pin",
+    "Cell",
+    "Inverter",
+    "Buffer",
+    "Nand2",
+    "Nor2",
+    "And2",
+    "Or2",
+    "Xor2",
+    "Xnor2",
+    "Aoi21",
+    "Oai21",
+    "Mux2",
+    "DFlipFlop",
+    "SampleOutcome",
+    "SampleResult",
+    "DelayElement",
+    "StdCellLibrary",
+    "default_library",
+    "NLDMTable",
+    "characterize_cell",
+]

@@ -1,0 +1,206 @@
+"""Cell framework: pins, logic values and the abstract cell interface.
+
+Logic values are three-state: ``LOW`` (0), ``HIGH`` (1) and ``UNKNOWN``
+(``None``), the last standing in for the simulator's pre-reset / X
+state.  Cells evaluate with X-propagation semantics: an output is known
+whenever the known inputs already determine it (e.g. a NAND with one
+``LOW`` input is ``HIGH`` regardless of the other input).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.devices.mosfet import AlphaPowerModel
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+
+#: Three-state logic value: 0, 1 or None (unknown / X).
+LogicValue = Optional[int]
+
+LOW: LogicValue = 0
+HIGH: LogicValue = 1
+UNKNOWN: LogicValue = None
+
+
+def invert(value: LogicValue) -> LogicValue:
+    """Logical NOT with X-propagation."""
+    if value is UNKNOWN:
+        return UNKNOWN
+    return 1 - value
+
+
+def validate_logic(value: LogicValue) -> LogicValue:
+    """Check a value is 0, 1 or None; return it unchanged.
+
+    Raises:
+        ConfigurationError: for any other value.
+    """
+    if value not in (0, 1, None):
+        raise ConfigurationError(f"invalid logic value {value!r}")
+    return value
+
+
+class PinDirection(enum.Enum):
+    """Direction of a cell pin."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A cell pin.
+
+    Attributes:
+        name: Pin name within the cell (e.g. ``"A"``, ``"Y"``).
+        direction: Input or output.
+        cap: Capacitance presented by the pin to its net, farads.
+            Output pins contribute their intrinsic (drain) capacitance.
+        is_clock: True for the clock pin of a sequential cell.
+    """
+
+    name: str
+    direction: PinDirection
+    cap: float
+    is_clock: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cap < 0:
+            raise ConfigurationError(f"pin {self.name}: cap must be >= 0")
+
+
+class Cell:
+    """Abstract standard cell.
+
+    A cell owns an :class:`AlphaPowerModel` (technology + drive strength)
+    and a set of pins.  Subclasses implement :meth:`evaluate` for the
+    logic function and may override :meth:`arc_effort` to express
+    per-input logical effort (a NAND2 is slower than an inverter of the
+    same strength by roughly its logical effort).
+
+    Cells are stateless with respect to simulation: the event engine
+    owns net values; sequential cells expose an explicit sampling API
+    instead of hidden state.
+    """
+
+    #: Subclasses set this to declare themselves edge-triggered.
+    is_sequential: bool = False
+
+    #: Multiplier on the base inverter delay capturing gate complexity
+    #: (logical effort * parasitic ratio), overridable per subclass.
+    logical_effort: float = 1.0
+
+    def __init__(self, tech: Technology, *, strength: float = 1.0,
+                 name: str | None = None) -> None:
+        self.model = AlphaPowerModel(tech=tech, strength=strength)
+        self.name = name if name is not None else type(self).__name__
+        self._pins = {pin.name: pin for pin in self._build_pins()}
+        outputs = [p for p in self._pins.values()
+                   if p.direction is PinDirection.OUTPUT]
+        if not outputs:
+            raise ConfigurationError(
+                f"cell {self.name} declares no output pin"
+            )
+
+    # -- structure ----------------------------------------------------
+
+    def _build_pins(self) -> list[Pin]:
+        """Subclass hook: declare this cell's pins."""
+        raise NotImplementedError
+
+    @property
+    def tech(self) -> Technology:
+        return self.model.tech
+
+    @property
+    def strength(self) -> float:
+        return self.model.strength
+
+    @property
+    def pins(self) -> Mapping[str, Pin]:
+        return self._pins
+
+    def pin(self, name: str) -> Pin:
+        """Look up a pin by name.
+
+        Raises:
+            ConfigurationError: for an unknown pin name.
+        """
+        try:
+            return self._pins[name]
+        except KeyError:
+            known = ", ".join(sorted(self._pins))
+            raise ConfigurationError(
+                f"cell {self.name} has no pin {name!r}; known: {known}"
+            ) from None
+
+    @property
+    def input_pins(self) -> list[Pin]:
+        return [p for p in self._pins.values()
+                if p.direction is PinDirection.INPUT]
+
+    @property
+    def output_pins(self) -> list[Pin]:
+        return [p for p in self._pins.values()
+                if p.direction is PinDirection.OUTPUT]
+
+    def _input_pin(self, *, is_clock: bool = False,
+                   cap_scale: float = 1.0, name: str = "A") -> Pin:
+        """Helper for subclasses: a standard input pin."""
+        return Pin(
+            name=name,
+            direction=PinDirection.INPUT,
+            cap=self.model.input_cap * cap_scale,
+            is_clock=is_clock,
+        )
+
+    def _output_pin(self, name: str = "Y") -> Pin:
+        """Helper for subclasses: a standard output pin."""
+        return Pin(
+            name=name,
+            direction=PinDirection.OUTPUT,
+            cap=self.model.intrinsic_cap,
+        )
+
+    # -- behaviour ----------------------------------------------------
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        """Combinational function: input pin values -> output pin values.
+
+        Sequential cells evaluate their *combinational view* here (for a
+        DFF this returns nothing useful; the engine handles clocking).
+        """
+        raise NotImplementedError
+
+    def arc_effort(self, input_pin: str, output_pin: str) -> float:
+        """Delay multiplier for a specific input->output arc.
+
+        Defaults to the cell-wide :attr:`logical_effort`.
+        """
+        return self.logical_effort
+
+    def propagation_delay(self, input_pin: str, output_pin: str,
+                          supply_v: float, load_cap: float, *,
+                          input_slew: float = 0.0) -> float:
+        """Arc delay in seconds under the given supply and load.
+
+        The external ``load_cap`` is what the net adds (fanout pin caps +
+        explicit capacitors); the cell's intrinsic output capacitance is
+        accounted for inside the device model.
+        """
+        self.pin(input_pin)
+        self.pin(output_pin)
+        base = self.model.delay(supply_v, load_cap, input_slew=input_slew)
+        return base * self.arc_effort(input_pin, output_pin)
+
+    def output_slew(self, supply_v: float, load_cap: float) -> float:
+        """Output transition time estimate, seconds."""
+        return self.model.output_slew(supply_v, load_cap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"x{self.model.strength:g}>")

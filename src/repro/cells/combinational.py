@@ -1,0 +1,259 @@
+"""Combinational standard cells.
+
+Every cell evaluates with X-propagation: an output is known as soon as
+the known inputs determine it.  Logical efforts are the classic
+equal-rise/fall sizing values (NAND2 ≈ 4/3, NOR2 ≈ 5/3, …) so that
+multi-input gates are proportionally slower than the inverter the
+device model is normalized to.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cells.base import (
+    Cell,
+    HIGH,
+    LOW,
+    LogicValue,
+    Pin,
+    UNKNOWN,
+    invert,
+)
+
+
+class Inverter(Cell):
+    """INV: ``Y = not A``.
+
+    The sensor's key element: in the noise sensor this cell is powered
+    by the noisy supply under measurement, so its delay becomes the
+    transducer from supply voltage to arrival time (paper Fig. 1 left).
+    """
+
+    logical_effort = 1.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [self._input_pin(name="A"), self._output_pin("Y")]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        return {"Y": invert(inputs["A"])}
+
+
+class Buffer(Cell):
+    """BUF: ``Y = A`` (two inverters back to back)."""
+
+    logical_effort = 2.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [self._input_pin(name="A"), self._output_pin("Y")]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        return {"Y": inputs["A"]}
+
+
+class Nand2(Cell):
+    """NAND2: ``Y = not (A and B)``."""
+
+    logical_effort = 4.0 / 3.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b = inputs["A"], inputs["B"]
+        if a == LOW or b == LOW:
+            return {"Y": HIGH}
+        if a == HIGH and b == HIGH:
+            return {"Y": LOW}
+        return {"Y": UNKNOWN}
+
+
+class Nor2(Cell):
+    """NOR2: ``Y = not (A or B)``."""
+
+    logical_effort = 5.0 / 3.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b = inputs["A"], inputs["B"]
+        if a == HIGH or b == HIGH:
+            return {"Y": LOW}
+        if a == LOW and b == LOW:
+            return {"Y": HIGH}
+        return {"Y": UNKNOWN}
+
+
+class And2(Cell):
+    """AND2: NAND2 + output inverter."""
+
+    logical_effort = 4.0 / 3.0 + 1.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b = inputs["A"], inputs["B"]
+        if a == LOW or b == LOW:
+            return {"Y": LOW}
+        if a == HIGH and b == HIGH:
+            return {"Y": HIGH}
+        return {"Y": UNKNOWN}
+
+
+class Or2(Cell):
+    """OR2: NOR2 + output inverter."""
+
+    logical_effort = 5.0 / 3.0 + 1.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b = inputs["A"], inputs["B"]
+        if a == HIGH or b == HIGH:
+            return {"Y": HIGH}
+        if a == LOW and b == LOW:
+            return {"Y": LOW}
+        return {"Y": UNKNOWN}
+
+
+class Xor2(Cell):
+    """XOR2: ``Y = A xor B`` — both inputs must be known."""
+
+    logical_effort = 4.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b = inputs["A"], inputs["B"]
+        if a is UNKNOWN or b is UNKNOWN:
+            return {"Y": UNKNOWN}
+        return {"Y": a ^ b}
+
+
+class Xnor2(Cell):
+    """XNOR2: ``Y = not (A xor B)``."""
+
+    logical_effort = 4.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b = inputs["A"], inputs["B"]
+        if a is UNKNOWN or b is UNKNOWN:
+            return {"Y": UNKNOWN}
+        return {"Y": 1 - (a ^ b)}
+
+
+class Aoi21(Cell):
+    """AOI21: ``Y = not ((A and B) or C)``."""
+
+    logical_effort = 2.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._input_pin(name="C"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b, c = inputs["A"], inputs["B"], inputs["C"]
+        if c == HIGH or (a == HIGH and b == HIGH):
+            return {"Y": LOW}
+        if c == LOW and (a == LOW or b == LOW):
+            return {"Y": HIGH}
+        return {"Y": UNKNOWN}
+
+
+class Oai21(Cell):
+    """OAI21: ``Y = not ((A or B) and C)``."""
+
+    logical_effort = 2.0
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._input_pin(name="C"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b, c = inputs["A"], inputs["B"], inputs["C"]
+        if c == LOW or (a == LOW and b == LOW):
+            return {"Y": HIGH}
+        if c == HIGH and (a == HIGH or b == HIGH):
+            return {"Y": LOW}
+        return {"Y": UNKNOWN}
+
+
+class Mux2(Cell):
+    """MUX2: ``Y = A if S == 0 else B``.
+
+    Used by the pulse generator (paper Fig. 7) to select a delay-line
+    tap.  The paper routes *both* P and CP through identical muxes so
+    the mux's own insertion delay cancels out of the P/CP skew — a
+    property the PG tests assert.
+    """
+
+    logical_effort = 2.5
+
+    def _build_pins(self) -> list[Pin]:
+        return [
+            self._input_pin(name="A"),
+            self._input_pin(name="B"),
+            self._input_pin(name="S"),
+            self._output_pin("Y"),
+        ]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        a, b, s = inputs["A"], inputs["B"], inputs["S"]
+        if s == LOW:
+            return {"Y": a}
+        if s == HIGH:
+            return {"Y": b}
+        # Unknown select: output known only if both inputs agree.
+        if a is not UNKNOWN and a == b:
+            return {"Y": a}
+        return {"Y": UNKNOWN}

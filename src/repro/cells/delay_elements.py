@@ -1,0 +1,110 @@
+"""Trimmed delay elements for the pulse generator.
+
+The paper's PG (Fig. 7) builds its eight selectable P/CP skews from
+"delay element arrays (standard cell INV with opportunely chosen
+sizes)".  A :class:`DelayElement` is exactly that: a buffer whose
+nominal delay is set by construction (by choosing an effective internal
+load), and whose *actual* delay still tracks supply and process through
+the alpha-power model — which is what makes the process-corner
+re-trimming experiments meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cells.base import Cell, LogicValue, Pin
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+
+
+class DelayElement(Cell):
+    """A buffer with a designed-in nominal delay.
+
+    Args:
+        tech: Technology the element is built in.
+        nominal_delay: Desired propagation delay at nominal supply when
+            driving ``trim_load``, seconds.  The constructor solves for
+            the internal load capacitance that realizes it; the realized
+            delay then scales with supply exactly like any other gate.
+        trim_load: External load the element is trimmed for, farads —
+            delay elements are trimmed *in situ*, so the known fanout
+            (e.g. the FF clock pins on the CP route) is part of the
+            budget.
+        strength: Drive strength of the output stage.
+
+    Raises:
+        ConfigurationError: if ``nominal_delay`` is below the intrinsic
+            delay of the buffer (cannot be realized by adding load).
+    """
+
+    logical_effort = 1.0
+
+    def __init__(self, tech: Technology, nominal_delay: float, *,
+                 strength: float = 1.0, trim_load: float = 0.0,
+                 name: str | None = None) -> None:
+        super().__init__(tech, strength=strength, name=name)
+        if nominal_delay <= 0:
+            raise ConfigurationError("nominal_delay must be positive")
+        if trim_load < 0:
+            raise ConfigurationError("trim_load must be non-negative")
+        self.nominal_delay = nominal_delay
+        g_nom = self.model.voltage_factor(tech.vdd_nominal)
+        k_eff = tech.drive_constant / self.model.strength
+        # nominal_delay = k_eff * (C_int + C_internal + trim_load) * g_nom
+        c_total = nominal_delay / (k_eff * g_nom)
+        c_internal = c_total - self.model.intrinsic_cap - trim_load
+        if c_internal < 0:
+            raise ConfigurationError(
+                f"nominal_delay={nominal_delay:.3e}s is below the intrinsic "
+                f"delay of a strength-{self.model.strength:g} buffer into "
+                f"{trim_load:.3e} F"
+            )
+        self.internal_cap = c_internal
+
+    @classmethod
+    def from_internal_cap(cls, tech: Technology, internal_cap: float, *,
+                          strength: float = 1.0,
+                          name: str | None = None) -> "DelayElement":
+        """Rebuild the *same physical element* in another technology.
+
+        A delay element is trimmed once at design time by choosing its
+        internal load; under a process corner the load stays put while
+        the drive changes.  This constructor keeps ``internal_cap``
+        fixed and recomputes the realized delay from the new
+        technology — the mechanism behind the corner-retrimming
+        experiments.
+
+        Raises:
+            ConfigurationError: for a negative internal capacitance.
+        """
+        if internal_cap < 0:
+            raise ConfigurationError("internal_cap must be non-negative")
+        obj = cls.__new__(cls)
+        Cell.__init__(obj, tech, strength=strength, name=name)
+        obj.internal_cap = internal_cap
+        obj.nominal_delay = obj.delay_at(tech.vdd_nominal)
+        return obj
+
+    def _build_pins(self) -> list[Pin]:
+        return [self._input_pin(name="A"), self._output_pin("Y")]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue]
+                 ) -> dict[str, LogicValue]:
+        return {"Y": inputs["A"]}
+
+    def propagation_delay(self, input_pin: str, output_pin: str,
+                          supply_v: float, load_cap: float, *,
+                          input_slew: float = 0.0) -> float:
+        """Delay including the trim load; scales with supply and corner."""
+        self.pin(input_pin)
+        self.pin(output_pin)
+        return self.model.delay(
+            supply_v,
+            self.internal_cap + load_cap,
+            input_slew=input_slew,
+        )
+
+    def delay_at(self, supply_v: float) -> float:
+        """Unloaded delay at a given supply (convenience for the PG)."""
+        return self.propagation_delay("A", "Y", supply_v, 0.0)

@@ -1,0 +1,115 @@
+"""Named standard-cell library container.
+
+A :class:`StdCellLibrary` binds a technology to a set of cell factories
+and hands out fresh cell instances by (name, strength) — the shape a
+netlist builder wants.  :func:`default_library` provides the 90 nm-class
+set used throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.cells.base import Cell
+from repro.cells.combinational import (
+    And2,
+    Aoi21,
+    Buffer,
+    Inverter,
+    Mux2,
+    Nand2,
+    Nor2,
+    Oai21,
+    Or2,
+    Xnor2,
+    Xor2,
+)
+from repro.cells.sequential import DFlipFlop
+from repro.devices.technology import TECH_90NM, Technology
+from repro.errors import ConfigurationError
+
+CellFactory = Callable[..., Cell]
+
+
+class StdCellLibrary:
+    """A named collection of cell factories over one technology.
+
+    Args:
+        tech: The technology every cell in the library is built in.
+        name: Library name for reports.
+    """
+
+    def __init__(self, tech: Technology, *, name: str = "stdlib") -> None:
+        self.tech = tech
+        self.name = name
+        self._factories: dict[str, CellFactory] = {}
+
+    def register(self, cell_name: str, factory: CellFactory) -> None:
+        """Register a cell factory under ``cell_name``.
+
+        Raises:
+            ConfigurationError: on duplicate registration.
+        """
+        key = cell_name.upper()
+        if key in self._factories:
+            raise ConfigurationError(
+                f"cell {cell_name!r} already registered in {self.name}"
+            )
+        self._factories[key] = factory
+
+    def make(self, cell_name: str, *, strength: float = 1.0,
+             instance_name: str | None = None, **kwargs) -> Cell:
+        """Instantiate a fresh cell.
+
+        Args:
+            cell_name: Registered cell type (case-insensitive).
+            strength: Drive strength.
+            instance_name: Name for the instance (defaults to type name).
+            **kwargs: Extra keyword arguments forwarded to the factory
+                (e.g. flip-flop timing overrides).
+        """
+        key = cell_name.upper()
+        if key not in self._factories:
+            known = ", ".join(sorted(self._factories))
+            raise ConfigurationError(
+                f"library {self.name} has no cell {cell_name!r}; "
+                f"known: {known}"
+            )
+        return self._factories[key](
+            self.tech, strength=strength, name=instance_name, **kwargs
+        )
+
+    def cell_names(self) -> list[str]:
+        """Registered cell type names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, cell_name: str) -> bool:
+        return cell_name.upper() in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.cell_names())
+
+    def retarget(self, tech: Technology) -> "StdCellLibrary":
+        """The same cell set bound to a different technology (corner)."""
+        lib = StdCellLibrary(tech, name=f"{self.name}@{tech.name}")
+        for key, factory in self._factories.items():
+            lib._factories[key] = factory
+        return lib
+
+
+def default_library(tech: Technology = TECH_90NM) -> StdCellLibrary:
+    """The 90 nm-class cell set used by the reproduction."""
+    lib = StdCellLibrary(tech, name="repro90")
+    lib.register("INV", Inverter)
+    lib.register("BUF", Buffer)
+    lib.register("NAND2", Nand2)
+    lib.register("NOR2", Nor2)
+    lib.register("AND2", And2)
+    lib.register("OR2", Or2)
+    lib.register("XOR2", Xor2)
+    lib.register("XNOR2", Xnor2)
+    lib.register("AOI21", Aoi21)
+    lib.register("OAI21", Oai21)
+    lib.register("MUX2", Mux2)
+    lib.register("DFF", DFlipFlop)
+    return lib

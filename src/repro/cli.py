@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the headline reproductions and a general measurement command
+without writing any Python:
+
+* ``info`` — the calibrated design constants;
+* ``table`` — the §III-B delay-code table (behavioural + structural);
+* ``fig4`` — threshold-vs-capacitance characteristic;
+* ``fig5`` — the multibit characteristic per delay code;
+* ``fig9`` — the full-system two-measure sequence;
+* ``critical-path`` — STA over the control netlist;
+* ``measure`` — decode an arbitrary static rail level.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.calibration import paper_design
+from repro.units import to_ns, to_pf, to_ps
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    d = paper_design()
+    print("Calibrated design (anchored to the paper's published data)")
+    print(f"  technology       : {d.tech.name}")
+    print(f"  fitted Vth       : {d.tech.vth:.4f} V (alpha="
+          f"{d.tech.alpha})")
+    print(f"  t0 (CP-P offset) : {to_ps(d.t0):.1f} ps")
+    print(f"  sensor strength  : {d.sensor_strength:.1f}x")
+    print(f"  FF setup time    : {to_ps(d.ff_setup_time):.1f} ps")
+    print(f"  trim caps [pF]   : "
+          f"{[round(to_pf(c), 3) for c in d.load_caps]}")
+    print(f"  delay codes [ps] : "
+          f"{[round(to_ps(x)) for x in d.delay_codes]}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.core.pulsegen import PulseGenerator, PulseGeneratorHarness
+
+    d = paper_design()
+    behavioural = PulseGenerator(d).delay_table()
+    print("code  paper[ps]  behavioural[ps]", end="")
+    structural = None
+    if args.sim:
+        structural = PulseGeneratorHarness(d).measure_table()
+        print("  structural[ps]", end="")
+    print()
+    paper = (26, 40, 50, 65, 77, 92, 100, 107)
+    for code in range(8):
+        line = (f"{code:03b}   {paper[code]:>8}  "
+                f"{to_ps(behavioural[code]):>14.2f}")
+        if structural is not None:
+            line += f"  {to_ps(structural[code]):>13.2f}"
+        print(line)
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.core.characterization import threshold_vs_capacitance
+    from repro.units import PF
+
+    d = paper_design()
+    caps = [(args.cap_min + k * args.cap_step) * PF
+            for k in range(args.points)]
+    print("C [pF]   threshold [V]")
+    for c, v in threshold_vs_capacitance(d, caps, code=args.code):
+        print(f"{to_pf(c):>6.2f}   {v:.4f}")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.core.characterization import characterize_array
+
+    d = paper_design()
+    chars = characterize_array(d, codes=tuple(args.codes))
+    for code, ch in chars.items():
+        print(f"delay code {code:03b}: dynamic {ch.v_min:.3f} .. "
+              f"{ch.v_max:.3f} V")
+        for word, rng in ch.table:
+            lo = "-inf " if rng.lo == float("-inf") else f"{rng.lo:.4f}"
+            hi = "+inf " if rng.hi == float("inf") else f"{rng.hi:.4f}"
+            print(f"  {word}  ({lo}, {hi}]")
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.core.system import SensorSystem
+    from repro.sim.waveform import StepWaveform
+    from repro.units import NS
+
+    d = paper_design()
+    system = SensorSystem(d, include_ls=False)
+    rail = StepWaveform(args.v1, args.v2, 16 * NS)
+    run = system.run(2, code_hs=args.code, vdd_n=rail)
+    for k, (v, m) in enumerate(zip((args.v1, args.v2), run.hs), 1):
+        print(f"measure {k} (VDD-n={v:.2f} V): PREPARE "
+              f"{m.prepare_word} -> SENSE {m.word.to_string()} "
+              f"(OUTE={m.encoded.oute}) -> ({m.decoded.lo:.4f}, "
+              f"{m.decoded.hi:.4f}] V")
+    return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    from repro.core.control import build_control_netlist
+    from repro.sta.analysis import analyze
+    from repro.sta.hold import analyze_hold
+    from repro.sta.report import format_hold_report, format_setup_report
+
+    d = paper_design()
+    nl, _ = build_control_netlist(d)
+    report = analyze(nl, clock_period=args.period * 1e-9)
+    print(f"control-system critical path: "
+          f"{to_ns(report.min_period):.4f} ns (paper: 1.22 ns)\n")
+    print(format_setup_report(report))
+    print()
+    hold = analyze_hold(nl)
+    print(format_hold_report(hold))
+    print(f"\nworst hold slack: {to_ps(hold.whs):.1f} ps "
+          f"({'clean' if hold.clean else 'VIOLATED'})")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.core.autorange import AutoRangingMeter
+    from repro.core.sensor import SenseRail
+
+    d = paper_design()
+    rail = SenseRail.GND if args.gnd is not None else SenseRail.VDD
+    meter = AutoRangingMeter(d, rail, initial_code=args.code)
+    if rail is SenseRail.GND:
+        result = meter.measure_level(gnd_n=args.gnd)
+        label = "GND-n"
+        level = args.gnd
+    else:
+        result = meter.measure_level(vdd_n=args.vdd)
+        label = "VDD-n"
+        level = args.vdd
+    print(f"{label} = {level:.4f} V: word {result.word.to_string()} "
+          f"at code {result.code:03b} "
+          f"({result.attempts} attempt(s))")
+    print(f"decoded: ({result.decoded.lo:.4f}, "
+          f"{result.decoded.hi:.4f}] V"
+          + ("  [saturated]" if result.saturated else ""))
+    return 0 if not result.saturated else 2
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.core.scanchain import PSNScanChain
+    from repro.psn.grid import IRDropGrid
+
+    d = paper_design()
+    grid = IRDropGrid(rows=args.rows, cols=args.cols,
+                      r_segment=0.05, r_pad=0.01)
+    step_r = max(1, (args.rows - 1) // 2)
+    step_c = max(1, (args.cols - 1) // 2)
+    sites = [(r, c) for r in range(1, args.rows, step_r)
+             for c in range(1, args.cols, step_c)][:9]
+    chain = PSNScanChain(d, grid, sites, code=args.code)
+    hotspot = (args.rows // 2, args.cols // 2)
+    currents = grid.hotspot_currents(
+        total_current=args.current, hotspot=hotspot, hotspot_share=0.8,
+    )
+    measures = chain.measure_map(currents)
+    for m in measures:
+        mark = " <-- deepest" if m.site == chain.hotspot_site(measures) \
+            else ""
+        print(f"tile {m.site}: {m.word.to_string()} -> "
+              f"({m.decoded.lo:.4f}, {m.decoded.hi:.4f}] V "
+              f"[true {m.true_voltage:.4f}]{mark}")
+    err = chain.map_error(measures)
+    print(f"map RMSE {err['rmse'] * 1e3:.1f} mV, bracket rate "
+          f"{err['bracket_rate']:.0%}; injected hotspot {hotspot}")
+    return 0
+
+
+def _cmd_yield(args: argparse.Namespace) -> int:
+    from repro.analysis.yield_study import run_yield_study
+    from repro.devices.variation import VariationModel
+
+    d = paper_design()
+    model = VariationModel(
+        sigma_vth_inter=args.sigma_inter * 1e-3,
+        sigma_vth_intra=args.sigma_intra * 1e-3,
+    )
+    rep = run_yield_study(d, model, n_dies=args.dies)
+    print(f"{args.dies} dies, mismatch sigma inter/intra = "
+          f"{args.sigma_inter:.1f}/{args.sigma_intra:.1f} mV")
+    print(f"  worst per-bit threshold sigma : "
+          f"{max(rep.threshold_sigma) * 1e3:.1f} mV")
+    print(f"  monotone (bubble-free) dies   : "
+          f"{rep.monotone_fraction:.0%}")
+    print(f"  raw bubble rate               : {rep.bubble_rate:.1%}")
+    print(f"  bracket rate, nominal ladder  : {rep.bracket_rate:.0%}")
+    print(f"  bracket rate, per-die ladder  : "
+          f"{rep.bracket_rate_calibrated:.0%}")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.core.faults import coverage_study
+
+    d = paper_design()
+    cov = coverage_study(d, code=args.code)
+    for name, frac in cov.items():
+        print(f"  {name:<18} {frac:.0%}")
+    return 0 if cov["overall"] == 1.0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PSN-thermometer reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="calibrated design constants") \
+        .set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("table", help="delay-code table")
+    p.add_argument("--sim", action="store_true",
+                   help="also measure the structural PG netlist")
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("fig4", help="threshold vs. capacitance")
+    p.add_argument("--code", type=int, default=3)
+    p.add_argument("--cap-min", type=float, default=1.80,
+                   help="first capacitance, pF")
+    p.add_argument("--cap-step", type=float, default=0.05)
+    p.add_argument("--points", type=int, default=9)
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="multibit characteristic")
+    p.add_argument("--codes", type=int, nargs="+", default=[1, 2, 3])
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("fig9", help="full-system two-measure run")
+    p.add_argument("--v1", type=float, default=1.00)
+    p.add_argument("--v2", type=float, default=0.90)
+    p.add_argument("--code", type=int, default=3)
+    p.set_defaults(func=_cmd_fig9)
+
+    p = sub.add_parser("critical-path",
+                       help="STA (setup + hold) over the control netlist")
+    p.add_argument("--period", type=float, default=2.0,
+                   help="clock-period constraint, ns")
+    p.set_defaults(func=_cmd_critical_path)
+
+    p = sub.add_parser("scan", help="scan-chain IR-drop map demo")
+    p.add_argument("--rows", type=int, default=8)
+    p.add_argument("--cols", type=int, default=8)
+    p.add_argument("--current", type=float, default=5.0,
+                   help="total CUT current, amperes")
+    p.add_argument("--code", type=int, default=3)
+    p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser("yield", help="Monte-Carlo mismatch study")
+    p.add_argument("--dies", type=int, default=40)
+    p.add_argument("--sigma-inter", type=float, default=15.0,
+                   help="inter-die Vth sigma, mV")
+    p.add_argument("--sigma-intra", type=float, default=6.0,
+                   help="per-stage Vth mismatch sigma, mV")
+    p.set_defaults(func=_cmd_yield)
+
+    p = sub.add_parser("faults",
+                       help="stuck-at screening coverage study")
+    p.add_argument("--code", type=int, default=3)
+    p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser("measure",
+                       help="decode a static rail level (auto-ranged)")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--vdd", type=float, help="VDD-n level, volts")
+    group.add_argument("--gnd", type=float, help="GND-n rise, volts")
+    p.add_argument("--code", type=int, default=3,
+                   help="starting delay code")
+    p.set_defaults(func=_cmd_measure)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The paper's contribution: the fully digital PSN thermometer.
+
+Layout (mirroring the paper's block diagram, Fig. 6):
+
+* :mod:`repro.core.paperdata` — every number the paper publishes
+  (delay-code table, Fig. 4 anchor, Fig. 5 ranges, Fig. 9 codes);
+* :mod:`repro.core.calibration` — fits the technology model to those
+  anchors and emits the :class:`~repro.core.calibration.SensorDesign`
+  used by every component;
+* :mod:`repro.core.sensor` — the single-bit INV+FF+C sensor (Fig. 1
+  left) with analytic and event-simulated measurement paths;
+* :mod:`repro.core.array` — the multi-bit thermometer (Fig. 1 right);
+* :mod:`repro.core.pulsegen` — the PG with eight delay codes (Fig. 7);
+* :mod:`repro.core.encoder` — thermometer-to-binary ENC with bubble
+  correction;
+* :mod:`repro.core.counter` — measurement sequencing counter;
+* :mod:`repro.core.control` — the CNTR FSM (Fig. 8);
+* :mod:`repro.core.system` — the assembled sensor system (Fig. 6);
+* :mod:`repro.core.characterization` — threshold extraction (Figs. 4/5);
+* :mod:`repro.core.trimming` — process-corner delay-code retrimming;
+* :mod:`repro.core.scanchain` — multi-point PSN scan chain.
+"""
+
+from repro.core.calibration import SensorDesign, fit_paper_design, paper_design
+from repro.core.sensor import SenseRail, SensorBit, SensorBitHarness
+from repro.core.array import SensorArray, SensorArrayHarness
+from repro.core.pulsegen import PulseGenerator
+from repro.core.encoder import ThermometerEncoder
+from repro.core.counter import MeasurementCounter
+from repro.core.control import ControlFSM, ControlState
+from repro.core.system import SensorSystem, MeasurementResult
+from repro.core.characterization import (
+    characterize_bit_thresholds,
+    characterize_array,
+    threshold_vs_capacitance,
+)
+from repro.core.trimming import TrimmingPolicy, retrim_for_corner
+from repro.core.scanchain import PSNScanChain
+from repro.core.autorange import AutoRangingMeter
+from repro.core.monitor import NoiseMonitor
+from repro.core.scan_register import ScanRegisterHarness
+from repro.core.faults import FaultInjector, FaultType, coverage_study
+from repro.core.calibrated_decoder import MeasuredDecoder
+from repro.core.guardband import GuardbandController, GuardbandAction
+
+__all__ = [
+    "SensorDesign",
+    "fit_paper_design",
+    "paper_design",
+    "SenseRail",
+    "SensorBit",
+    "SensorBitHarness",
+    "SensorArray",
+    "SensorArrayHarness",
+    "PulseGenerator",
+    "ThermometerEncoder",
+    "MeasurementCounter",
+    "ControlFSM",
+    "ControlState",
+    "SensorSystem",
+    "MeasurementResult",
+    "characterize_bit_thresholds",
+    "characterize_array",
+    "threshold_vs_capacitance",
+    "TrimmingPolicy",
+    "retrim_for_corner",
+    "PSNScanChain",
+    "AutoRangingMeter",
+    "NoiseMonitor",
+    "ScanRegisterHarness",
+    "FaultInjector",
+    "FaultType",
+    "coverage_study",
+    "MeasuredDecoder",
+    "GuardbandController",
+    "GuardbandAction",
+]

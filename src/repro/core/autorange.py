@@ -1,0 +1,140 @@
+"""Auto-ranging measurement: exploit the programmable delay code.
+
+The paper: "It allows to change on-site the Power Supply and Ground
+ranges to be sensed" — the eight delay codes are overlapping measurement
+ranges, exactly like a multimeter's.  :class:`AutoRangingMeter` turns
+that into a policy: measure at the current code; if the word saturates
+(all-pass / all-fail), step the code toward the signal and re-measure,
+until the reading is interior or the code range is exhausted.
+
+Works against any measurement backend exposing the analytic
+:class:`~repro.core.array.SensorArray` interface; the event-driven
+harness can be wrapped via :meth:`measure_with`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.thermometer import ThermometerWord, VoltageRange
+from repro.core.array import SensorArray
+from repro.core.calibration import SensorDesign
+from repro.core.sensor import SenseRail
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+
+#: A measurement backend: (code) -> output word.
+MeasureFn = Callable[[int], ThermometerWord]
+
+
+@dataclass(frozen=True)
+class AutoRangedMeasure:
+    """One auto-ranged reading.
+
+    Attributes:
+        word: The final (interior or best-effort) word.
+        code: The delay code that produced it.
+        decoded: The decoded rail range at that code.
+        attempts: Number of measures spent, including re-ranges.
+        saturated: True when even the extreme code saturated (signal
+            outside the sensor's total dynamic).
+    """
+
+    word: ThermometerWord
+    code: int
+    decoded: VoltageRange
+    attempts: int
+    saturated: bool
+
+
+class AutoRangingMeter:
+    """Delay-code auto-ranging around a :class:`SensorArray` decode.
+
+    Args:
+        design: Calibrated design.
+        rail: Which rail is being measured (decides which saturation
+            direction means "signal too high").
+        tech: Corner technology.
+        initial_code: Code to try first (the paper's running example
+            011).
+        max_attempts: Re-range budget per reading.
+    """
+
+    def __init__(self, design: SensorDesign,
+                 rail: SenseRail = SenseRail.VDD,
+                 tech: Technology | None = None, *,
+                 initial_code: int = 3,
+                 max_attempts: int = 4) -> None:
+        if not 0 <= initial_code < 8:
+            raise ConfigurationError("initial_code outside 0..7")
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be positive")
+        self.design = design
+        self.rail = rail
+        self.array = SensorArray(design, rail, tech)
+        self.initial_code = initial_code
+        self.max_attempts = max_attempts
+
+    def _next_code(self, code: int, word: ThermometerWord) -> int | None:
+        """Step the code toward the saturated side, or None if stuck.
+
+        All-pass on the VDD rail means the supply is above the range:
+        a *smaller* skew (lower code) shifts the thresholds up.
+        All-fail means the supply is below: a larger skew reaches down.
+        The GND rail inverts the correspondence (its effective supply
+        falls as the bounce grows).
+        """
+        if word.ones == word.n_bits:
+            step = -1
+        elif word.ones == 0:
+            step = +1
+        else:
+            return None
+        nxt = code + step
+        if not 0 <= nxt < len(self.design.delay_codes):
+            return None
+        return nxt
+
+    def measure_with(self, measure: MeasureFn) -> AutoRangedMeasure:
+        """Auto-range using an arbitrary backend.
+
+        Args:
+            measure: Callable mapping a delay code to an output word
+                (e.g. a lambda around an event-driven harness).
+        """
+        code = self.initial_code
+        attempts = 0
+        word = None
+        while attempts < self.max_attempts:
+            word = measure(code)
+            attempts += 1
+            nxt = self._next_code(code, word)
+            if nxt is None:
+                break
+            code = nxt
+        assert word is not None
+        interior = 0 < word.ones < word.n_bits
+        return AutoRangedMeasure(
+            word=word,
+            code=code,
+            decoded=self.array.decode(word, code, strict=False),
+            attempts=attempts,
+            saturated=not interior,
+        )
+
+    def measure_level(self, *, vdd_n: float | None = None,
+                      gnd_n: float | None = None) -> AutoRangedMeasure:
+        """Auto-range the analytic array at a static rail level."""
+        def backend(code: int) -> ThermometerWord:
+            return self.array.measure(code, vdd_n=vdd_n,
+                                      gnd_n=gnd_n).word
+
+        return self.measure_with(backend)
+
+    def total_dynamic(self) -> tuple[float, float]:
+        """The sensor's full measurable span across all codes, in
+        effective-supply volts: (code-7 low end, code-0 high end)."""
+        lo = self.design.bit_threshold(1, 7)
+        hi = self.design.bit_threshold(self.design.n_bits, 0)
+        return lo, hi

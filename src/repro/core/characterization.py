@@ -1,0 +1,226 @@
+"""Threshold characterization — the machinery behind Figs. 4 and 5.
+
+Two extraction methods are offered everywhere:
+
+* ``"analytic"`` — invert the calibrated delay law (fast; the default
+  for sweeps);
+* ``"sim"`` — bisect the pass/fail boundary by repeatedly running the
+  event-driven harness at constant rail levels (slow; the cross-check
+  that the full simulation stack realizes the analytic design).
+
+The test suite asserts the two agree to sub-millivolt precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.analysis.thermometer import VoltageRange, decode_table
+from repro.core.calibration import SensorDesign
+from repro.core.sensor import SenseRail, SensorBitHarness
+from repro.devices.technology import Technology
+from repro.errors import CharacterizationError, ConfigurationError
+
+Method = Literal["analytic", "sim"]
+
+
+@dataclass(frozen=True)
+class ArrayCharacteristic:
+    """The full characteristic of one (array, delay code) pair.
+
+    Attributes:
+        code: Delay code 0..7.
+        thresholds: Per-bit effective-supply thresholds, ascending, V.
+        v_min: "All errors" endpoint (supply below which every stage
+            fails) — the low end of the paper's Fig. 5 dynamic.
+        v_max: "No errors" endpoint.
+        table: (word, decoded range) rows from all-fail to all-pass.
+    """
+
+    code: int
+    thresholds: tuple[float, ...]
+    v_min: float
+    v_max: float
+    table: tuple[tuple[str, VoltageRange], ...]
+
+    def word_at(self, v: float) -> str:
+        """The word the array outputs at an effective supply level."""
+        ones = sum(1 for t in self.thresholds if v > t)
+        n = len(self.thresholds)
+        return "".join("1" if i >= n - ones else "0" for i in range(n))
+
+
+def _sim_threshold(design: SensorDesign, bit: int, code: int, *,
+                   rail: SenseRail, tech: Technology | None,
+                   v_lo: float, v_hi: float, tol: float) -> float:
+    """Bisect the event-driven pass/fail boundary of one bit."""
+    harness = SensorBitHarness(design, bit, rail, tech)
+
+    def passes(level: float) -> bool:
+        if rail is SenseRail.VDD:
+            return harness.measure_once(code, vdd_n=level).passed
+        return harness.measure_once(code, gnd_n=level).passed
+
+    # For the VDD rail, higher supply passes; for GND, lower bounce does.
+    hi_passes = passes(v_hi)
+    lo_passes = passes(v_lo)
+    increasing = rail is SenseRail.VDD
+    if increasing and (lo_passes or not hi_passes):
+        raise CharacterizationError(
+            f"bit {bit}, code {code}: [{v_lo}, {v_hi}] does not bracket "
+            f"the threshold (pass at lo={lo_passes}, hi={hi_passes})"
+        )
+    if not increasing and (hi_passes or not lo_passes):
+        raise CharacterizationError(
+            f"bit {bit}, code {code}: [{v_lo}, {v_hi}] does not bracket "
+            f"the GND threshold"
+        )
+    lo, hi = v_lo, v_hi
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if passes(mid) == increasing:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+def characterize_bit_thresholds(
+        design: SensorDesign, code: int, *,
+        rail: SenseRail = SenseRail.VDD,
+        tech: Technology | None = None,
+        method: Method = "analytic",
+        tol: float = 0.5e-3,
+        bracket_pad: float = 0.15) -> tuple[float, ...]:
+    """Per-bit thresholds of an array under one delay code.
+
+    Returns effective-supply thresholds for the VDD rail and rail
+    (bounce) thresholds for the GND rail, in bit order 1..N.
+
+    Args:
+        design: Calibrated design.
+        code: Delay code 0..7.
+        rail: Which array to characterize.
+        tech: Corner technology.
+        method: ``"analytic"`` or ``"sim"`` (bisected event simulation).
+        tol: Bisection tolerance, volts (sim method).
+        bracket_pad: Bisection bracket margin around the analytic
+            estimate, volts (sim method).
+    """
+    analytic = tuple(
+        design.bit_threshold(b, code, tech)
+        for b in range(1, design.n_bits + 1)
+    )
+    if rail is SenseRail.GND:
+        nominal = design.tech.vdd_nominal
+        analytic = tuple(nominal - v for v in analytic)
+    if method == "analytic":
+        return analytic
+    if method != "sim":
+        raise ConfigurationError(f"unknown method {method!r}")
+    out = []
+    for b, est in zip(range(1, design.n_bits + 1), analytic):
+        v_lo = est - bracket_pad
+        v_hi = est + bracket_pad
+        if rail is SenseRail.GND:
+            v_lo = max(v_lo, 0.0)
+        out.append(_sim_threshold(
+            design, b, code, rail=rail, tech=tech,
+            v_lo=v_lo, v_hi=v_hi, tol=tol,
+        ))
+    return tuple(out)
+
+
+def characterize_array(design: SensorDesign,
+                       codes: Sequence[int] = (1, 2, 3), *,
+                       tech: Technology | None = None,
+                       method: Method = "analytic",
+                       ) -> dict[int, ArrayCharacteristic]:
+    """Fig. 5: the multibit characteristic for several delay codes."""
+    out: dict[int, ArrayCharacteristic] = {}
+    for code in codes:
+        thresholds = characterize_bit_thresholds(
+            design, code, tech=tech, method=method,
+        )
+        table = tuple(decode_table(thresholds))
+        out[code] = ArrayCharacteristic(
+            code=code,
+            thresholds=thresholds,
+            v_min=thresholds[0],
+            v_max=thresholds[-1],
+            table=table,
+        )
+    return out
+
+
+def threshold_vs_capacitance(
+        design: SensorDesign, caps: Sequence[float], *,
+        code: int = 3,
+        tech: Technology | None = None,
+        method: Method = "analytic",
+        tol: float = 0.5e-3) -> list[tuple[float, float]]:
+    """Fig. 4: failure threshold as a function of the DS trim cap.
+
+    Args:
+        design: Calibrated design.
+        caps: Trim capacitances to characterize, farads.
+        code: Delay code (the paper's Fig. 4 is consistent with 011).
+        tech: Corner technology.
+        method: ``"analytic"`` or ``"sim"``.
+        tol: Sim bisection tolerance, volts.
+
+    Returns:
+        ``[(cap, threshold_v), ...]`` in the given cap order.
+    """
+    if not caps:
+        raise ConfigurationError("caps must be non-empty")
+    results: list[tuple[float, float]] = []
+    inv = design.sensor_inverter(tech)
+    ff = design.sense_flipflop(tech)
+    window = design.effective_window(code, tech)
+    d_pin = ff.pin("D").cap
+    for cap in caps:
+        if cap <= 0:
+            raise ConfigurationError("caps must be positive")
+        analytic = inv.model.supply_for_delay(window, cap + d_pin,
+                                              v_hi=3.0)
+        if method == "analytic":
+            results.append((cap, float(analytic)))
+            continue
+        if method != "sim":
+            raise ConfigurationError(f"unknown method {method!r}")
+        probe = design.with_load_caps((cap,))
+        v = _sim_threshold(
+            probe, 1, code, rail=SenseRail.VDD, tech=tech,
+            v_lo=analytic - 0.15, v_hi=analytic + 0.15, tol=tol,
+        )
+        results.append((cap, v))
+    return results
+
+
+def linearity_report(points: Sequence[tuple[float, float]]
+                     ) -> dict[str, float]:
+    """Least-squares linearity of a (x, y) characteristic.
+
+    Returns slope, intercept, the coefficient of determination and the
+    maximum absolute residual — the quantitative form of the paper's
+    "linear behavior within the VDD-n range of interest" claim.
+    """
+    if len(points) < 3:
+        raise ConfigurationError("need at least 3 points")
+    x = np.array([p[0] for p in points])
+    y = np.array([p[1] for p in points])
+    slope, intercept = np.polyfit(x, y, 1)
+    fit = intercept + slope * x
+    ss_res = float(np.sum((y - fit) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return {
+        "slope": float(slope),
+        "intercept": float(intercept),
+        "r_squared": r2,
+        "max_residual": float(np.max(np.abs(y - fit))),
+    }

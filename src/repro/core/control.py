@@ -1,0 +1,444 @@
+"""The CNTR control block (paper Fig. 8).
+
+A finite-state machine sequences the measurement protocol: after RESET
+it idles until enabled, then runs PREPARE (``S_PRP0`` = negative CP
+edge, ``S_PRP`` = positive CP edge with P at the prepare level) and
+SENSE (``S_SNS0`` = negative CP edge again, ``S_SNS`` = the "very sense
+phase" with P released) sequences, iterating while more measures are
+pending.  The paper folds the SENSE-side negative edge into its READY
+state; here it gets an explicit ``S_SNS0`` for clarity — the generated
+edge sequence is identical.
+
+Views:
+
+* :class:`ControlFSM` — behavioural, cycle-accurate, protocol-checked;
+  drives the full-system harness;
+* :func:`build_control_netlist` — gate-level: the FSM two-level logic
+  plus the measurement counter and the ENC ones-counter, assembled into
+  the "whole control system" whose 90 nm critical path the paper
+  reports as 1.22 ns (reproduced by the STA bench).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cells.combinational import And2, Inverter, Or2
+from repro.cells.sequential import DFlipFlop
+from repro.core.calibration import SensorDesign
+from repro.core.counter import build_counter_netlist
+from repro.core.encoder import build_encoder_netlist
+from repro.core.sensor import SenseRail
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.netlist import Netlist
+from repro.units import FF as FARAD_F
+
+
+class ControlState(enum.Enum):
+    """FSM states (Fig. 8).  Binary encodings drive the netlist view."""
+
+    IDLE = 0b000
+    READY = 0b001
+    S_PRP0 = 0b010
+    S_PRP = 0b011
+    S_SNS0 = 0b100
+    S_SNS = 0b101
+
+    @property
+    def encoding(self) -> tuple[int, int, int]:
+        """(s0, s1, s2) LSB-first state bits."""
+        return (self.value & 1, (self.value >> 1) & 1,
+                (self.value >> 2) & 1)
+
+
+@dataclass(frozen=True)
+class ControlOutputs:
+    """Per-cycle FSM outputs.
+
+    Attributes:
+        state: State after the clock tick.
+        p: Raw P level toward the PG (pre-skew).
+        cp: Raw CP level toward the PG.
+        prepare_sample: True on the cycle whose CP rising edge samples
+            the PREPARE value (the paper's '0000000' check word).
+        sense_sample: True on the cycle whose CP rising edge takes the
+            actual measure.
+        measuring: True while a PREPARE/SENSE sequence is in flight.
+    """
+
+    state: ControlState
+    p: int
+    cp: int
+    prepare_sample: bool
+    sense_sample: bool
+    measuring: bool
+
+
+class ControlFSM:
+    """Behavioural CNTR.
+
+    Args:
+        rail: Which array this controller drives — fixes the P
+            polarity of the PREPARE/SENSE phases (opposite for GND-n
+            sensing, §II).
+    """
+
+    def __init__(self, rail: SenseRail = SenseRail.VDD) -> None:
+        self.rail = rail
+        self.state = ControlState.IDLE
+        self._pending = 0
+
+    def reset(self) -> None:
+        """Asynchronous reset back to IDLE; drops pending measures."""
+        self.state = ControlState.IDLE
+        self._pending = 0
+
+    @property
+    def pending_measures(self) -> int:
+        return self._pending
+
+    def request_measures(self, n: int) -> None:
+        """Queue ``n`` PREPARE/SENSE sequences.
+
+        Raises:
+            ProtocolError: when called mid-sequence (the paper's
+                protocol only accepts commands in IDLE/READY).
+            ConfigurationError: for a non-positive count.
+        """
+        if n < 1:
+            raise ConfigurationError("n must be positive")
+        if self.state not in (ControlState.IDLE, ControlState.READY):
+            raise ProtocolError(
+                f"measures can only be requested in IDLE/READY, "
+                f"not {self.state.name}"
+            )
+        self._pending += n
+
+    def tick(self, *, enable: bool = True) -> ControlOutputs:
+        """Advance one clock cycle; returns the new outputs.
+
+        The CP edge pattern follows Fig. 8: low in ``S_PRP0``/``S_SNS0``
+        (negative edges), high in ``S_PRP``/``S_SNS`` (the sampling
+        positive edges).
+        """
+        s = self.state
+        if s is ControlState.IDLE:
+            nxt = ControlState.READY if enable else ControlState.IDLE
+        elif s is ControlState.READY:
+            nxt = (ControlState.S_PRP0 if self._pending > 0
+                   else ControlState.READY)
+        elif s is ControlState.S_PRP0:
+            nxt = ControlState.S_PRP
+        elif s is ControlState.S_PRP:
+            nxt = ControlState.S_SNS0
+        elif s is ControlState.S_SNS0:
+            nxt = ControlState.S_SNS
+        elif s is ControlState.S_SNS:
+            self._pending -= 1
+            nxt = (ControlState.S_PRP0 if self._pending > 0
+                   else ControlState.READY)
+        else:  # pragma: no cover - enum is closed
+            raise ProtocolError(f"illegal state {s}")
+        self.state = nxt
+
+        sense_phase = nxt is ControlState.S_SNS
+        p = self.rail.sense_p if sense_phase else self.rail.prepare_p
+        cp = 1 if nxt in (ControlState.S_PRP, ControlState.S_SNS) else 0
+        return ControlOutputs(
+            state=nxt,
+            p=p,
+            cp=cp,
+            prepare_sample=nxt is ControlState.S_PRP,
+            sense_sample=sense_phase,
+            measuring=nxt not in (ControlState.IDLE, ControlState.READY),
+        )
+
+    def run_schedule(self, n_measures: int, *, clock_period: float,
+                     start_time: float, enable: bool = True
+                     ) -> "MeasurementSchedule":
+        """Walk the FSM and emit the timed stimulus for a whole burst.
+
+        Returns the P/CP event lists (pre-PG, i.e. the raw CNTR
+        outputs) plus the SENSE launch instants, for the system harness
+        to apply.
+
+        Raises:
+            ConfigurationError: non-positive count/period/start.
+        """
+        if n_measures < 1:
+            raise ConfigurationError("n_measures must be positive")
+        if clock_period <= 0 or start_time <= 0:
+            raise ConfigurationError(
+                "clock_period and start_time must be positive"
+            )
+        self.reset()
+        self.tick(enable=enable)  # IDLE -> READY
+        self.request_measures(n_measures)
+        p_events: list[tuple[float, int]] = []
+        cp_events: list[tuple[float, int]] = []
+        sense_times: list[float] = []
+        prepare_times: list[float] = []
+        t = start_time
+        prev_p = self.rail.prepare_p
+        prev_cp = 0
+        guard = 0
+        while True:
+            out = self.tick(enable=enable)
+            if out.p != prev_p:
+                p_events.append((t, out.p))
+                prev_p = out.p
+            if out.cp != prev_cp:
+                cp_events.append((t, out.cp))
+                prev_cp = out.cp
+            if out.prepare_sample:
+                prepare_times.append(t)
+            if out.sense_sample:
+                sense_times.append(t)
+            t += clock_period
+            guard += 1
+            if not out.measuring and len(sense_times) >= n_measures:
+                break
+            if guard > 16 * n_measures + 64:
+                raise ProtocolError(
+                    "FSM schedule did not terminate; protocol bug"
+                )
+        return MeasurementSchedule(
+            p_events=tuple(p_events),
+            cp_events=tuple(cp_events),
+            prepare_times=tuple(prepare_times),
+            sense_times=tuple(sense_times),
+            end_time=t,
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementSchedule:
+    """Timed raw stimulus for a measurement burst (pre-PG signals)."""
+
+    p_events: tuple[tuple[float, int], ...]
+    cp_events: tuple[tuple[float, int], ...]
+    prepare_times: tuple[float, ...]
+    sense_times: tuple[float, ...]
+    end_time: float
+
+
+# --------------------------------------------------------------------------
+# Structural view
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ControlPorts:
+    """Net names of the built control-system netlist."""
+
+    clock: str
+    enable: str
+    start: str
+    state_bits: tuple[str, str, str]
+    counter_bits: tuple[str, ...]
+    encoder_inputs: tuple[str, ...]
+    oute_bits: tuple[str, ...]
+
+
+def _sop(nl: Netlist, tech: Technology, prefix: str,
+         literal_nets: dict[str, tuple[str, str]],
+         terms: list[list[tuple[str, bool]]],
+         vdd: str, gnd: str, wire_cap: float) -> str:
+    """Build a sum-of-products network; returns the output net.
+
+    Args:
+        literal_nets: variable -> (true_net, complement_net).
+        terms: each term is a list of (variable, positive?) literals.
+    """
+    def and_tree(nets: list[str], tag: str) -> str:
+        idx = 0
+        while len(nets) > 1:
+            nxt = []
+            for j in range(0, len(nets) - 1, 2):
+                out = f"{prefix}_{tag}_a{idx}"
+                idx += 1
+                nl.add_net(out, extra_cap=wire_cap)
+                g = And2(tech, name=out + "_g")
+                nl.add_instance(g.name, g,
+                                {"A": nets[j], "B": nets[j + 1],
+                                 "Y": out}, vdd=vdd, gnd=gnd)
+                nxt.append(out)
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    def or_tree(nets: list[str], tag: str) -> str:
+        idx = 0
+        while len(nets) > 1:
+            nxt = []
+            for j in range(0, len(nets) - 1, 2):
+                out = f"{prefix}_{tag}_o{idx}"
+                idx += 1
+                nl.add_net(out, extra_cap=wire_cap)
+                g = Or2(tech, name=out + "_g")
+                nl.add_instance(g.name, g,
+                                {"A": nets[j], "B": nets[j + 1],
+                                 "Y": out}, vdd=vdd, gnd=gnd)
+                nxt.append(out)
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    product_nets = []
+    for ti, term in enumerate(terms):
+        literals = [
+            literal_nets[var][0] if positive else literal_nets[var][1]
+            for var, positive in term
+        ]
+        product_nets.append(and_tree(literals, f"t{ti}"))
+    return or_tree(product_nets, "sum")
+
+
+def build_control_netlist(design: SensorDesign, *,
+                          tech: Technology | None = None,
+                          counter_width: int = 8,
+                          wire_cap: float = 2.7294 * FARAD_F,
+                          vdd: str = "VDD", gnd: str = "GND"
+                          ) -> tuple[Netlist, ControlPorts]:
+    """The "whole control system" as one gate-level netlist.
+
+    Contents: the 3-bit FSM state register with its two-level
+    next-state logic, the measurement counter (whose terminal count
+    gates the FSM's "more measures pending" decision — the long
+    counter→FSM path), and the ENC ones-counter feeding a registered
+    OUTE word.  ``wire_cap`` models post-layout wiring load; the
+    default is tuned so the STA critical path lands at the paper's
+    reported 1.22 ns.
+
+    Returns:
+        (netlist, ports).
+    """
+    t = tech if tech is not None else design.tech
+    nl = Netlist("control_system")
+    nl.add_supply(vdd, design.tech.vdd_nominal)
+    nl.add_supply(gnd, 0.0, is_ground=True)
+
+    clock = "ctl_clk"
+    enable = "ctl_en"
+    start = "ctl_start"
+    for net in (clock, enable, start):
+        nl.add_net(net, extra_cap=wire_cap)
+        nl.mark_external_input(net)
+
+    # Counter: shares the control clock; counts while the FSM is in a
+    # measuring state ('ctl_measuring', driven by the FSM decode
+    # below); terminal count means "burst finished" -> more = NOT tc.
+    measuring = "ctl_measuring"
+    nl.add_net(measuring, extra_cap=wire_cap)
+    _, cnt_ports = build_counter_netlist(
+        design, counter_width, tech=t, netlist=nl, prefix="ctl_cnt",
+        vdd=vdd, gnd=gnd, wire_cap=wire_cap,
+        clock_net=clock, enable_net=measuring,
+    )
+
+    # Encoder (sensor FF outputs arrive as external inputs here).
+    _, enc_ports = build_encoder_netlist(
+        design, tech=t, netlist=nl, prefix="ctl_enc",
+        vdd=vdd, gnd=gnd, wire_cap=wire_cap,
+    )
+
+    # FSM state bits + complements.
+    state_q = tuple(f"ctl_s{i}" for i in range(3))
+    state_qn = tuple(f"ctl_s{i}_n" for i in range(3))
+    state_d = tuple(f"ctl_s{i}_d" for i in range(3))
+    for q, qn, dnet in zip(state_q, state_qn, state_d):
+        nl.add_net(q, extra_cap=wire_cap)
+        nl.add_net(qn, extra_cap=wire_cap)
+        nl.add_net(dnet, extra_cap=wire_cap)
+        inv = Inverter(t, name=f"{q}_inv")
+        nl.add_instance(inv.name, inv, {"A": q, "Y": qn},
+                        vdd=vdd, gnd=gnd)
+    # Input complements.
+    more = "ctl_more"
+    nl.add_net(more, extra_cap=wire_cap)
+    more_inv = Inverter(t, name="ctl_more_inv")
+    nl.add_instance(more_inv.name, more_inv,
+                    {"A": cnt_ports.terminal, "Y": more},
+                    vdd=vdd, gnd=gnd)
+    more_n = cnt_ports.terminal  # complement of 'more' IS the tc net
+    start_n = "ctl_start_n"
+    nl.add_net(start_n, extra_cap=wire_cap)
+    sn_inv = Inverter(t, name="ctl_start_inv")
+    nl.add_instance(sn_inv.name, sn_inv, {"A": start, "Y": start_n},
+                    vdd=vdd, gnd=gnd)
+
+    lits: dict[str, tuple[str, str]] = {
+        "s0": (state_q[0], state_qn[0]),
+        "s1": (state_q[1], state_qn[1]),
+        "s2": (state_q[2], state_qn[2]),
+        "en": (enable, enable),      # complement unused below
+        "start": (start, start_n),
+        "more": (more, more_n),
+    }
+
+    def m(code: int) -> list[tuple[str, bool]]:
+        """State minterm literals for a 3-bit encoding."""
+        return [
+            ("s0", bool(code & 1)),
+            ("s1", bool(code & 2)),
+            ("s2", bool(code & 4)),
+        ]
+
+    # Next-state SOP (see ControlFSM.tick for the transition table).
+    n0_terms = [
+        m(0b000) + [("en", True)],
+        m(0b001) + [("start", False)],
+        m(0b010),
+        m(0b100),
+        m(0b101) + [("more", False)],
+    ]
+    n1_terms = [
+        m(0b001) + [("start", True)],
+        m(0b010),
+        m(0b101) + [("more", True)],
+    ]
+    n2_terms = [m(0b011), m(0b100)]
+    for dnet, terms, tag in zip(state_d, (n0_terms, n1_terms, n2_terms),
+                                ("n0", "n1", "n2")):
+        out = _sop(nl, t, f"ctl_{tag}", lits, terms, vdd, gnd, wire_cap)
+        buf = Inverter(t, name=f"ctl_{tag}_pbuf")
+        mid = f"ctl_{tag}_mid"
+        nl.add_net(mid, extra_cap=wire_cap)
+        nl.add_instance(buf.name, buf, {"A": out, "Y": mid},
+                        vdd=vdd, gnd=gnd)
+        buf2 = Inverter(t, name=f"ctl_{tag}_pbuf2")
+        nl.add_instance(buf2.name, buf2, {"A": mid, "Y": dnet},
+                        vdd=vdd, gnd=gnd)
+    for i, (q, dnet) in enumerate(zip(state_q, state_d)):
+        ff = DFlipFlop(t, name=f"ctl_sff{i}")
+        nl.add_instance(ff.name, ff, {"D": dnet, "CP": clock, "Q": q},
+                        vdd=vdd, gnd=gnd)
+
+    # Counter runs while measuring: measuring = s1 OR s2 (any
+    # S_PRP*/S_SNS* state), closing the loop FSM -> counter -> tc ->
+    # more -> FSM (combinational between registers; no cycle).
+    meas_or = Or2(t, name="ctl_meas_or")
+    nl.add_instance(meas_or.name, meas_or,
+                    {"A": state_q[1], "B": state_q[2], "Y": measuring},
+                    vdd=vdd, gnd=gnd)
+
+    # Registered OUTE word.
+    oute = tuple(f"ctl_oute{i}" for i in range(3))
+    for i, (src, q) in enumerate(zip(enc_ports.outputs, oute)):
+        nl.add_net(q, extra_cap=wire_cap)
+        ff = DFlipFlop(t, name=f"ctl_outeff{i}")
+        nl.add_instance(ff.name, ff, {"D": src, "CP": clock, "Q": q},
+                        vdd=vdd, gnd=gnd)
+
+    return nl, ControlPorts(
+        clock=clock,
+        enable=enable,
+        start=start,
+        state_bits=state_q,
+        counter_bits=cnt_ports.outputs,
+        encoder_inputs=enc_ports.inputs,
+        oute_bits=oute,
+    )

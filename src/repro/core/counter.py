@@ -1,0 +1,217 @@
+"""The measurement counter.
+
+The control system uses a counter to sequence measurement iterations
+("measures should be iterated so that noise values can be captured in
+different moments of the CUT transient behavior") and to time the
+PREPARE/SENSE phases.  Behavioural
+(:class:`MeasurementCounter`) and structural
+(:func:`build_counter_netlist` — a synchronous binary up-counter) views
+are provided; the structural carry chain is one leg of the control
+system's critical path reproduced by the STA bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.combinational import And2, Xor2
+from repro.cells.sequential import DFlipFlop
+from repro.core.calibration import SensorDesign
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+from repro.units import NS
+
+
+class MeasurementCounter:
+    """Behavioural N-bit wrap-around up-counter.
+
+    Args:
+        width: Counter width in bits.
+    """
+
+    def __init__(self, width: int = 8) -> None:
+        if width < 1:
+            raise ConfigurationError("width must be positive")
+        self.width = width
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.width
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def load(self, value: int) -> None:
+        """Load a value (wraps into range).
+
+        Raises:
+            ConfigurationError: for negative values.
+        """
+        if value < 0:
+            raise ConfigurationError("value must be non-negative")
+        self._value = value % self.modulus
+
+    def tick(self, *, enable: bool = True) -> int:
+        """Advance one clock; returns the new value."""
+        if enable:
+            self._value = (self._value + 1) % self.modulus
+        return self._value
+
+    @property
+    def terminal(self) -> bool:
+        """True at the all-ones terminal count."""
+        return self._value == self.modulus - 1
+
+    def bits(self) -> tuple[int, ...]:
+        """LSB-first bit rendering of the current value."""
+        return tuple((self._value >> i) & 1 for i in range(self.width))
+
+
+@dataclass(frozen=True)
+class CounterPorts:
+    """Net names of a built counter netlist fragment."""
+
+    clock: str
+    enable: str
+    outputs: tuple[str, ...]
+    terminal: str
+
+
+def build_counter_netlist(design: SensorDesign, width: int = 8, *,
+                          tech: Technology | None = None,
+                          netlist: Netlist | None = None,
+                          prefix: str = "cnt",
+                          vdd: str = "VDD", gnd: str = "GND",
+                          wire_cap: float = 0.0,
+                          clock_net: str | None = None,
+                          enable_net: str | None = None
+                          ) -> tuple[Netlist, CounterPorts]:
+    """Structural synchronous up-counter.
+
+    Per bit: ``next_i = q_i XOR carry_i`` with
+    ``carry_0 = enable`` and ``carry_{i+1} = carry_i AND q_i`` — the
+    AND-chain carry is the long combinational path that (with the FSM
+    decode downstream) forms the control system's critical path.
+
+    Args:
+        design: Calibrated design (technology source).
+        width: Counter width.
+        tech: Corner technology override.
+        netlist: Existing netlist to extend.
+        prefix: Net/instance prefix.
+        vdd / gnd: Rail names.
+        wire_cap: Explicit per-net wiring capacitance, farads.
+        clock_net: Existing net to clock from (shares the host's clock
+            domain); a fresh external input is created otherwise.
+        enable_net: Existing net to gate counting from; a fresh
+            external input otherwise.
+    """
+    if width < 2:
+        raise ConfigurationError("structural counter needs width >= 2")
+    t = tech if tech is not None else design.tech
+    nl = netlist
+    if nl is None:
+        nl = Netlist(f"{prefix}_netlist")
+        nl.add_supply(vdd, design.tech.vdd_nominal)
+        nl.add_supply(gnd, 0.0, is_ground=True)
+
+    if clock_net is None:
+        clock = f"{prefix}_clk"
+        nl.add_net(clock, extra_cap=wire_cap)
+        nl.mark_external_input(clock)
+    else:
+        clock = clock_net
+    if enable_net is None:
+        enable = f"{prefix}_en"
+        nl.add_net(enable, extra_cap=wire_cap)
+        nl.mark_external_input(enable)
+    else:
+        enable = enable_net
+
+    q_nets = []
+    d_nets = []
+    for i in range(width):
+        q = f"{prefix}_q{i}"
+        d = f"{prefix}_d{i}"
+        nl.add_net(q, extra_cap=wire_cap)
+        nl.add_net(d, extra_cap=wire_cap)
+        q_nets.append(q)
+        d_nets.append(d)
+
+    carry = enable
+    for i in range(width):
+        nl.add_instance(
+            f"{prefix}_x{i}", Xor2(t, name=f"{prefix}_x{i}"),
+            {"A": q_nets[i], "B": carry, "Y": d_nets[i]},
+            vdd=vdd, gnd=gnd,
+        )
+        if i < width - 1:
+            nxt = f"{prefix}_c{i + 1}"
+            nl.add_net(nxt, extra_cap=wire_cap)
+            nl.add_instance(
+                f"{prefix}_a{i}", And2(t, name=f"{prefix}_a{i}"),
+                {"A": carry, "B": q_nets[i], "Y": nxt},
+                vdd=vdd, gnd=gnd,
+            )
+            carry_next = nxt
+        else:
+            # Terminal-count net: carry AND the top bit.
+            terminal = f"{prefix}_tc"
+            nl.add_net(terminal, extra_cap=wire_cap)
+            nl.add_instance(
+                f"{prefix}_a{i}", And2(t, name=f"{prefix}_a{i}"),
+                {"A": carry, "B": q_nets[i], "Y": terminal},
+                vdd=vdd, gnd=gnd,
+            )
+            carry_next = terminal
+        carry = carry_next
+    for i in range(width):
+        ff = DFlipFlop(t, name=f"{prefix}_ff{i}")
+        nl.add_instance(
+            f"{prefix}_ff{i}", ff,
+            {"D": d_nets[i], "CP": clock, "Q": q_nets[i]},
+            vdd=vdd, gnd=gnd,
+        )
+    return nl, CounterPorts(
+        clock=clock, enable=enable, outputs=tuple(q_nets),
+        terminal=f"{prefix}_tc",
+    )
+
+
+def run_counter_netlist(design: SensorDesign, n_ticks: int, *,
+                        width: int = 4,
+                        clock_period: float = 2.0 * NS) -> list[int]:
+    """Clock the structural counter and read the value after each tick.
+
+    Used by the equivalence tests against
+    :class:`MeasurementCounter`.
+    """
+    if n_ticks < 1:
+        raise ConfigurationError("n_ticks must be positive")
+    nl, ports = build_counter_netlist(design, width)
+    engine = SimulationEngine(nl)
+    engine.set_initial(ports.enable, 1)
+    engine.set_initial(ports.clock, 0)
+    for q in ports.outputs:
+        engine.set_initial(q, 0)
+    engine.settle()
+    values: list[int] = []
+    for k in range(n_ticks):
+        t_rise = (k + 1) * clock_period
+        engine.schedule_stimulus(ports.clock, 1, t_rise)
+        engine.schedule_stimulus(ports.clock, 0,
+                                 t_rise + clock_period / 2)
+        engine.run(t_rise + clock_period * 0.9)
+        value = 0
+        for i, q in enumerate(ports.outputs):
+            bit = engine.netlist.nets[q].value
+            value |= (bit or 0) << i
+        values.append(value)
+    return values

@@ -1,0 +1,189 @@
+"""The ENC block: thermometer-to-binary encoder.
+
+The paper's ENC compresses each FF array's thermometer word into the
+noise word ``OUTE`` handed to the control block.  Implemented as a
+ones-counter — the standard flash-ADC encoder, which doubles as bubble
+suppression since it depends only on the *number* of passing stages.
+
+Behavioural (:class:`ThermometerEncoder`) and structural
+(:func:`build_encoder_netlist` — a full-adder tree) views are provided;
+the structural one feeds the STA critical-path reproduction and is
+functionally verified against the behavioural one in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.thermometer import ThermometerWord
+from repro.cells.combinational import And2, Or2, Xor2
+from repro.core.calibration import SensorDesign
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class EncodedMeasure:
+    """ENC output for one measurement.
+
+    Attributes:
+        oute: The binary noise word (number of passing stages).
+        valid: True when the raw word was already bubble-free.
+        raw_word: The input word.
+    """
+
+    oute: int
+    valid: bool
+    raw_word: ThermometerWord
+
+    def oute_bits(self, width: int) -> tuple[int, ...]:
+        """LSB-first binary rendering of ``oute``."""
+        return tuple((self.oute >> i) & 1 for i in range(width))
+
+
+class ThermometerEncoder:
+    """Behavioural ENC for an N-bit array.
+
+    Args:
+        n_bits: Thermometer width (7 in the paper's example).
+    """
+
+    def __init__(self, n_bits: int) -> None:
+        if n_bits < 1:
+            raise ConfigurationError("n_bits must be positive")
+        self.n_bits = n_bits
+
+    @property
+    def output_width(self) -> int:
+        """Binary output width: ``ceil(log2(n_bits + 1))``."""
+        return max(1, math.ceil(math.log2(self.n_bits + 1)))
+
+    def encode(self, word: ThermometerWord) -> EncodedMeasure:
+        """Count passing stages; flag bubbled inputs.
+
+        Raises:
+            ConfigurationError: on width mismatch.
+        """
+        if word.n_bits != self.n_bits:
+            raise ConfigurationError(
+                f"word has {word.n_bits} bits, encoder expects "
+                f"{self.n_bits}"
+            )
+        return EncodedMeasure(
+            oute=word.ones,
+            valid=word.is_valid_thermometer,
+            raw_word=word,
+        )
+
+
+@dataclass(frozen=True)
+class EncoderPorts:
+    """Net names of a built encoder netlist fragment."""
+
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+
+
+def _full_adder(nl: Netlist, tech: Technology, prefix: str,
+                a: str, b: str, c: str, vdd: str, gnd: str,
+                wire_cap: float) -> tuple[str, str]:
+    """Instantiate a full adder; returns (sum, carry) net names."""
+    axb = f"{prefix}_axb"
+    s = f"{prefix}_s"
+    ab = f"{prefix}_ab"
+    cab = f"{prefix}_cab"
+    cy = f"{prefix}_cy"
+    for net in (axb, s, ab, cab, cy):
+        nl.add_net(net, extra_cap=wire_cap)
+    nl.add_instance(f"{prefix}_x1", Xor2(tech, name=f"{prefix}_x1"),
+                    {"A": a, "B": b, "Y": axb}, vdd=vdd, gnd=gnd)
+    nl.add_instance(f"{prefix}_x2", Xor2(tech, name=f"{prefix}_x2"),
+                    {"A": axb, "B": c, "Y": s}, vdd=vdd, gnd=gnd)
+    nl.add_instance(f"{prefix}_a1", And2(tech, name=f"{prefix}_a1"),
+                    {"A": a, "B": b, "Y": ab}, vdd=vdd, gnd=gnd)
+    nl.add_instance(f"{prefix}_a2", And2(tech, name=f"{prefix}_a2"),
+                    {"A": axb, "B": c, "Y": cab}, vdd=vdd, gnd=gnd)
+    nl.add_instance(f"{prefix}_o1", Or2(tech, name=f"{prefix}_o1"),
+                    {"A": ab, "B": cab, "Y": cy}, vdd=vdd, gnd=gnd)
+    return s, cy
+
+
+def build_encoder_netlist(design: SensorDesign, *,
+                          tech: Technology | None = None,
+                          netlist: Netlist | None = None,
+                          prefix: str = "enc",
+                          vdd: str = "VDD", gnd: str = "GND",
+                          wire_cap: float = 0.0
+                          ) -> tuple[Netlist, EncoderPorts]:
+    """Structural 7:3 ones counter (full-adder tree).
+
+    The classic arrangement: FA(in1..3) and FA(in4..6) produce two
+    (sum, carry) pairs; FA(s1, s2, in7) merges the sums; FA of the three
+    carries forms the upper bits.  Only the 7-bit case is built — the
+    paper's array width.
+
+    Args:
+        design: Calibrated design (technology source).
+        tech: Corner technology override.
+        netlist: Existing netlist to extend (supplies must exist).
+        prefix: Net/instance name prefix.
+        vdd / gnd: Rail names.
+        wire_cap: Explicit per-net wiring capacitance, farads (gives
+            the netlist post-layout-like loading for STA).
+
+    Raises:
+        ConfigurationError: when the design is not 7 bits wide.
+    """
+    if design.n_bits != 7:
+        raise ConfigurationError(
+            "the structural encoder implements the paper's 7-bit array"
+        )
+    t = tech if tech is not None else design.tech
+    nl = netlist
+    if nl is None:
+        nl = Netlist(f"{prefix}_netlist")
+        nl.add_supply(vdd, design.tech.vdd_nominal)
+        nl.add_supply(gnd, 0.0, is_ground=True)
+
+    inputs = tuple(f"{prefix}_in{i}" for i in range(1, 8))
+    for net in inputs:
+        nl.add_net(net, extra_cap=wire_cap)
+        nl.mark_external_input(net)
+
+    s1, c1 = _full_adder(nl, t, f"{prefix}_fa1", inputs[0], inputs[1],
+                         inputs[2], vdd, gnd, wire_cap)
+    s2, c2 = _full_adder(nl, t, f"{prefix}_fa2", inputs[3], inputs[4],
+                         inputs[5], vdd, gnd, wire_cap)
+    s3, c3 = _full_adder(nl, t, f"{prefix}_fa3", s1, s2, inputs[6],
+                         vdd, gnd, wire_cap)
+    s4, c4 = _full_adder(nl, t, f"{prefix}_fa4", c1, c2, c3,
+                         vdd, gnd, wire_cap)
+    outputs = (s3, s4, c4)  # count = s3 + 2*s4 + 4*c4
+    return nl, EncoderPorts(inputs=inputs, outputs=outputs)
+
+
+def encode_via_netlist(design: SensorDesign,
+                       word: ThermometerWord, *,
+                       tech: Technology | None = None) -> int:
+    """Run the structural encoder on a word (zero-delay settle).
+
+    Used by the equivalence tests: must match
+    :meth:`ThermometerEncoder.encode` for every input.
+    """
+    nl, ports = build_encoder_netlist(design, tech=tech)
+    engine = SimulationEngine(nl)
+    for net, bit in zip(ports.inputs, word.bits):
+        engine.set_initial(net, bit)
+    engine.settle()
+    value = 0
+    for k, net in enumerate(ports.outputs):
+        bit = engine.netlist.nets[net].value
+        if bit is None:
+            raise ConfigurationError(
+                f"encoder output {net} did not settle"
+            )
+        value |= bit << k
+    return value

@@ -1,0 +1,126 @@
+"""Closed-loop supply guard-banding on sensor feedback.
+
+The abstract's second use case: the sensed level can be "used by a
+control block within the circuit under test (CUT) for the activation of
+power aware policies".  :class:`GuardbandController` is that control
+block as a policy object: it consumes decoded measurements, tracks the
+worst level seen per decision epoch, and steps the supply setpoint
+down (saving power) while the measured worst case clears the CUT's
+minimum operating voltage by a margin — with hysteresis so the
+setpoint does not chatter, and an emergency raise when a reading dips
+below the floor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.thermometer import VoltageRange
+from repro.errors import ConfigurationError
+
+
+class GuardbandAction(enum.Enum):
+    """Decision emitted at the end of each epoch."""
+
+    LOWER = "lower"
+    HOLD = "hold"
+    RAISE = "raise"
+
+
+@dataclass
+class GuardbandController:
+    """Sensor-driven DVS policy.
+
+    Attributes:
+        vmin: CUT minimum operating voltage, volts.
+        margin: Required clearance of the measured worst case above
+            ``vmin``, volts.
+        step: Setpoint step per decision, volts.
+        setpoint: Current supply setpoint, volts.
+        hysteresis: Extra clearance required before *lowering* beyond
+            what HOLD needs — prevents lower/raise chatter at the
+            boundary.  Design rule: with quantized feedback the
+            conservative (lower-edge) reading can sit a full LSB below
+            the true level, so set ``hysteresis`` to at least the
+            sensor's LSB (~32 mV for the paper's 7-stage ladder) or
+            the loop limit-cycles.
+        floor / ceiling: Setpoint clamp range, volts.
+    """
+
+    vmin: float
+    margin: float
+    step: float = 0.01
+    setpoint: float = 1.0
+    hysteresis: float = 0.005
+    floor: float = 0.7
+    ceiling: float = 1.1
+    _epoch_worst: float = field(default=float("inf"), repr=False)
+    _epoch_measures: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vmin <= 0 or self.margin < 0 or self.step <= 0:
+            raise ConfigurationError(
+                "vmin must be > 0, margin >= 0, step > 0"
+            )
+        if self.hysteresis < 0:
+            raise ConfigurationError("hysteresis must be >= 0")
+        if not self.floor < self.ceiling:
+            raise ConfigurationError("floor must be below ceiling")
+        if not self.floor <= self.setpoint <= self.ceiling:
+            raise ConfigurationError("setpoint outside [floor, ceiling]")
+
+    # -- per-measurement path ------------------------------------------------
+
+    def observe(self, reading: VoltageRange) -> None:
+        """Feed one decoded measurement into the current epoch.
+
+        The *lower edge* of the decoded range is used — the
+        conservative interpretation of a quantized reading.
+        """
+        if reading.lo == float("-inf"):
+            # Below the measurable range: treat as a hard violation.
+            worst_case = self.vmin - self.margin - self.step
+        else:
+            worst_case = reading.lo
+        self._epoch_worst = min(self._epoch_worst, worst_case)
+        self._epoch_measures += 1
+
+    @property
+    def epoch_worst(self) -> float:
+        return self._epoch_worst
+
+    # -- decision path -----------------------------------------------------------
+
+    def decide(self) -> GuardbandAction:
+        """Close the epoch: step the setpoint and reset the tracker.
+
+        Raises:
+            ConfigurationError: when no measurements were observed this
+                epoch (deciding blind is a policy bug).
+        """
+        if self._epoch_measures == 0:
+            raise ConfigurationError(
+                "decide() called with no observations this epoch"
+            )
+        clearance = self._epoch_worst - (self.vmin + self.margin)
+        self._epoch_worst = float("inf")
+        self._epoch_measures = 0
+
+        if clearance < 0:
+            self.setpoint = min(self.setpoint + self.step, self.ceiling)
+            return GuardbandAction.RAISE
+        if clearance > self.step + self.hysteresis \
+                and self.setpoint - self.step >= self.floor:
+            self.setpoint = self.setpoint - self.step
+            return GuardbandAction.LOWER
+        return GuardbandAction.HOLD
+
+    # -- reporting --------------------------------------------------------------
+
+    def power_saving(self, *, nominal: float = 1.0) -> float:
+        """Dynamic-power saving of the current setpoint vs. nominal
+        (``1 - (V/Vnom)^2``)."""
+        if nominal <= 0:
+            raise ConfigurationError("nominal must be positive")
+        return 1.0 - (self.setpoint / nominal) ** 2

@@ -1,0 +1,184 @@
+"""Equivalent-time noise monitoring with the full sensor system.
+
+The paper's verification use case: the sensed levels "can be ...
+transferred to the output for verification purposes", with measures
+"iterated so that noise values can be captured in different moments of
+the CUT transient behavior".  :class:`NoiseMonitor` packages that whole
+flow: it re-runs the event-driven :class:`~repro.core.system.SensorSystem`
+against a (repeatable) rail waveform with swept trigger offsets —
+equivalent-time sampling — optionally auto-ranging the delay code, and
+stitches the decoded ranges into a waveform estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reconstruct import WaveformReconstructor
+from repro.analysis.thermometer import VoltageRange
+from repro.core.array import SensorArray
+from repro.core.autorange import AutoRangingMeter
+from repro.core.calibration import SensorDesign
+from repro.core.sensor import SenseRail
+from repro.core.system import SensorSystem
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+from repro.sim.waveform import Waveform
+from repro.units import NS
+
+
+class _ShiftedWaveform:
+    """``w(t + offset)`` — re-triggers the repeatable transient so the
+    SENSE instants land at different phases of it."""
+
+    def __init__(self, inner: Waveform, offset: float) -> None:
+        self._inner = inner
+        self._offset = offset
+
+    def __call__(self, t: float) -> float:
+        return self._inner(t + self._offset)
+
+
+@dataclass(frozen=True)
+class MonitorPoint:
+    """One equivalent-time sample."""
+
+    time: float
+    code: int
+    word: str
+    decoded: VoltageRange
+    metastable: bool
+
+
+@dataclass(frozen=True)
+class MonitorCapture:
+    """A completed equivalent-time capture.
+
+    Attributes:
+        points: Per-sample detail, time-ordered.
+        reconstructor: The stitched waveform estimate.
+        reranged: How many samples needed a second pass at another code.
+    """
+
+    points: tuple[MonitorPoint, ...]
+    reconstructor: WaveformReconstructor
+    reranged: int
+
+    def rmse_against(self, waveform: Waveform) -> float:
+        return self.reconstructor.rmse_against(waveform)
+
+    def extremes(self) -> tuple[float, float]:
+        return self.reconstructor.extremes()
+
+
+class NoiseMonitor:
+    """Equivalent-time rail monitor built on the full sensor system.
+
+    Args:
+        design: Calibrated design.
+        rail: Which rail to monitor.
+        tech: Corner technology.
+        code: Starting delay code.
+        auto_range: Re-measure saturated samples at a stepped code.
+        clock_period: Control clock period, seconds.
+    """
+
+    def __init__(self, design: SensorDesign,
+                 rail: SenseRail = SenseRail.VDD,
+                 tech: Technology | None = None, *,
+                 code: int = 3,
+                 auto_range: bool = True,
+                 clock_period: float = 2.0 * NS) -> None:
+        if not 0 <= code < 8:
+            raise ConfigurationError("code outside 0..7")
+        self.design = design
+        self.rail = rail
+        self.tech = tech
+        self.code = code
+        self.auto_range = auto_range
+        self.system = SensorSystem(
+            design, tech=tech, clock_period=clock_period,
+            include_ls=(rail is SenseRail.GND),
+        )
+        self.decoder = SensorArray(design, rail, tech)
+        self._ranger = AutoRangingMeter(design, rail, tech,
+                                        initial_code=code)
+
+    def _run_once(self, waveform: Waveform, offset: float,
+                  code: int):
+        """One full-system burst with the transient shifted by
+        ``offset``; returns (measure, sense_time)."""
+        shifted = _ShiftedWaveform(waveform, offset)
+        kwargs = {"code_hs": code, "code_ls": code}
+        if self.rail is SenseRail.VDD:
+            run = self.system.run(1, vdd_n=shifted, **kwargs)
+            measure = run.hs[0]
+        else:
+            run = self.system.run(1, gnd_n=shifted, **kwargs)
+            measure = run.ls[0]
+        return measure
+
+    def capture(self, waveform: Waveform, *,
+                t_start: float, t_stop: float,
+                n_points: int = 32) -> MonitorCapture:
+        """Equivalent-time capture of a repeatable transient.
+
+        The SENSE instant inside one burst is fixed by the FSM; the
+        monitor instead slides the *transient* under it (offset sweep),
+        exactly how on-silicon equivalent-time capture retriggers the
+        CUT.
+
+        Args:
+            waveform: The repeatable rail transient (``t`` in seconds).
+            t_start / t_stop: Transient interval to cover, seconds.
+            n_points: Number of equivalent-time samples.
+
+        Raises:
+            ConfigurationError: bad interval or point count.
+        """
+        if n_points < 2:
+            raise ConfigurationError("n_points must be at least 2")
+        if t_stop <= t_start:
+            raise ConfigurationError("t_stop must exceed t_start")
+        # The burst's actual DS-launch instant (one probe measure):
+        # tick time plus PG/driver insertion — the sensor's aperture
+        # reference, which matters against fast transients.
+        probe = self.system.run(1, vdd_n=1.0, gnd_n=0.0)
+        probe_measure = (probe.hs[0] if self.rail is SenseRail.VDD
+                         else probe.ls[0])
+        launch_instant = probe_measure.launch_time
+
+        offsets = np.linspace(t_start, t_stop, n_points) - launch_instant
+        rec = WaveformReconstructor()
+        points: list[MonitorPoint] = []
+        reranged = 0
+        for offset in offsets:
+            measure = self._run_once(waveform, float(offset), self.code)
+            # The equivalent time is where the launch landed on the
+            # original transient: the run's own launch instant plus
+            # the offset it was shifted by.
+            t_equiv = float(offset + measure.launch_time)
+            word = measure.word
+            code = self.code
+            if self.auto_range and word.ones in (0, word.n_bits):
+                nxt = self._ranger._next_code(code, word)
+                if nxt is not None:
+                    reranged += 1
+                    code = nxt
+                    measure = self._run_once(waveform, float(offset),
+                                             code)
+                    word = measure.word
+            decoded = self.decoder.decode(word, code, strict=False)
+            rec.add(t_equiv, decoded)
+            points.append(MonitorPoint(
+                time=t_equiv,
+                code=code,
+                word=word.to_string(),
+                decoded=decoded,
+                metastable=measure.any_metastable,
+            ))
+        return MonitorCapture(points=tuple(points),
+                              reconstructor=rec,
+                              reranged=reranged)

@@ -1,0 +1,106 @@
+"""Every number the paper publishes, in one place.
+
+These are the calibration anchors and the expected values the
+reproduction benches compare against.  Sources are section/figure
+references into Graziano & Vittori, "A Fully Digital Power Supply Noise
+Thermometer", IEEE SOCC 2009.
+"""
+
+from __future__ import annotations
+
+from repro.units import NS, PF, PS
+
+#: Number of bits in the paper's example thermometer (Fig. 1 right,
+#: Fig. 5, Fig. 9).
+N_BITS = 7
+
+#: §III-B delay-code table: PG-inserted CP-vs-P skew per 3-bit code.
+#: "Delay Code 000 001 010 011 100 101 110 111 /
+#:  CP delay [ps] 26  40  50  65  77  92  100 107"
+DELAY_CODE_TABLE_PS: dict[str, float] = {
+    "000": 26.0,
+    "001": 40.0,
+    "010": 50.0,
+    "011": 65.0,
+    "100": 77.0,
+    "101": 92.0,
+    "110": 100.0,
+    "111": 107.0,
+}
+
+#: Same table in seconds, indexed by integer code 0..7.
+DELAY_CODES_S: tuple[float, ...] = tuple(
+    DELAY_CODE_TABLE_PS[format(i, "03b")] * PS for i in range(8)
+)
+
+#: Fig. 4 anchor: "if C=2pF (added to the intrinsic DS node
+#: capacitance), the VDD-n value below which the FF fails is 0.9360V".
+FIG4_ANCHOR_CAP = 2.0 * PF
+FIG4_ANCHOR_THRESHOLD = 0.9360
+
+#: Fig. 4: "the characteristic has a linear behavior within the VDD-n
+#: range of interest (0.9V - 1.1V in this example)".
+FIG4_LINEAR_RANGE = (0.90, 1.10)
+
+#: Fig. 5, delay code 011: "the threshold range goes from 0.827V (all
+#: errors) to 1.053V (no errors)"; interior boundaries from the text:
+#: "code 0011111 if VDD-n is lower than 1.021V and greater than 0.992V"
+#: and (via Fig. 9) "0000011 to the range 0.896V-0.929V".
+FIG5_CODE011_RANGE = (0.827, 1.053)
+FIG5_CODE011_BOUNDARIES: dict[int, float] = {
+    # bit index (1 = smallest load capacitance / lowest threshold)
+    1: 0.827,
+    2: 0.896,
+    3: 0.929,
+    # bit 4 is not published; the calibration interpolates it
+    5: 0.992,
+    6: 1.021,
+    7: 1.053,
+}
+
+#: Fig. 5, delay code 010: "the dynamic ranges from 0.951V to 1.237V
+#: (also overvoltages can be measured)".
+FIG5_CODE010_RANGE = (0.951, 1.237)
+
+#: The three delay codes plotted in Fig. 5 (the third is named in the
+#: figure but its range is not printed in the text; 001 per the
+#: monotone code ordering).
+FIG5_CODES = ("001", "010", "011")
+
+#: Fig. 9: full-system sequence of two measures with delay code 011.
+FIG9_DELAY_CODE = "011"
+FIG9_MEASURES: tuple[dict, ...] = (
+    {
+        "vdd_n": 1.00,
+        "expected_word": "0011111",
+        "decoded_range": (0.992, 1.021),
+    },
+    {
+        "vdd_n": 0.90,
+        "expected_word": "0000011",
+        "decoded_range": (0.896, 0.929),
+    },
+)
+
+#: Fig. 3: the single-bit two-measure experiment.
+FIG3_MEASURES: tuple[dict, ...] = (
+    {"vdd_n": 1.00, "expected_out": 1},
+    {"vdd_n": 0.95, "expected_out": 0},
+)
+
+#: Fig. 2: four linearly spaced VDD-n cases; cases 1-3 sample
+#: correctly, case 4 fails (and the OUT delay grows non-linearly as the
+#: failure point approaches).  The paper does not print the voltages;
+#: the bench spaces four cases linearly across one bit's pass/fail
+#: boundary.
+FIG2_N_CASES = 4
+
+#: §III-B: "The critical path of the whole control system at 90nm is
+#: 1.22ns".
+CRITICAL_PATH_S = 1.22 * NS
+
+#: §II / Fig. 3: measurement phases alternate PREPARE (P=1, DS forced
+#: low for VDD sensing) and SENSE (P=0, DS rises with VDD-n-dependent
+#: delay).  For GND sensing the conditions are opposite.
+PREPARE_P_VDD = 1
+SENSE_P_VDD = 0

@@ -1,0 +1,278 @@
+"""The pulse generator PG (paper Fig. 7).
+
+The PG receives P and CP from the control block and re-emits them with
+a programmable skew: CP rides a delay-element line whose eight taps are
+selected by a 3-level MUX2 tree, while P passes through an *identical*
+mux tree (all inputs tied together) so the mux insertion delay cancels
+— "as the MUX inserts a further delay, the same MUX is also used for
+the P signal, so that P and CP are skewed of the same value".  The
+paper's delay-code table (26…107 ps) is realized by trimming the
+per-stage delay elements at design time; under a process corner the
+fixed trim capacitances stay and the realized skews scale with the
+devices, which is exactly what the corner-retrimming experiments probe.
+
+Two views are provided:
+
+* :class:`PulseGenerator` — behavioural: closed-form skews per code,
+  technology-aware (used by the system harness and trimming policy);
+* :func:`build_pg_netlist` / :class:`PulseGeneratorHarness` —
+  structural: the actual delay line + mux trees as a netlist, run
+  through the event simulator (used by the delay-code-table bench to
+  show the structure realizes the table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.combinational import Buffer, Mux2
+from repro.cells.delay_elements import DelayElement
+from repro.core.calibration import SensorDesign
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+from repro.units import NS
+
+
+class PulseGenerator:
+    """Behavioural PG bound to a calibrated design.
+
+    Args:
+        design: The calibrated sensor design (owns the delay-code
+            table the PG realizes).
+        tech: Corner technology; ``None`` uses the design technology.
+    """
+
+    N_CODES = 8
+
+    def __init__(self, design: SensorDesign,
+                 tech: Technology | None = None) -> None:
+        self.design = design
+        self.tech = tech if tech is not None else design.tech
+        self._stages = self._build_stage_elements()
+
+    def _build_stage_elements(self) -> tuple[DelayElement, ...]:
+        """One element per tap, trimmed to the absolute code delay.
+
+        The taps are a *parallel* delay-element array (one sized element
+        per code, each driving one mux input), which keeps every trim
+        target at or above the 26 ps minimum of the table — chaining
+        per-code increments would demand sub-intrinsic 7 ps stages.
+        """
+        prev = 0.0
+        for d in self.design.delay_codes:
+            if d <= prev:
+                raise ConfigurationError(
+                    "delay-code table must be strictly increasing"
+                )
+            prev = d
+        design_elems = [
+            DelayElement(self.design.tech, d, name=f"PGtap{i}")
+            for i, d in enumerate(self.design.delay_codes)
+        ]
+        if self.tech is self.design.tech:
+            return tuple(design_elems)
+        return tuple(
+            DelayElement.from_internal_cap(
+                self.tech, e.internal_cap, name=e.name
+            )
+            for e in design_elems
+        )
+
+    def skew(self, code: int, *, supply_v: float | None = None) -> float:
+        """CP-vs-P skew for a code, seconds.
+
+        Args:
+            code: Delay code 0..7.
+            supply_v: Supply of the PG itself (nominal rail); PG supply
+                noise perturbs the skew — a second-order effect the
+                characterization benches can quantify.
+        """
+        if not 0 <= code < self.N_CODES:
+            raise ConfigurationError(f"code {code} outside 0..7")
+        v = self.tech.vdd_nominal if supply_v is None else supply_v
+        return self._stages[code].delay_at(v)
+
+    def delay_table(self, *, supply_v: float | None = None
+                    ) -> tuple[float, ...]:
+        """The realized 8-entry delay-code table, seconds."""
+        return tuple(self.skew(c, supply_v=supply_v)
+                     for c in range(self.N_CODES))
+
+    def code_for_skew(self, target: float) -> int:
+        """The code whose skew is nearest a target (trimming helper)."""
+        table = self.delay_table()
+        return min(range(self.N_CODES),
+                   key=lambda c: abs(table[c] - target))
+
+
+@dataclass(frozen=True)
+class PGNetlistPorts:
+    """Net names of a built PG netlist fragment."""
+
+    p_in: str
+    cp_in: str
+    p_out: str
+    cp_out: str
+    selects: tuple[str, str, str]
+
+
+def build_pg_netlist(design: SensorDesign, *,
+                     tech: Technology | None = None,
+                     netlist: Netlist | None = None,
+                     prefix: str = "pg",
+                     p_out_load: float = 0.0,
+                     cp_out_load: float = 0.0,
+                     vdd: str = "VDD", gnd: str = "GND"
+                     ) -> tuple[Netlist, PGNetlistPorts]:
+    """Build the structural PG: delay line + matched MUX2 trees.
+
+    The two trees are matched stage by stage; the residual output-load
+    difference (P drives the heavy sensor-inverter array, CP a single
+    route element) is balanced with an explicit capacitor on the
+    lighter net — the paper's "accurate routing as a differential pair".
+
+    Args:
+        design: Calibrated design (delay table + technology).
+        tech: Corner technology.
+        netlist: Existing netlist to build into (supplies must already
+            exist); a fresh one is created otherwise.
+        prefix: Name prefix for nets/instances.
+        p_out_load / cp_out_load: Known downstream loads, used for the
+            balancing capacitor.
+        vdd / gnd: Supply rail names for every PG cell.
+
+    Returns:
+        (netlist, ports).
+    """
+    t = tech if tech is not None else design.tech
+    nl = netlist
+    if nl is None:
+        nl = Netlist(f"{prefix}_netlist")
+        nl.add_supply(vdd, design.tech.vdd_nominal)
+        nl.add_supply(gnd, 0.0, is_ground=True)
+
+    mux_strength = 1.0
+    sample_mux = Mux2(t, strength=mux_strength)
+    mux_in_cap = sample_mux.pin("A").cap
+
+    p_in = f"{prefix}_P_in"
+    cp_in = f"{prefix}_CP_in"
+    nl.add_net(p_in)
+    nl.add_net(cp_in)
+    nl.mark_external_input(p_in)
+    nl.mark_external_input(cp_in)
+    selects = tuple(f"{prefix}_S{k}" for k in range(3))
+    for s in selects:
+        nl.add_net(s)
+        nl.mark_external_input(s)
+
+    # CP tap array: one parallel element per code, trimmed for its
+    # in-situ fanout (the mux input it drives).
+    taps = []
+    for i, d in enumerate(design.delay_codes):
+        tap = f"{prefix}_tap{i}"
+        nl.add_net(tap)
+        elem_design = DelayElement(design.tech, d, strength=2.0,
+                                   trim_load=mux_in_cap,
+                                   name=f"{prefix}_tapelem{i}")
+        elem = (elem_design if t is design.tech else
+                DelayElement.from_internal_cap(
+                    t, elem_design.internal_cap, strength=2.0,
+                    name=elem_design.name,
+                ))
+        nl.add_instance(f"{prefix}_tapelem{i}", elem,
+                        {"A": cp_in, "Y": tap}, vdd=vdd, gnd=gnd)
+        taps.append(tap)
+
+    def mux_tree(tree: str, inputs: list[str]) -> str:
+        """3-level MUX2 reduction; returns the root output net."""
+        level = 0
+        current = inputs
+        while len(current) > 1:
+            sel = selects[level]
+            nxt = []
+            for j in range(0, len(current), 2):
+                out = f"{prefix}_{tree}_m{level}_{j // 2}"
+                nl.add_net(out)
+                mux = Mux2(t, strength=mux_strength,
+                           name=f"{prefix}_{tree}_mux{level}_{j // 2}")
+                nl.add_instance(
+                    mux.name, mux,
+                    {"A": current[j], "B": current[j + 1], "S": sel,
+                     "Y": out},
+                    vdd=vdd, gnd=gnd,
+                )
+                nxt.append(out)
+            current = nxt
+            level += 1
+        return current[0]
+
+    cp_root = mux_tree("cp", taps)
+    p_root = mux_tree("p", [p_in] * 8)
+
+    # Output drivers, matched; balance the lighter output net.
+    drv_strength = 16.0
+    p_out = f"{prefix}_P_out"
+    cp_out = f"{prefix}_CP_out"
+    p_drv = Buffer(t, strength=drv_strength, name=f"{prefix}_pdrv")
+    cp_drv = Buffer(t, strength=drv_strength, name=f"{prefix}_cpdrv")
+    heavier = max(p_out_load, cp_out_load)
+    nl.add_net(p_out, extra_cap=heavier - p_out_load)
+    nl.add_net(cp_out, extra_cap=heavier - cp_out_load)
+    nl.add_instance(p_drv.name, p_drv, {"A": p_root, "Y": p_out},
+                    vdd=vdd, gnd=gnd)
+    nl.add_instance(cp_drv.name, cp_drv, {"A": cp_root, "Y": cp_out},
+                    vdd=vdd, gnd=gnd)
+
+    return nl, PGNetlistPorts(
+        p_in=p_in, cp_in=cp_in, p_out=p_out, cp_out=cp_out,
+        selects=selects,
+    )
+
+
+class PulseGeneratorHarness:
+    """Event-driven measurement of the structural PG's realized skews."""
+
+    def __init__(self, design: SensorDesign,
+                 tech: Technology | None = None) -> None:
+        self.design = design
+        self.tech = tech if tech is not None else design.tech
+        self.netlist, self.ports = build_pg_netlist(design, tech=tech)
+
+    def measure_skew(self, code: int) -> float:
+        """Launch simultaneous P/CP edges; return output skew, seconds.
+
+        Raises:
+            SimulationError: if either output never transitions.
+        """
+        if not 0 <= code < PulseGenerator.N_CODES:
+            raise ConfigurationError(f"code {code} outside 0..7")
+        engine = SimulationEngine(self.netlist)
+        ports = self.ports
+        bits = [code & 1, (code >> 1) & 1, (code >> 2) & 1]
+        for s, b in zip(ports.selects, bits):
+            engine.set_initial(s, b)
+        engine.set_initial(ports.p_in, 0)
+        engine.set_initial(ports.cp_in, 0)
+        engine.settle()
+        t_launch = 2.0 * NS
+        engine.schedule_stimulus(ports.p_in, 1, t_launch)
+        engine.schedule_stimulus(ports.cp_in, 1, t_launch)
+        engine.run(t_launch + 5.0 * NS)
+        p_edges = engine.trace.edges(ports.p_out, rising=True)
+        cp_edges = engine.trace.edges(ports.cp_out, rising=True)
+        p_edges = [t for t in p_edges if t >= t_launch]
+        cp_edges = [t for t in cp_edges if t >= t_launch]
+        if not p_edges or not cp_edges:
+            raise SimulationError(
+                f"PG outputs missing edges (code {code}): "
+                f"P={p_edges}, CP={cp_edges}"
+            )
+        return cp_edges[0] - p_edges[0]
+
+    def measure_table(self) -> tuple[float, ...]:
+        """Realized skews for all eight codes, seconds."""
+        return tuple(self.measure_skew(c)
+                     for c in range(PulseGenerator.N_CODES))

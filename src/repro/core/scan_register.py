@@ -1,0 +1,177 @@
+"""Gate-level scan register: serial readout of sensor words.
+
+The paper's closing analogy — "this sensor system can be thought for
+PSN as scan chains are for data faults" — implies the standard DFT
+readout structure: every sensor output bit gets a scan flip-flop whose
+input is a MUX2 between *capture* (the sensor FF's OUT) and *shift*
+(the previous scan stage), all clocked by the scan clock.  One capture
+pulse loads the word(s); N shift pulses stream them out of ``SO``.
+
+:class:`ScanRegisterHarness` builds that structure for one or more
+sensor words and runs it in the event simulator — proving the digital
+readout path at gate level, not just as list slicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.combinational import Mux2
+from repro.cells.sequential import DFlipFlop
+from repro.core.calibration import SensorDesign
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+from repro.units import NS
+
+
+@dataclass(frozen=True)
+class ScanPorts:
+    """Net names of a built scan register."""
+
+    scan_clock: str
+    scan_enable: str
+    scan_in: str
+    scan_out: str
+    capture_inputs: tuple[str, ...]
+
+
+def build_scan_register(design: SensorDesign, n_bits: int, *,
+                        tech: Technology | None = None,
+                        netlist: Netlist | None = None,
+                        prefix: str = "scan",
+                        vdd: str = "VDD", gnd: str = "GND"
+                        ) -> tuple[Netlist, ScanPorts]:
+    """Structural scan register over ``n_bits`` capture inputs.
+
+    Per bit: ``MUX2(capture_i, prev_stage, SE) -> DFF -> stage_i``.
+    Bit 0 is nearest ``SI``; the last stage drives ``SO``, so the last
+    capture input shifts out first — the convention
+    :meth:`~repro.core.scanchain.PSNScanChain.scan_out` models
+    analytically.
+
+    Raises:
+        ConfigurationError: for a non-positive width.
+    """
+    if n_bits < 1:
+        raise ConfigurationError("n_bits must be positive")
+    t = tech if tech is not None else design.tech
+    nl = netlist
+    if nl is None:
+        nl = Netlist(f"{prefix}_register")
+        nl.add_supply(vdd, design.tech.vdd_nominal)
+        nl.add_supply(gnd, 0.0, is_ground=True)
+
+    sck = f"{prefix}_clk"
+    sen = f"{prefix}_en"
+    sin = f"{prefix}_si"
+    for net in (sck, sen, sin):
+        nl.add_net(net)
+        nl.mark_external_input(net)
+
+    captures = []
+    prev = sin
+    for i in range(n_bits):
+        cap_net = f"{prefix}_cap{i}"
+        mux_out = f"{prefix}_d{i}"
+        stage = f"{prefix}_q{i}"
+        nl.add_net(cap_net)
+        nl.mark_external_input(cap_net)
+        nl.add_net(mux_out)
+        nl.add_net(stage)
+        mux = Mux2(t, name=f"{prefix}_mux{i}")
+        # S=0 -> capture; S=1 -> shift from the previous stage.
+        nl.add_instance(f"{prefix}_mux{i}", mux,
+                        {"A": cap_net, "B": prev, "S": sen,
+                         "Y": mux_out}, vdd=vdd, gnd=gnd)
+        ff = DFlipFlop(t, name=f"{prefix}_ff{i}")
+        nl.add_instance(f"{prefix}_ff{i}", ff,
+                        {"D": mux_out, "CP": sck, "Q": stage},
+                        vdd=vdd, gnd=gnd)
+        captures.append(cap_net)
+        prev = stage
+    return nl, ScanPorts(
+        scan_clock=sck,
+        scan_enable=sen,
+        scan_in=sin,
+        scan_out=prev,
+        capture_inputs=tuple(captures),
+    )
+
+
+class ScanRegisterHarness:
+    """Capture-and-shift a set of bits through the gate-level register.
+
+    Args:
+        design: Calibrated design (technology source).
+        n_bits: Register length (e.g. sites × word width).
+        tech: Corner technology.
+        clock_period: Scan clock period, seconds.
+    """
+
+    def __init__(self, design: SensorDesign, n_bits: int, *,
+                 tech: Technology | None = None,
+                 clock_period: float = 2.0 * NS) -> None:
+        if clock_period <= 0:
+            raise ConfigurationError("clock_period must be positive")
+        self.design = design
+        self.clock_period = clock_period
+        self.netlist, self.ports = build_scan_register(
+            design, n_bits, tech=tech,
+        )
+        self.n_bits = n_bits
+
+    def capture_and_shift(self, bits: list[int], *,
+                          scan_in_value: int = 0) -> list[int]:
+        """Load ``bits`` in capture mode, then shift them all out.
+
+        Args:
+            bits: The parallel capture values (bit 0 nearest SI).
+            scan_in_value: Value streamed into SI while shifting.
+
+        Returns:
+            The serial stream observed at SO, one value per shift
+            clock, last stage first.
+
+        Raises:
+            ConfigurationError: width mismatch.
+            SimulationError: if SO never resolves.
+        """
+        if len(bits) != self.n_bits:
+            raise ConfigurationError(
+                f"expected {self.n_bits} bits, got {len(bits)}"
+            )
+        ports = self.ports
+        engine = SimulationEngine(self.netlist)
+        engine.set_initial(ports.scan_clock, 0)
+        engine.set_initial(ports.scan_enable, 0)  # capture mode
+        engine.set_initial(ports.scan_in, scan_in_value)
+        for net, b in zip(ports.capture_inputs, bits):
+            engine.set_initial(net, b)
+        for i in range(self.n_bits):
+            engine.set_initial(f"scan_q{i}", 0)
+        engine.settle()
+
+        period = self.clock_period
+        # One capture pulse.
+        engine.schedule_stimulus(ports.scan_clock, 1, 1 * period)
+        engine.schedule_stimulus(ports.scan_clock, 0, 1.5 * period)
+        # Switch to shift mode; SO then presents the last stage, so it
+        # is read *before* each shift pulse (tester convention).
+        engine.schedule_stimulus(ports.scan_enable, 1, 1.75 * period)
+        stream: list[int] = []
+        for k in range(self.n_bits):
+            t_rise = (2 + k) * period
+            engine.run(t_rise - 0.1 * period)  # settle, then sample SO
+            value = self.netlist.nets[ports.scan_out].value
+            if value is None:
+                raise SimulationError(
+                    f"scan output unresolved at shift {k}"
+                )
+            stream.append(value)
+            engine.schedule_stimulus(ports.scan_clock, 1, t_rise)
+            engine.schedule_stimulus(ports.scan_clock, 0,
+                                     t_rise + 0.5 * period)
+        engine.run((2 + self.n_bits) * period)
+        return stream

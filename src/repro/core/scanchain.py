@@ -1,0 +1,159 @@
+"""The PSN scan chain: sensor arrays replicated across the CUT.
+
+The paper's closing pitch: "the sensor arrays (INVs plus FFs) can be
+multiplied, so that measures in many points of the CUT are possible ...
+This sensor system can be thought for PSN as scan chains are for data
+faults."  This module realizes that: sensor sites placed on tiles of an
+:class:`~repro.psn.grid.IRDropGrid`, each measuring its local rail
+voltage, with the output words shifted out through a scan register —
+producing a spatial IR-drop map from purely digital readout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.thermometer import ThermometerWord, VoltageRange
+from repro.core.array import SensorArray
+from repro.core.calibration import SensorDesign
+from repro.core.sensor import SenseRail
+from repro.errors import ConfigurationError
+from repro.psn.grid import IRDropGrid
+
+
+@dataclass(frozen=True)
+class SiteMeasure:
+    """One scan-chain site's reading.
+
+    Attributes:
+        site: Tile coordinates (row, col).
+        true_voltage: The tile's actual rail voltage, volts.
+        word: The site's thermometer word.
+        decoded: The decoded rail range.
+    """
+
+    site: tuple[int, int]
+    true_voltage: float
+    word: ThermometerWord
+    decoded: VoltageRange
+
+    @property
+    def estimate(self) -> float:
+        return self.decoded.midpoint
+
+    @property
+    def brackets_truth(self) -> bool:
+        return self.decoded.contains(self.true_voltage)
+
+
+class PSNScanChain:
+    """Sensor sites on a power grid, read out scan-chain style.
+
+    Args:
+        design: Calibrated sensor design (every site is identical —
+            "identical control signals and sizes", Fig. 1 right).
+        grid: The resistive power grid the CUT lives on.
+        sites: Tile coordinates carrying a sensor array.
+        code: Delay code used by every site.
+    """
+
+    def __init__(self, design: SensorDesign, grid: IRDropGrid,
+                 sites: list[tuple[int, int]], *, code: int = 3) -> None:
+        if not sites:
+            raise ConfigurationError("need at least one sensor site")
+        if len(set(sites)) != len(sites):
+            raise ConfigurationError("duplicate sensor sites")
+        for r, c in sites:
+            grid.tile_index(r, c)  # bounds check
+        if not 0 <= code < 8:
+            raise ConfigurationError("code outside 0..7")
+        self.design = design
+        self.grid = grid
+        self.sites = list(sites)
+        self.code = code
+        self.array = SensorArray(design, SenseRail.VDD)
+
+    def measure_map(self, tile_currents: np.ndarray
+                    ) -> list[SiteMeasure]:
+        """Solve the grid and read every site.
+
+        Returns per-site measures in chain order.
+        """
+        voltages = self.grid.solve(tile_currents)
+        out: list[SiteMeasure] = []
+        for (r, c) in self.sites:
+            v = float(voltages[r, c])
+            m = self.array.measure(self.code, vdd_n=v)
+            out.append(SiteMeasure(
+                site=(r, c),
+                true_voltage=v,
+                word=m.word,
+                decoded=self.array.decode(m.word, self.code),
+            ))
+        return out
+
+    def scan_out(self, measures: list[SiteMeasure]) -> list[int]:
+        """Serialize the words like a scan chain shifts out.
+
+        The last site in the chain appears first in the shifted stream
+        (closest to the scan output), each word MSB (highest-threshold
+        bit) first — so the stream is
+        ``site[-1] msb..lsb, site[-2] msb..lsb, …``.
+        """
+        if len(measures) != len(self.sites):
+            raise ConfigurationError(
+                f"expected {len(self.sites)} measures, got {len(measures)}"
+            )
+        stream: list[int] = []
+        for m in reversed(measures):
+            stream.extend(int(ch) for ch in m.word.to_string())
+        return stream
+
+    def deserialize(self, stream: list[int]) -> list[ThermometerWord]:
+        """Invert :meth:`scan_out`: stream -> per-site words in chain
+        order.
+
+        Raises:
+            ConfigurationError: on a stream-length mismatch.
+        """
+        n = self.design.n_bits
+        if len(stream) != n * len(self.sites):
+            raise ConfigurationError(
+                f"stream length {len(stream)} != {n * len(self.sites)}"
+            )
+        words: list[ThermometerWord] = []
+        for k in range(len(self.sites)):
+            chunk = stream[k * n:(k + 1) * n]
+            words.append(ThermometerWord.from_string(
+                "".join(str(b) for b in chunk)
+            ))
+        return list(reversed(words))
+
+    def map_error(self, measures: list[SiteMeasure]) -> dict[str, float]:
+        """Accuracy of the reconstructed spatial map.
+
+        Returns RMS and worst-case midpoint errors plus the bracket
+        rate (fraction of sites whose decoded range contains the true
+        tile voltage — 1.0 within the measurable range for a calibrated
+        sensor).
+        """
+        if not measures:
+            raise ConfigurationError("measures must be non-empty")
+        errors = [m.estimate - m.true_voltage for m in measures]
+        return {
+            "rmse": float(np.sqrt(np.mean(np.square(errors)))),
+            "worst": float(np.max(np.abs(errors))),
+            "bracket_rate": float(
+                np.mean([m.brackets_truth for m in measures])
+            ),
+        }
+
+    def hotspot_site(self, measures: list[SiteMeasure]
+                     ) -> tuple[int, int]:
+        """The site reporting the deepest droop (smallest estimate)."""
+        if not measures:
+            raise ConfigurationError("measures must be non-empty")
+        worst = min(measures, key=lambda m: m.estimate)
+        return worst.site

@@ -1,0 +1,26 @@
+"""Device-level models: the analytic stand-in for the paper's SPICE runs.
+
+The paper characterizes its sensor with ELDO post-layout simulations of a
+90 nm standard-cell implementation.  This package provides the behavioural
+replacement: a Sakurai–Newton alpha-power-law MOSFET timing model
+(:mod:`repro.devices.mosfet`), a 90 nm-class technology description
+(:mod:`repro.devices.technology`), discrete process corners
+(:mod:`repro.devices.corners`) and statistical process variation
+(:mod:`repro.devices.variation`).
+"""
+
+from repro.devices.technology import Technology, TECH_90NM
+from repro.devices.mosfet import AlphaPowerModel
+from repro.devices.corners import ProcessCorner, CORNERS, corner_by_name
+from repro.devices.variation import VariationModel, VariationSample
+
+__all__ = [
+    "Technology",
+    "TECH_90NM",
+    "AlphaPowerModel",
+    "ProcessCorner",
+    "CORNERS",
+    "corner_by_name",
+    "VariationModel",
+    "VariationSample",
+]

@@ -1,0 +1,73 @@
+"""Discrete process corners.
+
+The paper claims the sensor can be made process-variation aware by
+re-trimming the pulse-generator delay code per corner ("in slow
+conditions the INV is slower and thus the VDD-n threshold value is
+lower: the CP-P delay necessary to achieve the same characteristic
+should be lower").  These corner models let that claim be exercised:
+each corner derives a shifted/scaled :class:`Technology` from the
+typical one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+from repro.units import MV
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """A named process corner.
+
+    Attributes:
+        name: Conventional corner name (``"SS"``, ``"TT"``, ``"FF"``, …).
+        vth_shift: Threshold-voltage shift applied to the typical
+            technology, volts (positive = slower devices).
+        drive_scale: Multiplier on the delay constant (``> 1`` = slower).
+        description: One-line human description.
+    """
+
+    name: str
+    vth_shift: float
+    drive_scale: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.drive_scale <= 0:
+            raise ConfigurationError("drive_scale must be positive")
+
+    def apply(self, tech: Technology) -> Technology:
+        """Derive this corner's technology from a typical one."""
+        return tech.scaled(
+            vth_shift=self.vth_shift,
+            drive_scale=self.drive_scale,
+            name=f"{tech.name}-{self.name}",
+        )
+
+
+#: The classic five digital corners.  Shifts are 90 nm-class magnitudes:
+#: roughly +/-40 mV of Vth and +/-12 % of drive between typical and the
+#: slow/fast extremes.
+CORNERS: dict[str, ProcessCorner] = {
+    "TT": ProcessCorner("TT", 0.0, 1.0, "typical NMOS / typical PMOS"),
+    "SS": ProcessCorner("SS", +40 * MV, 1.12, "slow NMOS / slow PMOS"),
+    "FF": ProcessCorner("FF", -40 * MV, 0.88, "fast NMOS / fast PMOS"),
+    "SF": ProcessCorner("SF", +15 * MV, 1.04, "slow NMOS / fast PMOS"),
+    "FS": ProcessCorner("FS", -15 * MV, 0.96, "fast NMOS / slow PMOS"),
+}
+
+
+def corner_by_name(name: str) -> ProcessCorner:
+    """Look up a corner by (case-insensitive) name.
+
+    Raises:
+        ConfigurationError: for an unknown corner name.
+    """
+    key = name.upper()
+    if key not in CORNERS:
+        known = ", ".join(sorted(CORNERS))
+        raise ConfigurationError(f"unknown corner {name!r}; known: {known}")
+    return CORNERS[key]

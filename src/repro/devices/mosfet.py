@@ -1,0 +1,169 @@
+"""Sakurai–Newton alpha-power-law timing model.
+
+This is the analytic replacement for the paper's transistor-level (ELDO)
+simulations.  The alpha-power law models a short-channel MOSFET's
+saturation current as ``I_d ∝ (V_gs - V_th)**alpha`` with
+``1 <= alpha <= 2``; the propagation delay of a CMOS gate discharging a
+load ``C`` through such a device is
+
+    t_d = k * C * V / (V - V_th)**alpha
+
+where ``V`` is the supply seen by the gate and ``k`` collapses channel
+width, mobility and oxide capacitance into a single drive constant.  Two
+properties of this model carry the entire paper:
+
+* delay grows monotonically (and, over the 0.9–1.1 V window the paper
+  uses, almost linearly) as the supply drops — the sensing mechanism of
+  Fig. 2 and the linearity claim of Fig. 4;
+* the sensitivity ``d t_d / d V`` grows with the load ``C`` — the
+  capacitance-programmed threshold ladder of the multi-bit sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+
+
+def voltage_factor(v: float | np.ndarray, vth: float, alpha: float):
+    """The dimensionless supply factor ``g(V) = V / (V - vth)**alpha``.
+
+    ``g`` is strictly decreasing for ``V > vth`` when ``alpha > 1``,
+    which is what makes pass/fail thresholds unique: a gate gets
+    monotonically slower as its supply droops.
+
+    Accepts scalars or numpy arrays; values at or below ``vth`` map to
+    ``+inf`` (the gate never switches).
+    """
+    v_arr = np.asarray(v, dtype=float)
+    headroom = v_arr - vth
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(headroom > 0.0, v_arr / np.power(np.abs(headroom), alpha), np.inf)
+    if np.isscalar(v) or v_arr.ndim == 0:
+        return float(g)
+    return g
+
+
+@dataclass(frozen=True)
+class AlphaPowerModel:
+    """Gate-delay calculator bound to a :class:`Technology`.
+
+    Attributes:
+        tech: The technology parameter set.
+        strength: Relative drive strength of the gate (an X4 cell has
+            ``strength=4``): delay constant divides by it, intrinsic
+            capacitance multiplies by it.
+    """
+
+    tech: Technology
+    strength: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.strength <= 0:
+            raise ConfigurationError("strength must be positive")
+
+    @property
+    def intrinsic_cap(self) -> float:
+        """Parasitic output capacitance of this gate, farads."""
+        return self.tech.intrinsic_cap_unit * self.strength
+
+    @property
+    def input_cap(self) -> float:
+        """Input (gate) capacitance presented to the driving stage, F."""
+        return self.tech.gate_cap_unit * self.strength
+
+    def voltage_factor(self, v: float | np.ndarray):
+        """``g(V)`` for this gate's technology (see module docstring)."""
+        return voltage_factor(v, self.tech.vth, self.tech.alpha)
+
+    def delay(self, supply_v: float, load_cap: float, *,
+              input_slew: float = 0.0) -> float:
+        """Propagation delay in seconds for a single switching event.
+
+        Args:
+            supply_v: Supply voltage seen by the gate at the moment it
+                switches (the noisy ``VDD-n`` for sensor inverters).
+            load_cap: External load capacitance on the output, farads.
+                The gate's own intrinsic capacitance is added internally.
+            input_slew: Input transition time in seconds; degrades the
+                delay by ``slew_fraction`` of itself (first-order NLDM
+                slew axis).
+
+        Returns:
+            Delay in seconds; ``math.inf`` when the supply is at or
+            below threshold (the gate cannot switch).
+        """
+        if load_cap < 0:
+            raise ConfigurationError("load_cap must be non-negative")
+        g = voltage_factor(supply_v, self.tech.vth, self.tech.alpha)
+        if np.isinf(g):
+            return float("inf")
+        c_total = self.intrinsic_cap + load_cap
+        base = (self.tech.drive_constant / self.strength) * c_total * g
+        return base + self.tech.slew_fraction * input_slew
+
+    def output_slew(self, supply_v: float, load_cap: float) -> float:
+        """Output transition time, modelled as twice the step delay.
+
+        A crude but standard NLDM-style approximation: the 10–90 %
+        transition takes about twice the 50 % propagation delay for a
+        single-stage CMOS gate.
+        """
+        d = self.delay(supply_v, load_cap)
+        return 2.0 * d
+
+    def supply_for_delay(self, target_delay: float, load_cap: float,
+                         *, v_lo: float | None = None,
+                         v_hi: float = 2.0) -> float:
+        """Invert the delay law: the supply at which delay equals target.
+
+        This is the analytic form of the sensor threshold: the supply
+        ``V*`` below which the delay-sense node arrives too late.
+
+        Args:
+            target_delay: Desired propagation delay, seconds.
+            load_cap: External load, farads.
+            v_lo: Lower bracket; defaults to just above ``vth``.
+            v_hi: Upper bracket, volts.
+
+        Raises:
+            ConfigurationError: if the target delay is not achievable in
+                the bracket (e.g. the gate is faster than the target even
+                at ``v_lo``).
+        """
+        if target_delay <= 0:
+            raise ConfigurationError("target_delay must be positive")
+        lo = self.tech.vth + 1e-6 if v_lo is None else v_lo
+
+        def f(v: float) -> float:
+            return self.delay(v, load_cap) - target_delay
+
+        f_lo, f_hi = f(lo), f(v_hi)
+        if np.isinf(f_lo):
+            # Nudge up from the threshold until the delay is finite.
+            lo = self.tech.vth + 1e-4
+            f_lo = f(lo)
+        if f_lo < 0:
+            raise ConfigurationError(
+                "gate is faster than target_delay even at the lower bracket; "
+                "no threshold exists in the interval"
+            )
+        if f_hi > 0:
+            raise ConfigurationError(
+                "gate is slower than target_delay even at the upper bracket; "
+                "no threshold exists in the interval"
+            )
+        return float(brentq(f, lo, v_hi, xtol=1e-9))
+
+    def with_strength(self, strength: float) -> "AlphaPowerModel":
+        """Return a copy at a different drive strength."""
+        return AlphaPowerModel(tech=self.tech, strength=strength)
+
+    def with_tech(self, tech: Technology) -> "AlphaPowerModel":
+        """Return a copy bound to a different technology (corner)."""
+        return AlphaPowerModel(tech=tech, strength=self.strength)

@@ -1,0 +1,108 @@
+"""Technology description for the 90 nm-class process used by the paper.
+
+The numbers here are *behavioural* 90 nm-class values: they are chosen to
+be physically plausible for a 90 nm bulk CMOS standard-cell flow and are
+then refined by :class:`repro.core.calibration.PaperCalibration`, which
+fits the free constants (threshold voltage, velocity-saturation index,
+drive constant) to the anchor measurements the paper publishes.  The
+technology object itself is deliberately dumb: it is a bag of parameters
+consumed by the MOSFET and cell models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import FF, V
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Parameters of a CMOS process node as seen by the timing models.
+
+    Attributes:
+        name: Human-readable node name (e.g. ``"90nm-generic"``).
+        vdd_nominal: Nominal supply voltage in volts.
+        vth: Effective threshold voltage of the alpha-power model, volts.
+            This is a *timing-effective* threshold (it absorbs DIBL and
+            body effect averaged over a switching event), not the DC
+            extraction value, which is why calibration may place it below
+            a datasheet Vth.
+        alpha: Velocity-saturation index of the alpha-power law.  2.0 is
+            the long-channel square law; short-channel 90 nm devices sit
+            near 1.2–1.4.
+        drive_constant: ``k`` in ``t_d = k * C_load * V / (V - vth)**alpha``
+            for a unit-strength inverter, in seconds per farad (scaled by
+            the voltage factor).  Larger is slower.
+        gate_cap_unit: Input capacitance of a unit-strength inverter, F.
+        intrinsic_cap_unit: Parasitic output capacitance of a
+            unit-strength inverter (drain junctions + local wiring), F.
+        slew_fraction: Fraction of the propagation delay contributed per
+            unit of normalized input slew (first-order slew degradation).
+        temp_nominal_c: Characterization temperature, Celsius.
+    """
+
+    name: str
+    vdd_nominal: float
+    vth: float
+    alpha: float
+    drive_constant: float
+    gate_cap_unit: float
+    intrinsic_cap_unit: float
+    slew_fraction: float = 0.25
+    temp_nominal_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0:
+            raise ConfigurationError("vdd_nominal must be positive")
+        if not 0.0 < self.vth < self.vdd_nominal:
+            raise ConfigurationError(
+                f"vth={self.vth} must lie in (0, vdd_nominal={self.vdd_nominal})"
+            )
+        if self.alpha < 1.0 or self.alpha > 2.0:
+            raise ConfigurationError(
+                f"alpha={self.alpha} outside the physical range [1, 2]"
+            )
+        if self.drive_constant <= 0:
+            raise ConfigurationError("drive_constant must be positive")
+        if self.gate_cap_unit <= 0 or self.intrinsic_cap_unit < 0:
+            raise ConfigurationError("capacitances must be non-negative")
+
+    def scaled(self, *, vth_shift: float = 0.0, drive_scale: float = 1.0,
+               name: str | None = None) -> "Technology":
+        """Return a copy with shifted threshold and scaled drive.
+
+        This is the hook used by process corners and statistical
+        variation: a slow device has a higher ``vth`` and a weaker drive
+        (``drive_scale > 1`` since ``drive_constant`` is a *delay*
+        constant).
+        """
+        new_vth = self.vth + vth_shift
+        if not 0.0 < new_vth < self.vdd_nominal:
+            raise ConfigurationError(
+                f"shifted vth={new_vth:.4f} leaves the physical range"
+            )
+        if drive_scale <= 0:
+            raise ConfigurationError("drive_scale must be positive")
+        return replace(
+            self,
+            name=name if name is not None else self.name,
+            vth=new_vth,
+            drive_constant=self.drive_constant * drive_scale,
+        )
+
+
+#: Default 90 nm-class technology.  ``vth``, ``alpha`` and
+#: ``drive_constant`` are starting points only; the paper calibration
+#: (:mod:`repro.core.calibration`) produces the fitted instance actually
+#: used to regenerate the paper's figures.
+TECH_90NM = Technology(
+    name="90nm-generic",
+    vdd_nominal=1.0 * V,
+    vth=0.18 * V,
+    alpha=1.3,
+    drive_constant=3.9e3,  # s/F: ~15 ps unit-inverter delay into 3 fF at 1.0 V
+    gate_cap_unit=1.8 * FF,
+    intrinsic_cap_unit=1.1 * FF,
+)

@@ -1,0 +1,133 @@
+"""Statistical process variation.
+
+Beyond the discrete corners of :mod:`repro.devices.corners`, real dies
+show continuous variation: a die-wide (inter-die) component shared by
+every gate on the chip, plus an independent per-gate (intra-die,
+"mismatch") component.  The paper's trimming story only needs the
+inter-die part — the delay code is a per-die knob — but the intra-die
+part matters for the thermometer's monotonicity (adjacent stages with
+mismatched thresholds can produce "bubbles" in the output code), which
+is exactly what the encoder's bubble correction exists for.
+
+All sampling is deterministic given a seed, so tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.technology import Technology
+from repro.errors import ConfigurationError
+from repro.units import MV
+
+
+@dataclass(frozen=True)
+class VariationSample:
+    """One sampled die: an inter-die shift plus per-instance mismatch.
+
+    Attributes:
+        die_vth_shift: Die-wide threshold shift, volts.
+        die_drive_scale: Die-wide drive-constant multiplier.
+        instance_vth_shifts: Per-gate threshold shifts, volts; one entry
+            per requested instance.
+        instance_drive_scales: Per-gate drive multipliers.
+    """
+
+    die_vth_shift: float
+    die_drive_scale: float
+    instance_vth_shifts: tuple[float, ...]
+    instance_drive_scales: tuple[float, ...]
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.instance_vth_shifts)
+
+    def technology_for(self, tech: Technology, instance: int) -> Technology:
+        """Technology seen by one gate instance on this die."""
+        if not 0 <= instance < self.n_instances:
+            raise ConfigurationError(
+                f"instance {instance} out of range [0, {self.n_instances})"
+            )
+        return tech.scaled(
+            vth_shift=self.die_vth_shift + self.instance_vth_shifts[instance],
+            drive_scale=self.die_drive_scale
+            * self.instance_drive_scales[instance],
+            name=f"{tech.name}-die",
+        )
+
+    def die_technology(self, tech: Technology) -> Technology:
+        """Technology with only the inter-die component applied."""
+        return tech.scaled(
+            vth_shift=self.die_vth_shift,
+            drive_scale=self.die_drive_scale,
+            name=f"{tech.name}-die",
+        )
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Gaussian process-variation generator.
+
+    Attributes:
+        sigma_vth_inter: Std-dev of the inter-die Vth shift, volts.
+        sigma_vth_intra: Std-dev of the per-gate Vth mismatch, volts.
+        sigma_drive_inter: Std-dev of the inter-die log-drive scale.
+        sigma_drive_intra: Std-dev of the per-gate log-drive scale.
+        clip_sigmas: Samples are clipped to this many sigmas to keep the
+            shifted technologies physical.
+    """
+
+    sigma_vth_inter: float = 15 * MV
+    sigma_vth_intra: float = 6 * MV
+    sigma_drive_inter: float = 0.04
+    sigma_drive_intra: float = 0.015
+    clip_sigmas: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("sigma_vth_inter", "sigma_vth_intra",
+                     "sigma_drive_inter", "sigma_drive_intra"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.clip_sigmas <= 0:
+            raise ConfigurationError("clip_sigmas must be positive")
+
+    def sample_die(self, n_instances: int, *, seed: int) -> VariationSample:
+        """Sample one die with ``n_instances`` varied gate instances."""
+        if n_instances < 0:
+            raise ConfigurationError("n_instances must be non-negative")
+        rng = np.random.default_rng(seed)
+
+        def clipped_normal(sigma: float, size=None):
+            raw = rng.normal(0.0, 1.0, size=size)
+            clipped = np.clip(raw, -self.clip_sigmas, self.clip_sigmas)
+            return clipped * sigma
+
+        die_vth = float(clipped_normal(self.sigma_vth_inter))
+        die_drive = float(np.exp(clipped_normal(self.sigma_drive_inter)))
+        inst_vth = clipped_normal(self.sigma_vth_intra, size=n_instances)
+        inst_drive = np.exp(
+            clipped_normal(self.sigma_drive_intra, size=n_instances)
+        )
+        return VariationSample(
+            die_vth_shift=die_vth,
+            die_drive_scale=die_drive,
+            instance_vth_shifts=tuple(float(x) for x in inst_vth),
+            instance_drive_scales=tuple(float(x) for x in inst_drive),
+        )
+
+    def sample_lot(self, n_dies: int, n_instances: int, *,
+                   seed: int) -> list[VariationSample]:
+        """Sample a lot of dies with decorrelated per-die seeds."""
+        if n_dies < 0:
+            raise ConfigurationError("n_dies must be non-negative")
+        seq = np.random.SeedSequence(seed)
+        children = seq.spawn(n_dies)
+        return [
+            self.sample_die(
+                n_instances,
+                seed=int(child.generate_state(1)[0]),
+            )
+            for child in children
+        ]

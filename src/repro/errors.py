@@ -1,0 +1,63 @@
+"""Exception hierarchy for the PSN-thermometer reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class CalibrationError(ReproError):
+    """The paper-anchor calibration could not be satisfied.
+
+    Raised when the technology-model fit fails to converge or produces
+    physically meaningless constants (e.g. a negative threshold voltage).
+    """
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator reached an inconsistent state."""
+
+
+class TimingViolationError(ReproError):
+    """A hard timing constraint was violated where the caller demanded
+    clean capture (e.g. the STA engine found negative slack in a context
+    that requires closure)."""
+
+
+class NetlistError(ReproError):
+    """A netlist is structurally invalid (dangling pin, duplicate driver,
+    unknown net, combinational loop where none is allowed)."""
+
+
+class CharacterizationError(ReproError):
+    """A characterization sweep could not bracket a threshold.
+
+    Raised e.g. when the requested supply interval does not contain the
+    pass/fail boundary of a sensor stage.
+    """
+
+
+class DecodingError(ReproError):
+    """A sensor output word could not be decoded.
+
+    Raised for non-thermometer codes when bubble correction is disabled,
+    or for words whose width does not match the characterized array.
+    """
+
+
+class ProtocolError(ReproError):
+    """The control FSM was driven outside its legal protocol.
+
+    Raised e.g. when a SENSE is requested before the PREPARE phase has
+    completed, mirroring the sequencing constraints of the paper's Fig. 8.
+    """

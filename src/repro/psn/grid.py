@@ -1,0 +1,162 @@
+"""Resistive on-die power-grid solver for spatial IR-drop maps.
+
+The paper's closing argument is that the sensor arrays "can be placed in
+many points of the DUT" — a *PSN scan chain*.  Exercising that needs a
+CUT whose supply differs from point to point: this module models the
+on-die power grid as a rectangular resistive mesh fed from supply pads,
+loaded by per-tile currents, and solves the nodal equations with a
+sparse direct solve.  The resulting per-tile voltages feed per-site
+sensor instances in the scan-chain experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IRDropGrid:
+    """A ``rows x cols`` resistive power mesh.
+
+    Attributes:
+        rows: Grid rows (tiles).
+        cols: Grid columns (tiles).
+        r_segment: Resistance of one mesh segment between adjacent
+            tiles, ohms.
+        r_pad: Resistance from a pad tile down to the ideal supply, ohms.
+        vdd: Pad supply level, volts.
+        pad_tiles: Tile coordinates ``(row, col)`` connected to pads;
+            defaults to the four corners.
+    """
+
+    rows: int
+    cols: int
+    r_segment: float = 0.05
+    r_pad: float = 0.01
+    vdd: float = 1.0
+    pad_tiles: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("grid must have at least one tile")
+        if self.r_segment <= 0 or self.r_pad <= 0:
+            raise ConfigurationError("resistances must be positive")
+        if self.vdd <= 0:
+            raise ConfigurationError("vdd must be positive")
+        pads = self.pad_tiles or self._default_pads()
+        for r, c in pads:
+            if not (0 <= r < self.rows and 0 <= c < self.cols):
+                raise ConfigurationError(f"pad tile {(r, c)} outside grid")
+        object.__setattr__(self, "pad_tiles", tuple(pads))
+
+    def _default_pads(self) -> tuple[tuple[int, int], ...]:
+        corners = {
+            (0, 0),
+            (0, self.cols - 1),
+            (self.rows - 1, 0),
+            (self.rows - 1, self.cols - 1),
+        }
+        return tuple(sorted(corners))
+
+    @property
+    def n_tiles(self) -> int:
+        return self.rows * self.cols
+
+    def tile_index(self, row: int, col: int) -> int:
+        """Flattened index of a tile.
+
+        Raises:
+            ConfigurationError: for out-of-range coordinates.
+        """
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"tile {(row, col)} outside {self.rows}x{self.cols} grid"
+            )
+        return row * self.cols + col
+
+    def graph(self) -> nx.Graph:
+        """The mesh as a networkx graph (for topology checks/plots)."""
+        g = nx.grid_2d_graph(self.rows, self.cols)
+        nx.set_edge_attributes(g, self.r_segment, "resistance")
+        return g
+
+    def solve(self, tile_currents: np.ndarray) -> np.ndarray:
+        """Nodal solve: per-tile rail voltage for per-tile load currents.
+
+        Args:
+            tile_currents: Array of shape ``(rows, cols)`` (or flat
+                ``rows*cols``) of currents drawn by each tile, amperes.
+
+        Returns:
+            Array of shape ``(rows, cols)`` of tile voltages, volts.
+
+        Raises:
+            ConfigurationError: on shape mismatch or negative currents.
+        """
+        currents = np.asarray(tile_currents, dtype=float)
+        if currents.size != self.n_tiles:
+            raise ConfigurationError(
+                f"expected {self.n_tiles} tile currents, got {currents.size}"
+            )
+        if np.any(currents < 0):
+            raise ConfigurationError("tile currents must be non-negative")
+        currents = currents.reshape(self.rows, self.cols)
+
+        n = self.n_tiles
+        g_seg = 1.0 / self.r_segment
+        g_pad = 1.0 / self.r_pad
+        g_matrix = lil_matrix((n, n))
+        rhs = np.zeros(n)
+
+        for row in range(self.rows):
+            for col in range(self.cols):
+                i = self.tile_index(row, col)
+                rhs[i] -= currents[row, col]
+                for dr, dc in ((0, 1), (1, 0)):
+                    r2, c2 = row + dr, col + dc
+                    if r2 < self.rows and c2 < self.cols:
+                        j = self.tile_index(r2, c2)
+                        g_matrix[i, i] += g_seg
+                        g_matrix[j, j] += g_seg
+                        g_matrix[i, j] -= g_seg
+                        g_matrix[j, i] -= g_seg
+        for row, col in self.pad_tiles:
+            i = self.tile_index(row, col)
+            g_matrix[i, i] += g_pad
+            rhs[i] += g_pad * self.vdd
+
+        voltages = spsolve(g_matrix.tocsr(), rhs)
+        return np.asarray(voltages).reshape(self.rows, self.cols)
+
+    def worst_drop(self, tile_currents: np.ndarray) -> float:
+        """Largest IR drop below the pad supply, volts."""
+        v = self.solve(tile_currents)
+        return float(self.vdd - v.min())
+
+    def hotspot_currents(self, *, total_current: float,
+                         hotspot: tuple[int, int],
+                         hotspot_share: float = 0.5) -> np.ndarray:
+        """A current map concentrating ``hotspot_share`` at one tile.
+
+        The remainder spreads uniformly over all tiles.  Convenient for
+        scan-chain experiments that need a known spatial gradient.
+        """
+        if total_current < 0:
+            raise ConfigurationError("total_current must be non-negative")
+        if not 0.0 <= hotspot_share <= 1.0:
+            raise ConfigurationError("hotspot_share must be in [0, 1]")
+        currents = np.full(
+            (self.rows, self.cols),
+            total_current * (1.0 - hotspot_share) / self.n_tiles,
+        )
+        r, c = hotspot
+        self.tile_index(r, c)  # bounds check
+        currents[r, c] += total_current * hotspot_share
+        return currents

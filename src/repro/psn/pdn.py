@@ -1,0 +1,197 @@
+"""Lumped RLC power-delivery-network model.
+
+The canonical two-element PDN: the off-chip regulator is an ideal
+``vdd_nominal`` source behind a package/bump series branch (R, L) into
+the on-die rail, which is held up by decoupling capacitance C (with its
+effective series resistance) and discharged by the CUT's switching
+current.  State equations:
+
+    L * di/dt = vdd_nominal - v_die - R * i
+    C * dv_c/dt = i_c                 (decap branch)
+    v_die = v_c + R_esr * i_c
+    i = i_c + i_load(t)
+
+Integrated with a fixed-step trapezoidal (Tustin) scheme — A-stable, so
+the resonant ringing the experiments rely on is reproduced without
+artificial damping.  The output is a
+:class:`~repro.sim.waveform.PiecewiseLinearWaveform` ready to bind to a
+supply net.
+
+A mirrored instance with its own R/L models the ground return path:
+ground *bounce* is ``gnd(t) = bounce`` rising above 0 V when current
+returns through the ground inductance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.waveform import PiecewiseLinearWaveform
+from repro.units import MOHM, NH, NF, PH
+
+CurrentFunction = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class PDNParameters:
+    """Electrical parameters of the lumped PDN.
+
+    Defaults are 90 nm-class: tens of pH of package+bump inductance per
+    rail as seen die-side, a few mΩ of spreading resistance, and
+    hundreds of nF of on-die + package decap, giving a mid-frequency
+    resonance in the 50–200 MHz band.
+
+    Attributes:
+        vdd_nominal: Regulator setpoint, volts.
+        r_series: Series resistance of the supply path, ohms.
+        l_series: Series inductance of the supply path, henries.
+        c_decap: Decoupling capacitance, farads.
+        r_esr: Effective series resistance of the decap, ohms.
+    """
+
+    vdd_nominal: float = 1.0
+    r_series: float = 3.0 * MOHM
+    l_series: float = 60.0 * PH
+    c_decap: float = 40.0 * NF
+    r_esr: float = 0.5 * MOHM
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0:
+            raise ConfigurationError("vdd_nominal must be positive")
+        for attr in ("r_series", "l_series", "c_decap", "r_esr"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{attr} must be non-negative")
+        if self.l_series == 0 or self.c_decap == 0:
+            raise ConfigurationError(
+                "l_series and c_decap must be positive for a resonant PDN"
+            )
+
+    @property
+    def resonant_frequency(self) -> float:
+        """Undamped LC resonance, hertz."""
+        return 1.0 / (2.0 * math.pi * math.sqrt(self.l_series * self.c_decap))
+
+    @property
+    def characteristic_impedance(self) -> float:
+        """``sqrt(L/C)`` — peak impedance scale, ohms."""
+        return math.sqrt(self.l_series / self.c_decap)
+
+    @property
+    def damping_ratio(self) -> float:
+        """Series-RLC damping ratio ``zeta``."""
+        return (self.r_series + self.r_esr) / 2.0 \
+            * math.sqrt(self.c_decap / self.l_series)
+
+    def impedance_at(self, freq: float) -> complex:
+        """Impedance seen by the die at a frequency, ohms (complex)."""
+        if freq < 0:
+            raise ConfigurationError("freq must be non-negative")
+        w = 2.0 * math.pi * freq
+        z_series = self.r_series + 1j * w * self.l_series
+        if w == 0.0:
+            return z_series * 0 + (self.r_series + 0j)
+        z_cap = self.r_esr + 1.0 / (1j * w * self.c_decap)
+        return z_series * z_cap / (z_series + z_cap)
+
+
+class PDNModel:
+    """Time-domain simulator for one :class:`PDNParameters` instance."""
+
+    def __init__(self, params: PDNParameters) -> None:
+        self.params = params
+
+    def simulate(self, i_load: CurrentFunction | np.ndarray, *,
+                 t_end: float, dt: float,
+                 v0: float | None = None) -> PiecewiseLinearWaveform:
+        """Integrate the die-rail voltage over ``[0, t_end]``.
+
+        Args:
+            i_load: CUT current draw — a callable ``i(t)`` in amperes, or
+                a pre-sampled array of length ``round(t_end/dt) + 1``.
+            t_end: End time, seconds.
+            dt: Integration step, seconds.  Should resolve the resonance
+                (``dt << 1/f_res``); a too-coarse step raises.
+            v0: Initial rail voltage; defaults to the nominal (assumes a
+                settled rail before the stimulus).
+
+        Returns:
+            ``v_die(t)`` as a piecewise-linear waveform.
+
+        Raises:
+            ConfigurationError: for a step that under-resolves the
+                resonance or a mismatched sample array.
+        """
+        p = self.params
+        if t_end <= 0 or dt <= 0:
+            raise ConfigurationError("t_end and dt must be positive")
+        n = int(round(t_end / dt))
+        if n < 2:
+            raise ConfigurationError("t_end/dt must give at least 2 steps")
+        if dt > 0.05 / p.resonant_frequency:
+            raise ConfigurationError(
+                f"dt={dt:g}s under-resolves the PDN resonance "
+                f"({p.resonant_frequency:.3g} Hz); use dt <= "
+                f"{0.05 / p.resonant_frequency:.3g}s"
+            )
+        times = np.arange(n + 1) * dt
+        if callable(i_load):
+            i_samples = np.array([i_load(t) for t in times])
+        else:
+            i_samples = np.asarray(i_load, dtype=float)
+            if i_samples.shape != times.shape:
+                raise ConfigurationError(
+                    f"i_load array has {i_samples.size} samples; expected "
+                    f"{times.size} for t_end={t_end}, dt={dt}"
+                )
+
+        # State x = [i_branch, v_cap]; v_die = v_cap + r_esr*(i - i_load).
+        # Trapezoidal update: (I - dt/2 A) x_{k+1} = (I + dt/2 A) x_k
+        #                      + dt/2 (b_k + b_{k+1})
+        r_total = p.r_series + p.r_esr
+        a = np.array([
+            [-r_total / p.l_series, -1.0 / p.l_series],
+            [1.0 / p.c_decap, 0.0],
+        ])
+        m_minus = np.eye(2) - (dt / 2.0) * a
+        m_plus = np.eye(2) + (dt / 2.0) * a
+        m_inv = np.linalg.inv(m_minus)
+
+        def forcing(i_l: float) -> np.ndarray:
+            return np.array([
+                (p.vdd_nominal + p.r_esr * i_l) / p.l_series,
+                -i_l / p.c_decap,
+            ])
+
+        v_init = p.vdd_nominal if v0 is None else v0
+        x = np.array([i_samples[0], v_init - p.r_esr * 0.0])
+        v_out = np.empty(n + 1)
+        v_out[0] = x[1] + p.r_esr * (x[0] - i_samples[0])
+        for k in range(n):
+            b = (dt / 2.0) * (forcing(i_samples[k])
+                              + forcing(i_samples[k + 1]))
+            x = m_inv @ (m_plus @ x + b)
+            v_out[k + 1] = x[1] + p.r_esr * (x[0] - i_samples[k + 1])
+        return PiecewiseLinearWaveform(times, v_out)
+
+    def ground_bounce(self, i_load: CurrentFunction | np.ndarray, *,
+                      t_end: float, dt: float,
+                      fraction: float = 1.0
+                      ) -> PiecewiseLinearWaveform:
+        """Ground-rail bounce for the same load current.
+
+        The return path sees the same R/L; bounce is the complement of
+        the supply droop around the nominal: ``gnd(t) =
+        fraction * (vdd_nominal - v_die(t))``.  ``fraction`` scales for
+        asymmetric supply/ground networks.
+        """
+        if not 0.0 <= fraction <= 2.0:
+            raise ConfigurationError("fraction must be in [0, 2]")
+        v_die = self.simulate(i_load, t_end=t_end, dt=dt)
+        times = v_die.times
+        bounce = fraction * (self.params.vdd_nominal - v_die.values)
+        return PiecewiseLinearWaveform(times, bounce)

@@ -1,0 +1,131 @@
+"""PDN impedance spectra and decap sizing.
+
+Frequency-domain companions to the time-domain :mod:`repro.psn.pdn`
+model: sweep the rail impedance, find the anti-resonance peak that
+shapes the mid-frequency droop the sensor is built to catch, and size
+decoupling capacitance against a target impedance — the knob a designer
+turns when the thermometer reports too much noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.psn.pdn import PDNParameters
+
+
+@dataclass(frozen=True)
+class ImpedanceProfile:
+    """A swept impedance magnitude profile.
+
+    Attributes:
+        freqs: Frequency axis, hertz (log-spaced).
+        magnitudes: ``|Z|`` at each frequency, ohms.
+    """
+
+    freqs: np.ndarray
+    magnitudes: np.ndarray
+
+    @property
+    def peak(self) -> tuple[float, float]:
+        """(frequency, |Z|) at the anti-resonance peak."""
+        i = int(np.argmax(self.magnitudes))
+        return float(self.freqs[i]), float(self.magnitudes[i])
+
+    def at(self, freq: float) -> float:
+        """Interpolated |Z| at one frequency (log-domain interp)."""
+        if freq <= 0:
+            raise ConfigurationError("freq must be positive")
+        return float(np.interp(np.log10(freq), np.log10(self.freqs),
+                               self.magnitudes))
+
+
+def impedance_profile(params: PDNParameters, *,
+                      f_min: float = 1e6, f_max: float = 10e9,
+                      n_points: int = 400) -> ImpedanceProfile:
+    """Sweep ``|Z(f)|`` of a PDN over a log-spaced axis.
+
+    Raises:
+        ConfigurationError: for a bad frequency interval.
+    """
+    if not 0 < f_min < f_max:
+        raise ConfigurationError("need 0 < f_min < f_max")
+    if n_points < 8:
+        raise ConfigurationError("n_points must be at least 8")
+    freqs = np.logspace(np.log10(f_min), np.log10(f_max), n_points)
+    mags = np.array([abs(params.impedance_at(float(f))) for f in freqs])
+    return ImpedanceProfile(freqs=freqs, magnitudes=mags)
+
+
+def resonant_droop_bound(params: PDNParameters,
+                         current_amplitude: float) -> float:
+    """Worst-case rail excursion for *sustained periodic* excitation.
+
+    A current waveform with amplitude ``I`` concentrated at the
+    anti-resonance frequency rings the rail up to ``I * Z_pk`` — the
+    pessimistic design-rule bound (a step or a single burst excites far
+    less; see :func:`step_droop_estimate`).
+    """
+    if current_amplitude < 0:
+        raise ConfigurationError("current_amplitude must be >= 0")
+    _, z_pk = impedance_profile(params).peak
+    return current_amplitude * z_pk
+
+
+def step_droop_estimate(params: PDNParameters,
+                        current_step: float) -> float:
+    """First-droop estimate for a single load *step*, volts.
+
+    A step of ``I`` into an underdamped series-RLC rail dips by about
+    ``I * sqrt(L/C) * exp(-pi * zeta / sqrt(1 - zeta^2))`` at the first
+    resonance trough — the characteristic-impedance kick reduced by the
+    damping accumulated over the first half cycle.
+    """
+    if current_step < 0:
+        raise ConfigurationError("current_step must be non-negative")
+    zeta = min(params.damping_ratio, 0.999)
+    damping = np.exp(-np.pi * zeta / np.sqrt(1.0 - zeta ** 2))
+    return current_step * params.characteristic_impedance * damping
+
+
+def decap_for_target_impedance(params: PDNParameters,
+                               z_target: float, *,
+                               c_max: float = 10e-6,
+                               tol: float = 1e-3) -> PDNParameters:
+    """Grow the decap until the peak impedance meets a target.
+
+    Args:
+        params: Starting PDN.
+        z_target: Required peak impedance, ohms.
+        c_max: Search ceiling for the decap, farads.
+        tol: Relative bisection tolerance on the capacitance.
+
+    Returns:
+        A copy of ``params`` with the smallest sufficient ``c_decap``.
+
+    Raises:
+        ConfigurationError: if even ``c_max`` cannot meet the target.
+    """
+    if z_target <= 0:
+        raise ConfigurationError("z_target must be positive")
+
+    def peak_z(c: float) -> float:
+        return impedance_profile(replace(params, c_decap=c)).peak[1]
+
+    if peak_z(params.c_decap) <= z_target:
+        return params
+    if peak_z(c_max) > z_target:
+        raise ConfigurationError(
+            f"target {z_target:g} ohm unreachable below c_max={c_max:g} F"
+        )
+    lo, hi = params.c_decap, c_max
+    while (hi - lo) / hi > tol:
+        mid = (lo * hi) ** 0.5  # geometric bisection on a log axis
+        if peak_z(mid) > z_target:
+            lo = mid
+        else:
+            hi = mid
+    return replace(params, c_decap=hi)

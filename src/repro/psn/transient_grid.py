@@ -1,0 +1,128 @@
+"""Quasi-static transient solves of the spatial power grid.
+
+The static :class:`~repro.psn.grid.IRDropGrid` answers "what does the
+map look like for one current pattern"; real CUTs move — blocks wake,
+throttle, migrate.  Because the on-die grid's electrical time constants
+(ps) are far below the activity time scales of interest (ns), a
+*quasi-static* sweep is the appropriate model: solve the resistive grid
+at each time step against the instantaneous tile currents, producing a
+per-tile voltage waveform ready to drive per-site sensor harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.psn.grid import IRDropGrid
+from repro.sim.waveform import PiecewiseLinearWaveform
+
+
+@dataclass(frozen=True)
+class GridTransient:
+    """Per-tile rail waveforms from a quasi-static sweep.
+
+    Attributes:
+        grid: The solved grid.
+        times: Solve instants, seconds.
+        voltages: ``(n_times, rows, cols)`` tile voltages, volts.
+    """
+
+    grid: IRDropGrid
+    times: np.ndarray
+    voltages: np.ndarray
+
+    def waveform_at(self, row: int, col: int
+                    ) -> PiecewiseLinearWaveform:
+        """The rail waveform one tile sees (for a sensor harness)."""
+        self.grid.tile_index(row, col)
+        return PiecewiseLinearWaveform(
+            self.times, self.voltages[:, row, col]
+        )
+
+    def worst_tile(self) -> tuple[int, int]:
+        """The tile with the deepest instantaneous droop."""
+        flat = self.voltages.reshape(self.times.size, -1)
+        tile = int(np.argmin(np.min(flat, axis=0)))
+        return divmod(tile, self.grid.cols)
+
+    def worst_drop(self) -> float:
+        """Deepest droop below the pad supply anywhere, any time, V."""
+        return float(self.grid.vdd - self.voltages.min())
+
+    def snapshot(self, t: float) -> np.ndarray:
+        """Interpolated tile-voltage map at one instant."""
+        if t <= self.times[0]:
+            return self.voltages[0].copy()
+        if t >= self.times[-1]:
+            return self.voltages[-1].copy()
+        i = int(np.searchsorted(self.times, t) - 1)
+        frac = (t - self.times[i]) / (self.times[i + 1] - self.times[i])
+        return ((1 - frac) * self.voltages[i]
+                + frac * self.voltages[i + 1])
+
+
+def solve_transient(grid: IRDropGrid,
+                    tile_currents_fn, *,
+                    t_end: float, dt: float) -> GridTransient:
+    """Quasi-static transient solve.
+
+    Args:
+        grid: The resistive mesh.
+        tile_currents_fn: ``f(t) -> (rows, cols) array`` of tile
+            currents at time ``t``, amperes.
+        t_end: Sweep end, seconds.
+        dt: Solve step, seconds.
+
+    Raises:
+        ConfigurationError: bad interval/step or mis-shaped currents.
+    """
+    if t_end <= 0 or dt <= 0:
+        raise ConfigurationError("t_end and dt must be positive")
+    n = int(round(t_end / dt))
+    if n < 2:
+        raise ConfigurationError("need at least 2 solve points")
+    times = np.arange(n + 1) * dt
+    voltages = np.empty((times.size, grid.rows, grid.cols))
+    for k, t in enumerate(times):
+        currents = np.asarray(tile_currents_fn(float(t)), dtype=float)
+        if currents.shape != (grid.rows, grid.cols):
+            raise ConfigurationError(
+                f"tile_currents_fn returned shape {currents.shape}; "
+                f"expected ({grid.rows}, {grid.cols})"
+            )
+        voltages[k] = grid.solve(currents)
+    return GridTransient(grid=grid, times=times, voltages=voltages)
+
+
+def migrating_hotspot(grid: IRDropGrid, *, total_current: float,
+                      path: list[tuple[int, int]],
+                      dwell: float,
+                      hotspot_share: float = 0.8):
+    """A tile-current function whose hotspot walks along ``path``.
+
+    The classic workload-migration scenario: the hotspot dwells
+    ``dwell`` seconds on each tile of ``path`` in turn (holding at the
+    last tile), with the remainder of the current spread uniformly.
+
+    Raises:
+        ConfigurationError: empty path / bad dwell.
+    """
+    if not path:
+        raise ConfigurationError("path must be non-empty")
+    if dwell <= 0:
+        raise ConfigurationError("dwell must be positive")
+    for r, c in path:
+        grid.tile_index(r, c)
+
+    def currents(t: float) -> np.ndarray:
+        idx = min(int(t // dwell), len(path) - 1)
+        return grid.hotspot_currents(
+            total_current=total_current,
+            hotspot=path[idx],
+            hotspot_share=hotspot_share,
+        )
+
+    return currents

@@ -1,0 +1,54 @@
+"""Event-driven, supply-aware digital simulator.
+
+This is the reproduction's stand-in for the paper's ELDO runs: a
+gate-level event simulator whose per-event delays come from the
+alpha-power cell models and — crucially — from the *instantaneous*
+voltage of the supply net each cell is connected to.  Supply nets carry
+arbitrary waveforms (:mod:`repro.sim.waveform`), so a sensor inverter
+powered by a drooping ``VDD-n`` slows down mid-simulation exactly as the
+paper's Fig. 2/3 traces show.
+
+Modules:
+
+* :mod:`repro.sim.waveform` — piecewise-linear/analytic voltage and
+  current waveforms;
+* :mod:`repro.sim.events` — the time-ordered event queue;
+* :mod:`repro.sim.netlist` — nets, supply nets, instances, validation;
+* :mod:`repro.sim.engine` — the simulation kernel;
+* :mod:`repro.sim.trace` — transition recording and queries;
+* :mod:`repro.sim.stimulus` — clock/pulse stimulus helpers.
+"""
+
+from repro.sim.waveform import (
+    Waveform,
+    ConstantWaveform,
+    PiecewiseLinearWaveform,
+    SumWaveform,
+    DampedSineWaveform,
+    StepWaveform,
+)
+from repro.sim.events import Event, EventQueue
+from repro.sim.netlist import Net, SupplyNet, Instance, Netlist
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import Trace
+from repro.sim.stimulus import clock_edges, schedule_clock, schedule_pulse
+
+__all__ = [
+    "Waveform",
+    "ConstantWaveform",
+    "PiecewiseLinearWaveform",
+    "SumWaveform",
+    "DampedSineWaveform",
+    "StepWaveform",
+    "Event",
+    "EventQueue",
+    "Net",
+    "SupplyNet",
+    "Instance",
+    "Netlist",
+    "SimulationEngine",
+    "Trace",
+    "clock_edges",
+    "schedule_clock",
+    "schedule_pulse",
+]

@@ -1,0 +1,295 @@
+"""Nets, supply nets, cell instances and the netlist container.
+
+The structural model mirrors what the paper's sensor needs:
+
+* **signal nets** carry logic values and accumulate load capacitance
+  from the input pins they fan out to plus any *explicit* capacitor —
+  the sensor's programmable ``C`` at the delay-sense node is exactly an
+  explicit net capacitance;
+* **supply nets** carry voltage waveforms; every instance names the
+  supply net powering it, so the noisy ``VDD-n`` rail and the nominal
+  control-logic rail coexist in one netlist (paper Fig. 6's central
+  trick: sensor inverters on the noisy rail, everything else nominal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cells.base import Cell, LogicValue, PinDirection, UNKNOWN
+from repro.errors import NetlistError
+from repro.sim.waveform import ConstantWaveform, Waveform
+
+
+@dataclass
+class Net:
+    """A signal net.
+
+    Attributes:
+        name: Unique net name.
+        extra_cap: Explicit capacitance attached to the net, farads
+            (the sensor's load ``C``).
+        value: Current logic value (engine-owned at run time).
+        last_change: Time of the most recent transition, seconds.
+        previous_value: Value held before the most recent transition.
+    """
+
+    name: str
+    extra_cap: float = 0.0
+    value: LogicValue = UNKNOWN
+    last_change: float = float("-inf")
+    previous_value: LogicValue = UNKNOWN
+
+    def __post_init__(self) -> None:
+        if self.extra_cap < 0:
+            raise NetlistError(f"net {self.name}: extra_cap must be >= 0")
+
+
+@dataclass
+class SupplyNet:
+    """A power/ground rail carrying a voltage waveform.
+
+    Attributes:
+        name: Unique rail name (e.g. ``"VDDN"``, ``"VDD"``, ``"GNDN"``).
+        waveform: Voltage vs. time; a plain float is wrapped in a
+            :class:`ConstantWaveform`.
+        is_ground: True for ground-reference rails; the effective supply
+            of an instance is ``vdd(t) - gnd(t)`` and ground *bounce* on
+            ``GND-n`` raises the rail above 0 V.
+    """
+
+    name: str
+    waveform: Waveform
+    is_ground: bool = False
+
+    def voltage(self, t: float) -> float:
+        return self.waveform(t)
+
+
+@dataclass
+class Instance:
+    """A placed cell with its pin-to-net connections.
+
+    Attributes:
+        name: Unique instance name.
+        cell: The library cell (owns logic + timing).
+        connections: Pin name -> net name.
+        vdd: Name of the supply rail powering this instance.
+        gnd: Name of the ground rail referencing this instance.
+    """
+
+    name: str
+    cell: Cell
+    connections: dict[str, str]
+    vdd: str
+    gnd: str
+
+    def net_of(self, pin: str) -> str:
+        try:
+            return self.connections[pin]
+        except KeyError:
+            raise NetlistError(
+                f"instance {self.name}: pin {pin!r} is not connected"
+            ) from None
+
+
+@dataclass
+class _PinRef:
+    """(instance, pin) endpoint attached to a net."""
+
+    instance: Instance
+    pin_name: str
+
+    @property
+    def pin(self):
+        return self.instance.cell.pin(self.pin_name)
+
+
+class Netlist:
+    """A flat gate-level netlist with supply binding and validation."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self.nets: dict[str, Net] = {}
+        self.supplies: dict[str, SupplyNet] = {}
+        self.instances: dict[str, Instance] = {}
+        self._sinks: dict[str, list[_PinRef]] = {}
+        self._driver: dict[str, _PinRef] = {}
+        self._external_inputs: set[str] = set()
+
+    # -- construction ---------------------------------------------------
+
+    def add_net(self, name: str, *, extra_cap: float = 0.0) -> Net:
+        """Create a signal net.
+
+        Raises:
+            NetlistError: on duplicate name (against nets or supplies).
+        """
+        self._check_fresh_name(name)
+        net = Net(name=name, extra_cap=extra_cap)
+        self.nets[name] = net
+        self._sinks[name] = []
+        return net
+
+    def add_supply(self, name: str, waveform: Waveform | float, *,
+                   is_ground: bool = False) -> SupplyNet:
+        """Create a supply rail; floats become constant waveforms."""
+        self._check_fresh_name(name)
+        if isinstance(waveform, (int, float)):
+            waveform = ConstantWaveform(float(waveform))
+        rail = SupplyNet(name=name, waveform=waveform, is_ground=is_ground)
+        self.supplies[name] = rail
+        return rail
+
+    def set_supply_waveform(self, name: str,
+                            waveform: Waveform | float) -> None:
+        """Rebind a rail's waveform (e.g. a new noise trace per run)."""
+        if name not in self.supplies:
+            raise NetlistError(f"unknown supply rail {name!r}")
+        if isinstance(waveform, (int, float)):
+            waveform = ConstantWaveform(float(waveform))
+        self.supplies[name].waveform = waveform
+
+    def add_instance(self, name: str, cell: Cell,
+                     connections: dict[str, str], *,
+                     vdd: str, gnd: str) -> Instance:
+        """Place a cell and wire its pins.
+
+        Every cell pin must be mapped to an existing net; output pins
+        claim exclusive drivership of their net.
+
+        Raises:
+            NetlistError: duplicate instance, unknown net/rail,
+                unconnected pin, or multiply-driven net.
+        """
+        if name in self.instances:
+            raise NetlistError(f"duplicate instance name {name!r}")
+        if vdd not in self.supplies or gnd not in self.supplies:
+            raise NetlistError(
+                f"instance {name}: unknown supply {vdd!r} or {gnd!r}"
+            )
+        for pin_name in cell.pins:
+            if pin_name not in connections:
+                raise NetlistError(
+                    f"instance {name}: pin {pin_name!r} left unconnected"
+                )
+        for pin_name, net_name in connections.items():
+            pin = cell.pin(pin_name)  # validates pin name
+            if net_name not in self.nets:
+                raise NetlistError(
+                    f"instance {name}: pin {pin_name!r} wired to unknown "
+                    f"net {net_name!r}"
+                )
+            del pin
+        inst = Instance(name=name, cell=cell,
+                        connections=dict(connections), vdd=vdd, gnd=gnd)
+        for pin_name, net_name in connections.items():
+            ref = _PinRef(instance=inst, pin_name=pin_name)
+            if ref.pin.direction is PinDirection.OUTPUT:
+                if net_name in self._driver:
+                    other = self._driver[net_name]
+                    raise NetlistError(
+                        f"net {net_name!r} driven by both "
+                        f"{other.instance.name}.{other.pin_name} and "
+                        f"{name}.{pin_name}"
+                    )
+                if net_name in self._external_inputs:
+                    raise NetlistError(
+                        f"net {net_name!r} is an external input and cannot "
+                        f"also be driven by {name}.{pin_name}"
+                    )
+                self._driver[net_name] = ref
+            else:
+                self._sinks[net_name].append(ref)
+        self.instances[name] = inst
+        return inst
+
+    def mark_external_input(self, net_name: str) -> None:
+        """Declare a net as externally driven (stimulus only)."""
+        if net_name not in self.nets:
+            raise NetlistError(f"unknown net {net_name!r}")
+        if net_name in self._driver:
+            ref = self._driver[net_name]
+            raise NetlistError(
+                f"net {net_name!r} already driven by "
+                f"{ref.instance.name}.{ref.pin_name}"
+            )
+        self._external_inputs.add(net_name)
+
+    def _check_fresh_name(self, name: str) -> None:
+        if name in self.nets or name in self.supplies:
+            raise NetlistError(f"duplicate net/supply name {name!r}")
+
+    # -- queries ----------------------------------------------------------
+
+    def sinks_of(self, net_name: str) -> list[_PinRef]:
+        """Input-pin endpoints fanned out from a net."""
+        if net_name not in self.nets:
+            raise NetlistError(f"unknown net {net_name!r}")
+        return list(self._sinks[net_name])
+
+    def driver_of(self, net_name: str) -> _PinRef | None:
+        """The output pin driving a net, or None for inputs/floaters."""
+        return self._driver.get(net_name)
+
+    def is_external_input(self, net_name: str) -> bool:
+        return net_name in self._external_inputs
+
+    def load_of(self, net_name: str) -> float:
+        """Total capacitive load on a net, farads.
+
+        Sum of fanout input-pin capacitances plus the explicit net
+        capacitor.  This is the ``C_load`` handed to the driving cell's
+        delay model (the driver's own intrinsic cap lives inside the
+        cell model).
+        """
+        net = self.nets.get(net_name)
+        if net is None:
+            raise NetlistError(f"unknown net {net_name!r}")
+        return net.extra_cap + sum(
+            ref.pin.cap for ref in self._sinks[net_name]
+        )
+
+    def supply_of(self, inst: Instance, t: float) -> float:
+        """Effective supply (vdd - gnd) seen by an instance at time t."""
+        vdd = self.supplies[inst.vdd].voltage(t)
+        gnd = self.supplies[inst.gnd].voltage(t)
+        return vdd - gnd
+
+    def validate(self) -> None:
+        """Structural sanity check of the whole netlist.
+
+        Ensures every instance input is driven (by a gate or declared
+        external input).  Floating *outputs* are allowed (observation
+        points may be unconnected).
+
+        Raises:
+            NetlistError: describing the first violation found.
+        """
+        for net_name, sinks in self._sinks.items():
+            if not sinks:
+                continue
+            if net_name in self._driver:
+                continue
+            if net_name in self._external_inputs:
+                continue
+            consumer = sinks[0]
+            raise NetlistError(
+                f"net {net_name!r} feeds "
+                f"{consumer.instance.name}.{consumer.pin_name} but has no "
+                f"driver and is not a declared external input"
+            )
+
+    def stats(self) -> dict[str, int]:
+        """Cell-count accounting (used by the overhead bench)."""
+        counts: dict[str, int] = {}
+        for inst in self.instances.values():
+            key = type(inst.cell).__name__
+            counts[key] = counts.get(key, 0) + 1
+        counts["#nets"] = len(self.nets)
+        counts["#instances"] = len(self.instances)
+        return counts
+
+    def iter_instances(self) -> Iterable[Instance]:
+        return self.instances.values()

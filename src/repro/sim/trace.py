@@ -1,0 +1,144 @@
+"""Transition recording and post-simulation queries.
+
+The trace is the reproduction's waveform viewer: every net transition is
+recorded as ``(time, value)``, queryable by time, and exportable as a
+text table for the figure benches (which print the same signal
+sequences the paper's ELDO plots show).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cells.base import LogicValue, UNKNOWN
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One flip-flop sampling event captured during simulation.
+
+    Attributes:
+        time: Clock-edge time, seconds.
+        instance: Flip-flop instance name.
+        outcome: Name of the :class:`~repro.cells.sequential.SampleOutcome`.
+        value: Captured value.
+        clk_to_q: Resolution delay of this event, seconds.
+        setup_margin: Setup margin, seconds.
+    """
+
+    time: float
+    instance: str
+    outcome: str
+    value: LogicValue
+    clk_to_q: float
+    setup_margin: float
+
+
+class Trace:
+    """Per-net transition history."""
+
+    def __init__(self) -> None:
+        self._times: dict[str, list[float]] = {}
+        self._values: dict[str, list[LogicValue]] = {}
+        self.samples: list[SampleRecord] = []
+
+    def record(self, net: str, time: float, value: LogicValue) -> None:
+        """Append one transition (times must be non-decreasing per net)."""
+        times = self._times.setdefault(net, [])
+        values = self._values.setdefault(net, [])
+        if times and time < times[-1]:
+            raise SimulationError(
+                f"trace for {net!r}: non-monotonic time {time} < {times[-1]}"
+            )
+        times.append(time)
+        values.append(value)
+
+    def record_sample(self, rec: SampleRecord) -> None:
+        self.samples.append(rec)
+
+    # -- queries --------------------------------------------------------
+
+    def nets(self) -> list[str]:
+        return sorted(self._times)
+
+    def transitions(self, net: str) -> list[tuple[float, LogicValue]]:
+        """All recorded transitions of a net, in time order."""
+        times = self._times.get(net, [])
+        values = self._values.get(net, [])
+        return list(zip(times, values))
+
+    def value_at(self, net: str, t: float) -> LogicValue:
+        """Net value at time ``t`` (UNKNOWN before the first record)."""
+        times = self._times.get(net)
+        if not times:
+            return UNKNOWN
+        i = bisect.bisect_right(times, t) - 1
+        if i < 0:
+            return UNKNOWN
+        return self._values[net][i]
+
+    def last_transition_at_or_before(
+            self, net: str, t: float) -> tuple[float, LogicValue] | None:
+        """Most recent (time, value) record at or before ``t``."""
+        times = self._times.get(net)
+        if not times:
+            return None
+        i = bisect.bisect_right(times, t) - 1
+        if i < 0:
+            return None
+        return times[i], self._values[net][i]
+
+    def edges(self, net: str, *, rising: bool | None = None
+              ) -> list[float]:
+        """Times of value edges on a net.
+
+        Args:
+            net: Net name.
+            rising: True for 0->1 edges only, False for 1->0 only,
+                None for both.
+        """
+        out: list[float] = []
+        prev: LogicValue = UNKNOWN
+        for t, v in self.transitions(net):
+            if prev == 0 and v == 1 and rising in (None, True):
+                out.append(t)
+            elif prev == 1 and v == 0 and rising in (None, False):
+                out.append(t)
+            prev = v
+        return out
+
+    def samples_for(self, instance: str) -> list[SampleRecord]:
+        """All sampling records of one flip-flop instance."""
+        return [s for s in self.samples if s.instance == instance]
+
+    # -- rendering ------------------------------------------------------
+
+    @staticmethod
+    def _fmt_value(v: LogicValue) -> str:
+        return "X" if v is UNKNOWN else str(v)
+
+    def format_table(self, nets: Sequence[str], *,
+                     time_unit: float = 1e-12,
+                     unit_label: str = "ps") -> str:
+        """ASCII table of the merged transitions of selected nets.
+
+        One row per event time at which any selected net changes; the
+        output reads like the signal listings under the paper's figures.
+        """
+        event_times = sorted({
+            t for net in nets for t, _ in self.transitions(net)
+        })
+        header = f"{'time [' + unit_label + ']':>14} " + " ".join(
+            f"{net:>10}" for net in nets
+        )
+        lines = [header, "-" * len(header)]
+        for t in event_times:
+            row = f"{t / time_unit:>14.2f} " + " ".join(
+                f"{self._fmt_value(self.value_at(net, t)):>10}"
+                for net in nets
+            )
+            lines.append(row)
+        return "\n".join(lines)

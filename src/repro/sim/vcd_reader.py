@@ -1,0 +1,117 @@
+"""Minimal VCD reader.
+
+Parses the subset of IEEE-1364 VCD that :mod:`repro.sim.vcd` writes
+(single-bit wires, ``0/1/x`` values, one scope) back into per-net
+transition lists — primarily so the test suite can prove the export is
+lossless, and so externally produced single-bit VCD traces can be
+compared against simulation runs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TextIO
+
+from repro.cells.base import LogicValue
+from repro.errors import ConfigurationError
+
+_TIMESCALE_RE = re.compile(
+    r"\$timescale\s+([0-9.]+)\s*(fs|ps|ns|us|s)\s*\$end"
+)
+_VAR_RE = re.compile(
+    r"\$var\s+wire\s+1\s+(\S+)\s+(\S+)\s+\$end"
+)
+_UNIT_SECONDS = {"fs": 1e-15, "ps": 1e-12, "ns": 1e-9,
+                 "us": 1e-6, "s": 1.0}
+
+
+@dataclass
+class VCDDump:
+    """A parsed single-bit VCD file.
+
+    Attributes:
+        timescale: Seconds per tick.
+        transitions: Net name -> list of (time_seconds, value).
+    """
+
+    timescale: float
+    transitions: dict[str, list[tuple[float, LogicValue]]] = \
+        field(default_factory=dict)
+
+    def nets(self) -> list[str]:
+        return sorted(self.transitions)
+
+    def value_at(self, net: str, t: float) -> LogicValue:
+        """Net value at time ``t`` (None before the first record)."""
+        if net not in self.transitions:
+            raise ConfigurationError(f"net {net!r} not in dump")
+        value: LogicValue = None
+        for time, v in self.transitions[net]:
+            if time > t:
+                break
+            value = v
+        return value
+
+
+def _parse_value(ch: str) -> LogicValue:
+    if ch == "0":
+        return 0
+    if ch == "1":
+        return 1
+    if ch in ("x", "X", "z", "Z"):
+        return None
+    raise ConfigurationError(f"unsupported VCD value {ch!r}")
+
+
+def read_vcd(stream: TextIO) -> VCDDump:
+    """Parse a VCD stream.
+
+    Raises:
+        ConfigurationError: malformed header or value lines.
+    """
+    text = stream.read()
+    m = _TIMESCALE_RE.search(text)
+    if not m:
+        raise ConfigurationError("missing $timescale")
+    timescale = float(m.group(1)) * _UNIT_SECONDS[m.group(2)]
+
+    id_to_net: dict[str, str] = {}
+    for ident, net in _VAR_RE.findall(text):
+        id_to_net[ident] = net
+    if not id_to_net:
+        raise ConfigurationError("no $var declarations found")
+
+    try:
+        body = text.split("$enddefinitions $end", 1)[1]
+    except IndexError:
+        raise ConfigurationError("missing $enddefinitions") from None
+
+    dump = VCDDump(timescale=timescale)
+    for net in id_to_net.values():
+        dump.transitions[net] = []
+    t = 0.0
+    in_dumpvars = False
+    for raw in body.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "$dumpvars":
+            in_dumpvars = True
+            continue
+        if line == "$end":
+            in_dumpvars = False
+            continue
+        if line.startswith("#"):
+            t = int(line[1:]) * timescale
+            continue
+        ch, ident = line[0], line[1:]
+        if ident not in id_to_net:
+            raise ConfigurationError(
+                f"value change for undeclared identifier {ident!r}"
+            )
+        value = _parse_value(ch)
+        net = id_to_net[ident]
+        when = 0.0 if in_dumpvars else t
+        dump.transitions[net].append((when, value))
+    return dump

@@ -1,0 +1,156 @@
+"""Arrival propagation, slack and critical-path extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, TimingViolationError
+from repro.sim.netlist import Netlist
+from repro.sta.delay_calc import DelayCalculator
+from repro.sta.graph import TimingEdge, TimingGraph
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One hop of a reported timing path."""
+
+    net: str
+    instance: str
+    input_pin: str
+    output_pin: str
+    delay: float
+    cumulative: float
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one STA run.
+
+    Attributes:
+        arrivals: Latest arrival per net, seconds.
+        endpoint_slacks: Per-FF-D-net slack against the clock period
+            (positive = met), seconds.  Empty when no period was given.
+        critical_endpoint: The endpoint with the worst slack / largest
+            arrival-plus-setup.
+        critical_path: Launch-to-capture segments of the worst path.
+        min_period: Smallest clock period closing timing, seconds.
+        clock_period: The analyzed period (None for unconstrained runs).
+    """
+
+    arrivals: dict[str, float]
+    endpoint_slacks: dict[str, float]
+    critical_endpoint: str
+    critical_path: tuple[PathSegment, ...]
+    min_period: float
+    clock_period: float | None
+
+    @property
+    def wns(self) -> float:
+        """Worst negative slack (or worst slack if all positive).
+
+        Raises:
+            ConfigurationError: for unconstrained reports.
+        """
+        if not self.endpoint_slacks:
+            raise ConfigurationError("report has no period constraint")
+        return min(self.endpoint_slacks.values())
+
+    def require_closure(self) -> None:
+        """Raise when any endpoint violates the period.
+
+        Raises:
+            TimingViolationError: listing the worst violator.
+        """
+        if self.endpoint_slacks and self.wns < 0:
+            worst = min(self.endpoint_slacks,
+                        key=self.endpoint_slacks.__getitem__)
+            raise TimingViolationError(
+                f"negative slack {self.endpoint_slacks[worst]:.3e}s at "
+                f"{worst}"
+            )
+
+
+def analyze(netlist: Netlist, *, clock_period: float | None = None,
+            calculator: DelayCalculator | None = None) -> TimingReport:
+    """Run STA over a netlist.
+
+    Args:
+        netlist: The design to analyze.
+        clock_period: Optional constraint for slack computation.
+        calculator: Supply-aware delay calculator (default analytic at
+            the rails' t=0 levels).
+
+    Raises:
+        ConfigurationError: when the netlist has no capture endpoints.
+    """
+    graph = TimingGraph.build(netlist, calculator)
+    arrivals: dict[str, float] = dict(graph.launch_arrivals)
+    worst_in_edge: dict[str, TimingEdge] = {}
+
+    for net in graph.topo_order:
+        for e in graph.edges_from.get(net, ()):
+            src_arrival = arrivals.get(net)
+            if src_arrival is None:
+                continue  # unreachable net (e.g. floating input)
+            candidate = src_arrival + e.delay
+            if candidate > arrivals.get(e.to_net, float("-inf")):
+                arrivals[e.to_net] = candidate
+                worst_in_edge[e.to_net] = e
+
+    if not graph.capture_setups:
+        raise ConfigurationError(
+            "netlist has no flip-flop capture endpoints to analyze"
+        )
+
+    def endpoint_cost(net: str) -> float:
+        return arrivals.get(net, 0.0) + graph.capture_setups[net]
+
+    critical_ep = max(graph.capture_setups, key=endpoint_cost)
+    min_period = endpoint_cost(critical_ep)
+
+    slacks: dict[str, float] = {}
+    if clock_period is not None:
+        if clock_period <= 0:
+            raise ConfigurationError("clock_period must be positive")
+        slacks = {
+            net: clock_period - endpoint_cost(net)
+            for net in graph.capture_setups
+        }
+
+    # Backtrack the critical path from the endpoint to its launch.
+    segments: list[PathSegment] = []
+    net = critical_ep
+    while net in worst_in_edge:
+        e = worst_in_edge[net]
+        segments.append(PathSegment(
+            net=net,
+            instance=e.instance,
+            input_pin=e.input_pin,
+            output_pin=e.output_pin,
+            delay=e.delay,
+            cumulative=arrivals[net],
+        ))
+        net = e.from_net
+    segments.reverse()
+
+    return TimingReport(
+        arrivals=arrivals,
+        endpoint_slacks=slacks,
+        critical_endpoint=critical_ep,
+        critical_path=tuple(segments),
+        min_period=min_period,
+        clock_period=clock_period,
+    )
+
+
+def critical_path(netlist: Netlist, *,
+                  calculator: DelayCalculator | None = None
+                  ) -> tuple[PathSegment, ...]:
+    """Convenience: just the worst launch-to-capture path."""
+    return analyze(netlist, calculator=calculator).critical_path
+
+
+def min_clock_period(netlist: Netlist, *,
+                     calculator: DelayCalculator | None = None) -> float:
+    """Convenience: the smallest period that closes timing, seconds."""
+    return analyze(netlist, calculator=calculator).min_period

@@ -1,0 +1,81 @@
+"""Supply-aware arc delay calculation.
+
+Two modes:
+
+* ``"analytic"`` — call the cell's alpha-power delay directly;
+* ``"nldm"`` — interpolate characterized lookup tables (built lazily,
+  one per cell class+strength), mirroring an industrial Liberty flow.
+
+Either way the supply voltage entering the calculation is the
+*instance's own rails* (``vdd(t0) - gnd(t0)``), optionally overridden
+per instance — which is precisely how the authors' ref [9] folds power
+supply variation into STA: a gate on a droopy rail region is timed at
+its local voltage.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.cells.base import Cell
+from repro.cells.characterize import NLDMTable, characterize_cell
+from repro.errors import ConfigurationError
+from repro.sim.netlist import Instance, Netlist
+
+Mode = Literal["analytic", "nldm"]
+
+
+class DelayCalculator:
+    """Computes timing-arc delays for a netlist.
+
+    Args:
+        netlist: The netlist being analyzed.
+        mode: ``"analytic"`` or ``"nldm"``.
+        at_time: Instant at which supply rails are evaluated (static
+            analysis samples the rails once), seconds.
+        supply_overrides: Per-instance effective supply, volts —
+            overrides the rail lookup (used for what-if/IR-drop STA).
+    """
+
+    def __init__(self, netlist: Netlist, *, mode: Mode = "analytic",
+                 at_time: float = 0.0,
+                 supply_overrides: dict[str, float] | None = None
+                 ) -> None:
+        if mode not in ("analytic", "nldm"):
+            raise ConfigurationError(f"unknown mode {mode!r}")
+        self.netlist = netlist
+        self.mode = mode
+        self.at_time = at_time
+        self.supply_overrides = dict(supply_overrides or {})
+        self._tables: dict[tuple, NLDMTable] = {}
+
+    def supply_of(self, inst: Instance) -> float:
+        """Effective supply used to time one instance."""
+        if inst.name in self.supply_overrides:
+            return self.supply_overrides[inst.name]
+        return self.netlist.supply_of(inst, self.at_time)
+
+    def _table_for(self, cell: Cell, input_pin: str,
+                   output_pin: str) -> NLDMTable:
+        key = (type(cell).__name__, cell.strength, input_pin, output_pin,
+               getattr(cell, "internal_cap", None))
+        if key not in self._tables:
+            self._tables[key] = characterize_cell(
+                cell, input_pin=input_pin, output_pin=output_pin,
+            )
+        return self._tables[key]
+
+    def arc_delay(self, inst: Instance, input_pin: str,
+                  output_pin: str) -> float:
+        """Delay of one cell arc under the instance's supply and load."""
+        out_net = inst.net_of(output_pin)
+        load = self.netlist.load_of(out_net)
+        supply = self.supply_of(inst)
+        if self.mode == "analytic":
+            return inst.cell.propagation_delay(
+                input_pin, output_pin, supply, load
+            )
+        # Per-arc tables are characterized through propagation_delay,
+        # so logical effort is already folded in.
+        table = self._table_for(inst.cell, input_pin, output_pin)
+        return table.lookup(supply, load)

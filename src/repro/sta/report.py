@@ -1,0 +1,103 @@
+"""Human-readable timing reports (PrimeTime-style text).
+
+Formats the results of :func:`repro.sta.analysis.analyze` and
+:func:`repro.sta.hold.analyze_hold` into the path tables timing
+engineers expect: per-segment arc, incremental and cumulative delay,
+then the endpoint summary with slack.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sta.analysis import TimingReport
+from repro.sta.hold import HoldReport
+from repro.units import to_ps
+
+
+def _rule(width: int = 64) -> str:
+    return "-" * width
+
+
+def format_setup_report(report: TimingReport, *,
+                        max_endpoints: int = 10) -> str:
+    """Render a max-delay (setup) report.
+
+    Args:
+        report: The analysis result.
+        max_endpoints: How many worst endpoints to list.
+
+    Raises:
+        ConfigurationError: non-positive endpoint count.
+    """
+    if max_endpoints < 1:
+        raise ConfigurationError("max_endpoints must be positive")
+    lines: list[str] = []
+    lines.append("Setup (max-delay) report")
+    lines.append(_rule())
+    lines.append(f"critical endpoint : {report.critical_endpoint}")
+    lines.append(f"min clock period  : {to_ps(report.min_period):.1f} ps")
+    if report.clock_period is not None:
+        lines.append(
+            f"constraint        : {to_ps(report.clock_period):.1f} ps "
+            f"(WNS {to_ps(report.wns):+.1f} ps)"
+        )
+    lines.append("")
+    lines.append("critical path (launch -> capture):")
+    lines.append(f"{'instance':<24}{'arc':<10}{'incr [ps]':>10}"
+                 f"{'path [ps]':>11}")
+    lines.append(_rule(55))
+    for seg in report.critical_path:
+        lines.append(
+            f"{seg.instance:<24}{seg.input_pin + '->' + seg.output_pin:<10}"
+            f"{to_ps(seg.delay):>10.1f}{to_ps(seg.cumulative):>11.1f}"
+        )
+    if not report.critical_path:
+        lines.append("(direct launch-to-capture, no combinational arcs)")
+    if report.endpoint_slacks:
+        lines.append("")
+        lines.append(f"worst {max_endpoints} endpoints by slack:")
+        lines.append(f"{'endpoint':<32}{'slack [ps]':>12}")
+        lines.append(_rule(44))
+        ranked = sorted(report.endpoint_slacks.items(),
+                        key=lambda kv: kv[1])
+        for net, slack in ranked[:max_endpoints]:
+            marker = "  (VIOLATED)" if slack < 0 else ""
+            lines.append(f"{net:<32}{to_ps(slack):>12.1f}{marker}")
+    return "\n".join(lines)
+
+
+def format_hold_report(report: HoldReport, *,
+                       max_endpoints: int = 10) -> str:
+    """Render a min-delay (hold) report."""
+    if max_endpoints < 1:
+        raise ConfigurationError("max_endpoints must be positive")
+    lines: list[str] = []
+    lines.append("Hold (min-delay) report")
+    lines.append(_rule())
+    lines.append(f"worst endpoint : {report.worst_endpoint}")
+    lines.append(f"worst slack    : {to_ps(report.whs):+.1f} ps "
+                 f"({'clean' if report.clean else 'VIOLATED'})")
+    lines.append("")
+    if report.shortest_path:
+        lines.append("fastest path (launch -> capture):")
+        lines.append(f"{'instance':<24}{'arc':<10}{'incr [ps]':>10}"
+                     f"{'path [ps]':>11}")
+        lines.append(_rule(55))
+        for seg in report.shortest_path:
+            lines.append(
+                f"{seg.instance:<24}"
+                f"{seg.input_pin + '->' + seg.output_pin:<10}"
+                f"{to_ps(seg.delay):>10.1f}"
+                f"{to_ps(seg.cumulative):>11.1f}"
+            )
+    else:
+        lines.append("fastest path: direct FF-to-FF (clk-to-Q only)")
+    lines.append("")
+    lines.append(f"worst {max_endpoints} endpoints by hold slack:")
+    lines.append(f"{'endpoint':<32}{'slack [ps]':>12}")
+    lines.append(_rule(44))
+    ranked = sorted(report.hold_slacks.items(), key=lambda kv: kv[1])
+    for net, slack in ranked[:max_endpoints]:
+        marker = "  (VIOLATED)" if slack < 0 else ""
+        lines.append(f"{net:<32}{to_ps(slack):>12.1f}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""SI-unit helpers.
+
+The library stores every physical quantity in base SI units: seconds,
+volts, amperes, farads, ohms, henries.  The constants here exist so that
+call sites can say ``65 * PS`` or ``2 * PF`` instead of sprinkling
+``e-12`` literals, and so that printed reports can convert back to the
+engineering units used in the paper (ps, fF/pF, mV).
+"""
+
+from __future__ import annotations
+
+# Time
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+FS = 1e-15
+
+# Capacitance
+F = 1.0
+UF = 1e-6
+NF = 1e-9
+PF = 1e-12
+FF = 1e-15
+
+# Voltage
+V = 1.0
+MV = 1e-3
+
+# Current
+A = 1.0
+MA = 1e-3
+UA = 1e-6
+
+# Resistance / inductance
+OHM = 1.0
+MOHM = 1e-3
+NH = 1e-9
+PH = 1e-12
+
+# Frequency
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def to_ps(seconds: float) -> float:
+    """Convert a time in seconds to picoseconds."""
+    return seconds / PS
+
+
+def to_ns(seconds: float) -> float:
+    """Convert a time in seconds to nanoseconds."""
+    return seconds / NS
+
+
+def to_ff(farads: float) -> float:
+    """Convert a capacitance in farads to femtofarads."""
+    return farads / FF
+
+
+def to_pf(farads: float) -> float:
+    """Convert a capacitance in farads to picofarads."""
+    return farads / PF
+
+
+def to_mv(volts: float) -> float:
+    """Convert a voltage in volts to millivolts."""
+    return volts / MV
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a time with an auto-selected engineering unit.
+
+    >>> fmt_time(65e-12)
+    '65.000 ps'
+    >>> fmt_time(1.22e-9)
+    '1.220 ns'
+    """
+    a = abs(seconds)
+    if a < 1e-15:
+        return f"{seconds / FS:.3f} fs" if a > 0 else "0 s"
+    if a < 1e-9:
+        return f"{seconds / PS:.3f} ps"
+    if a < 1e-6:
+        return f"{seconds / NS:.3f} ns"
+    if a < 1e-3:
+        return f"{seconds / US:.3f} us"
+    return f"{seconds:.6f} s"
+
+
+def fmt_cap(farads: float) -> str:
+    """Render a capacitance with an auto-selected engineering unit.
+
+    >>> fmt_cap(2e-12)
+    '2.000 pF'
+    """
+    a = abs(farads)
+    if a < 1e-12:
+        return f"{farads / FF:.3f} fF"
+    if a < 1e-9:
+        return f"{farads / PF:.3f} pF"
+    return f"{farads / NF:.3f} nF"
+
+
+def fmt_volt(volts: float) -> str:
+    """Render a voltage in volts with 4 decimal places (paper style).
+
+    >>> fmt_volt(0.936)
+    '0.9360 V'
+    """
+    return f"{volts:.4f} V"

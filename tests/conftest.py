@@ -1,0 +1,30 @@
+"""Shared fixtures.
+
+The calibrated paper design is expensive enough (a handful of brentq
+solves) to share session-wide; it is immutable, so sharing is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells.library import default_library
+from repro.core.calibration import fit_paper_design
+
+
+@pytest.fixture(scope="session")
+def design():
+    """The calibrated paper design (session-shared, frozen)."""
+    return fit_paper_design()
+
+
+@pytest.fixture(scope="session")
+def tech(design):
+    """The fitted technology."""
+    return design.tech
+
+
+@pytest.fixture()
+def lib(tech):
+    """A fresh default cell library on the fitted technology."""
+    return default_library(tech)

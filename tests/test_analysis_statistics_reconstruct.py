@@ -1,0 +1,124 @@
+"""Measurement statistics and waveform-reconstruction tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reconstruct import WaveformReconstructor
+from repro.analysis.statistics import (
+    coverage_probability,
+    quantization_step,
+    range_error,
+    tracking_rmse,
+    worst_case_error,
+)
+from repro.analysis.thermometer import VoltageRange
+from repro.errors import ConfigurationError, DecodingError
+from repro.sim.waveform import ConstantWaveform
+
+
+def test_quantization_step_mean_spacing():
+    assert quantization_step((0.8, 0.9, 1.0)) == pytest.approx(0.1)
+
+
+def test_quantization_step_needs_two():
+    with pytest.raises(ConfigurationError):
+        quantization_step((1.0,))
+
+
+def test_range_error_zero_inside():
+    r = VoltageRange(0.9, 1.0)
+    assert range_error(r, 0.95) == 0.0
+
+
+def test_range_error_below_and_above():
+    r = VoltageRange(0.9, 1.0)
+    assert range_error(r, 0.85) == pytest.approx(0.05)
+    assert range_error(r, 1.05) == pytest.approx(0.05)
+
+
+def test_range_error_unbounded_side_free():
+    r = VoltageRange(float("-inf"), 0.9)
+    assert range_error(r, 0.5) == 0.0
+    assert range_error(r, 1.0) == pytest.approx(0.1)
+
+
+def test_tracking_rmse_midpoint():
+    ranges = [VoltageRange(0.9, 1.0), VoltageRange(0.8, 0.9)]
+    truths = [0.95, 0.85]
+    assert tracking_rmse(ranges, truths) == pytest.approx(0.0)
+
+
+def test_tracking_rmse_bracket_mode():
+    ranges = [VoltageRange(0.9, 1.0)]
+    assert tracking_rmse(ranges, [0.85], use_midpoint=False) == \
+        pytest.approx(0.05)
+
+
+def test_tracking_rmse_length_mismatch():
+    with pytest.raises(ConfigurationError):
+        tracking_rmse([VoltageRange(0.9, 1.0)], [0.9, 1.0])
+
+
+def test_coverage_probability():
+    ranges = [VoltageRange(0.9, 1.0), VoltageRange(0.9, 1.0)]
+    assert coverage_probability(ranges, [0.95, 0.5]) == 0.5
+
+
+def test_worst_case_error():
+    ranges = [VoltageRange(0.9, 1.0), VoltageRange(0.9, 1.0)]
+    assert worst_case_error(ranges, [0.95, 0.7]) == pytest.approx(0.2)
+
+
+# -- reconstruction -----------------------------------------------------------
+
+def test_reconstructor_sorts_by_time():
+    rec = WaveformReconstructor()
+    rec.add(2e-9, VoltageRange(0.9, 1.0))
+    rec.add(1e-9, VoltageRange(0.8, 0.9))
+    times, mids, _, _ = rec.estimate_arrays()
+    assert list(times) == [1e-9, 2e-9]
+    assert mids[0] == pytest.approx(0.85)
+
+
+def test_reconstructor_empty_raises():
+    with pytest.raises(DecodingError):
+        WaveformReconstructor().estimate_arrays()
+
+
+def test_reconstructor_interpolation():
+    rec = WaveformReconstructor()
+    rec.add(0.0, VoltageRange(0.85, 0.95))   # mid 0.9
+    rec.add(2.0, VoltageRange(0.95, 1.05))   # mid 1.0
+    assert rec.interpolate(np.array([1.0]))[0] == pytest.approx(0.95)
+
+
+def test_reconstructor_unbounded_nan_edges():
+    rec = WaveformReconstructor()
+    rec.add(0.0, VoltageRange(float("-inf"), 0.8))
+    _, _, lows, highs = rec.estimate_arrays()
+    assert np.isnan(lows[0])
+    assert highs[0] == pytest.approx(0.8)
+
+
+def test_reconstructor_rmse_against_truth():
+    rec = WaveformReconstructor()
+    rec.add(0.0, VoltageRange(0.90, 1.00))
+    rec.add(1.0, VoltageRange(0.90, 1.00))
+    truth = ConstantWaveform(0.95)
+    assert rec.rmse_against(truth) == pytest.approx(0.0)
+
+
+def test_reconstructor_extremes():
+    rec = WaveformReconstructor()
+    rec.add(0.0, VoltageRange(0.85, 0.95))
+    rec.add(1.0, VoltageRange(0.95, 1.05))
+    lo, hi = rec.extremes()
+    assert lo == pytest.approx(0.9)
+    assert hi == pytest.approx(1.0)
+
+
+def test_reconstructor_clear():
+    rec = WaveformReconstructor()
+    rec.add(0.0, VoltageRange(0.9, 1.0))
+    rec.clear()
+    assert rec.n_points == 0

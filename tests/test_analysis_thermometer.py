@@ -1,0 +1,169 @@
+"""Thermometer-word and decoding tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.thermometer import (
+    ThermometerWord,
+    VoltageRange,
+    decode_table,
+    decode_word,
+)
+from repro.errors import ConfigurationError, DecodingError
+
+
+LADDER = (0.827, 0.896, 0.929, 0.960, 0.992, 1.021, 1.053)
+
+
+def test_from_string_msb_first():
+    w = ThermometerWord.from_string("0011111")
+    assert w.bits == (1, 1, 1, 1, 1, 0, 0)
+    assert w.to_string() == "0011111"
+
+
+def test_string_roundtrip():
+    for s in ("0000000", "1111111", "0000011", "0011111"):
+        assert ThermometerWord.from_string(s).to_string() == s
+
+
+def test_ones_count():
+    assert ThermometerWord.from_string("0011111").ones == 5
+    assert ThermometerWord.from_string("0000000").ones == 0
+    assert ThermometerWord.from_string("1111111").ones == 7
+
+
+def test_valid_thermometer_detection():
+    assert ThermometerWord.from_string("0011111").is_valid_thermometer
+    assert ThermometerWord.from_string("0000000").is_valid_thermometer
+    assert ThermometerWord.from_string("1111111").is_valid_thermometer
+    assert not ThermometerWord.from_string("0101111").is_valid_thermometer
+
+
+def test_bubble_correction_preserves_ones():
+    w = ThermometerWord.from_string("0101111")
+    c = w.corrected()
+    assert c.ones == w.ones
+    assert c.is_valid_thermometer
+    assert c.to_string() == "0011111"
+
+
+def test_bubble_count():
+    assert ThermometerWord.from_string("0011111").bubble_count == 0
+    assert ThermometerWord.from_string("0101111").bubble_count == 2
+
+
+def test_corrected_identity_on_valid():
+    w = ThermometerWord.from_string("0001111")
+    assert w.corrected() == w
+
+
+def test_from_samples_maps_unknown():
+    w = ThermometerWord.from_samples((1, None, 0), unknown_as=0)
+    assert w.bits == (1, 0, 0)
+    w2 = ThermometerWord.from_samples((1, None, 0), unknown_as=1)
+    assert w2.bits == (1, 1, 0)
+
+
+def test_equality_and_hash():
+    a = ThermometerWord.from_string("0011111")
+    b = ThermometerWord((1, 1, 1, 1, 1, 0, 0))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != ThermometerWord.from_string("0001111")
+
+
+def test_word_validation():
+    with pytest.raises(ConfigurationError):
+        ThermometerWord(())
+    with pytest.raises(ConfigurationError):
+        ThermometerWord((0, 2))
+    with pytest.raises(ConfigurationError):
+        ThermometerWord.from_string("01x")
+
+
+# -- decoding ---------------------------------------------------------------
+
+def test_decode_paper_word_0011111():
+    rng = decode_word(ThermometerWord.from_string("0011111"), LADDER)
+    assert rng.lo == pytest.approx(0.992)
+    assert rng.hi == pytest.approx(1.021)
+
+
+def test_decode_paper_word_0000011():
+    rng = decode_word(ThermometerWord.from_string("0000011"), LADDER)
+    assert rng.lo == pytest.approx(0.896)
+    assert rng.hi == pytest.approx(0.929)
+
+
+def test_decode_all_fail_unbounded_low():
+    rng = decode_word(ThermometerWord.from_string("0000000"), LADDER)
+    assert math.isinf(rng.lo) and rng.lo < 0
+    assert rng.hi == pytest.approx(0.827)
+
+
+def test_decode_all_pass_unbounded_high():
+    rng = decode_word(ThermometerWord.from_string("1111111"), LADDER)
+    assert rng.lo == pytest.approx(1.053)
+    assert math.isinf(rng.hi)
+
+
+def test_decode_bubbled_strict_raises():
+    with pytest.raises(DecodingError):
+        decode_word(ThermometerWord.from_string("0101111"), LADDER)
+
+
+def test_decode_bubbled_lenient_corrects():
+    rng = decode_word(ThermometerWord.from_string("0101111"), LADDER,
+                      strict=False)
+    assert rng.lo == pytest.approx(0.992)
+
+
+def test_decode_width_mismatch():
+    with pytest.raises(DecodingError):
+        decode_word(ThermometerWord.from_string("011"), LADDER)
+
+
+def test_decode_unsorted_ladder():
+    with pytest.raises(DecodingError):
+        decode_word(ThermometerWord.from_string("0011111"),
+                    tuple(reversed(LADDER)))
+
+
+def test_decode_table_has_n_plus_one_rows():
+    table = decode_table(LADDER)
+    assert len(table) == 8
+    assert table[0][0] == "0000000"
+    assert table[-1][0] == "1111111"
+
+
+def test_decode_table_ranges_tile_the_axis():
+    table = decode_table(LADDER)
+    for (_, r1), (_, r2) in zip(table, table[1:]):
+        assert r1.hi == pytest.approx(r2.lo)
+
+
+# -- VoltageRange ------------------------------------------------------------
+
+def test_range_midpoint_and_width():
+    r = VoltageRange(0.9, 1.0)
+    assert r.midpoint == pytest.approx(0.95)
+    assert r.width == pytest.approx(0.1)
+
+
+def test_range_contains_half_open():
+    r = VoltageRange(0.9, 1.0)
+    assert r.contains(1.0)
+    assert not r.contains(0.9)
+    assert r.contains(0.95)
+
+
+def test_range_unbounded_midpoint_falls_back():
+    r = VoltageRange(float("-inf"), 0.8)
+    assert r.midpoint == pytest.approx(0.8)
+    assert not r.bounded
+
+
+def test_range_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        VoltageRange(1.0, 1.0)

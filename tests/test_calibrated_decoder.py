@@ -1,0 +1,69 @@
+"""Per-die calibrated-decoder tests: the characterization loop closes."""
+
+import pytest
+
+from repro.analysis.thermometer import ThermometerWord
+from repro.core.array import SensorArrayHarness
+from repro.core.calibrated_decoder import MeasuredDecoder
+from repro.devices.corners import corner_by_name
+from repro.errors import ConfigurationError
+
+
+def test_design_ladder_matches_sensor_array(design):
+    dec = MeasuredDecoder.from_design(design)
+    assert dec.ladder == pytest.approx(design.bit_thresholds_code011)
+    rng = dec.decode(ThermometerWord.from_string("0011111"))
+    assert rng.lo == pytest.approx(0.992, abs=5e-4)
+
+
+def test_s_curve_decoder_close_to_design(design):
+    dec = MeasuredDecoder.from_s_curves(design, n_per_level=120)
+    ref = MeasuredDecoder.from_design(design)
+    for got, want in zip(dec.ladder, ref.ladder):
+        assert got == pytest.approx(want, abs=2e-3)
+    assert dec.source == "s-curve"
+
+
+def test_bisection_decoder_close_to_design(design):
+    dec = MeasuredDecoder.from_bisection(design, tol=0.5e-3)
+    ref = MeasuredDecoder.from_design(design)
+    for got, want in zip(dec.ladder, ref.ladder):
+        assert got == pytest.approx(want, abs=1.5e-3)
+
+
+def test_calibration_recovers_corner_die(design):
+    """The headline: a corner-shifted die mis-brackets against the
+    design ladder but brackets correctly against its own bisected
+    ladder."""
+    ss = corner_by_name("SS").apply(design.tech)
+    harness = SensorArrayHarness(design, tech=ss)
+    nominal = MeasuredDecoder.from_design(design)          # wrong die
+    calibrated = MeasuredDecoder.from_bisection(design, tech=ss,
+                                                tol=0.5e-3)
+    probe_levels = (0.90, 0.95, 1.00)
+    nominal_hits = 0
+    calibrated_hits = 0
+    for v in probe_levels:
+        word = harness.measure_once(3, vdd_n=v).word
+        if nominal.decode(word).contains(v):
+            nominal_hits += 1
+        if calibrated.decode(word).contains(v):
+            calibrated_hits += 1
+    assert calibrated_hits == len(probe_levels)
+    assert calibrated_hits >= nominal_hits
+
+
+def test_decoder_validation():
+    with pytest.raises(ConfigurationError):
+        MeasuredDecoder(ladder=(0.9,), code=3)
+    with pytest.raises(ConfigurationError):
+        MeasuredDecoder(ladder=(0.9, 0.8), code=3)
+    with pytest.raises(ConfigurationError):
+        MeasuredDecoder(ladder=(0.8, 0.9), code=9)
+
+
+def test_measurable_range(design):
+    dec = MeasuredDecoder.from_design(design)
+    lo, hi = dec.measurable_range()
+    assert lo == pytest.approx(0.827, abs=5e-4)
+    assert hi == pytest.approx(1.053, abs=5e-4)

@@ -1,0 +1,136 @@
+"""Combinational-cell logic and timing tests."""
+
+import itertools
+
+import pytest
+
+from repro.cells.base import HIGH, LOW, UNKNOWN, PinDirection
+from repro.cells.combinational import (
+    And2,
+    Aoi21,
+    Buffer,
+    Inverter,
+    Mux2,
+    Nand2,
+    Nor2,
+    Oai21,
+    Or2,
+    Xnor2,
+    Xor2,
+)
+from repro.devices.technology import TECH_90NM
+from repro.errors import ConfigurationError
+from repro.units import FF
+
+
+TWO_INPUT = [
+    (Nand2, lambda a, b: 1 - (a & b)),
+    (Nor2, lambda a, b: 1 - (a | b)),
+    (And2, lambda a, b: a & b),
+    (Or2, lambda a, b: a | b),
+    (Xor2, lambda a, b: a ^ b),
+    (Xnor2, lambda a, b: 1 - (a ^ b)),
+]
+
+
+@pytest.mark.parametrize("cls,func", TWO_INPUT)
+def test_two_input_truth_tables(cls, func):
+    cell = cls(TECH_90NM)
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert cell.evaluate({"A": a, "B": b})["Y"] == func(a, b), \
+            f"{cls.__name__}({a},{b})"
+
+
+def test_inverter_truth():
+    inv = Inverter(TECH_90NM)
+    assert inv.evaluate({"A": 0})["Y"] == 1
+    assert inv.evaluate({"A": 1})["Y"] == 0
+    assert inv.evaluate({"A": UNKNOWN})["Y"] is UNKNOWN
+
+
+def test_buffer_truth():
+    buf = Buffer(TECH_90NM)
+    assert buf.evaluate({"A": 0})["Y"] == 0
+    assert buf.evaluate({"A": 1})["Y"] == 1
+
+
+def test_nand_x_propagation_dominant_zero():
+    nand = Nand2(TECH_90NM)
+    assert nand.evaluate({"A": LOW, "B": UNKNOWN})["Y"] == HIGH
+    assert nand.evaluate({"A": UNKNOWN, "B": HIGH})["Y"] is UNKNOWN
+
+
+def test_nor_x_propagation_dominant_one():
+    nor = Nor2(TECH_90NM)
+    assert nor.evaluate({"A": HIGH, "B": UNKNOWN})["Y"] == LOW
+    assert nor.evaluate({"A": UNKNOWN, "B": LOW})["Y"] is UNKNOWN
+
+
+def test_xor_requires_both_known():
+    xor = Xor2(TECH_90NM)
+    assert xor.evaluate({"A": 1, "B": UNKNOWN})["Y"] is UNKNOWN
+
+
+def test_aoi21_truth():
+    cell = Aoi21(TECH_90NM)
+    for a, b, c in itertools.product((0, 1), repeat=3):
+        want = 1 - ((a & b) | c)
+        assert cell.evaluate({"A": a, "B": b, "C": c})["Y"] == want
+
+
+def test_oai21_truth():
+    cell = Oai21(TECH_90NM)
+    for a, b, c in itertools.product((0, 1), repeat=3):
+        want = 1 - ((a | b) & c)
+        assert cell.evaluate({"A": a, "B": b, "C": c})["Y"] == want
+
+
+def test_mux_selects():
+    mux = Mux2(TECH_90NM)
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert mux.evaluate({"A": a, "B": b, "S": 0})["Y"] == a
+        assert mux.evaluate({"A": a, "B": b, "S": 1})["Y"] == b
+
+
+def test_mux_unknown_select_agreeing_inputs():
+    mux = Mux2(TECH_90NM)
+    assert mux.evaluate({"A": 1, "B": 1, "S": UNKNOWN})["Y"] == 1
+    assert mux.evaluate({"A": 0, "B": 1, "S": UNKNOWN})["Y"] is UNKNOWN
+
+
+def test_logical_effort_ordering():
+    """NAND2 slower than INV, NOR2 slower than NAND2 — classic CMOS."""
+    load = 5 * FF
+    d_inv = Inverter(TECH_90NM).propagation_delay("A", "Y", 1.0, load)
+    d_nand = Nand2(TECH_90NM).propagation_delay("A", "Y", 1.0, load)
+    d_nor = Nor2(TECH_90NM).propagation_delay("A", "Y", 1.0, load)
+    assert d_inv < d_nand < d_nor
+
+
+def test_pin_directions():
+    nand = Nand2(TECH_90NM)
+    assert nand.pin("A").direction is PinDirection.INPUT
+    assert nand.pin("Y").direction is PinDirection.OUTPUT
+
+
+def test_unknown_pin_raises():
+    with pytest.raises(ConfigurationError):
+        Inverter(TECH_90NM).pin("Z")
+
+
+def test_propagation_delay_validates_pins():
+    inv = Inverter(TECH_90NM)
+    with pytest.raises(ConfigurationError):
+        inv.propagation_delay("Q", "Y", 1.0, 0.0)
+
+
+def test_instance_naming():
+    inv = Inverter(TECH_90NM, name="u1")
+    assert inv.name == "u1"
+    assert Inverter(TECH_90NM).name == "Inverter"
+
+
+def test_input_output_pin_lists():
+    mux = Mux2(TECH_90NM)
+    assert {p.name for p in mux.input_pins} == {"A", "B", "S"}
+    assert {p.name for p in mux.output_pins} == {"Y"}

@@ -1,0 +1,162 @@
+"""Delay-element, library, and NLDM-characterization tests."""
+
+import pytest
+
+from repro.cells.characterize import NLDMTable, characterize_cell
+from repro.cells.combinational import Inverter
+from repro.cells.delay_elements import DelayElement
+from repro.cells.library import StdCellLibrary, default_library
+from repro.devices.corners import corner_by_name
+from repro.devices.technology import TECH_90NM
+from repro.errors import CharacterizationError, ConfigurationError
+from repro.units import FF, PS
+
+
+# -- delay elements ------------------------------------------------------
+
+def test_element_realizes_nominal_delay():
+    e = DelayElement(TECH_90NM, 65 * PS)
+    assert e.delay_at(TECH_90NM.vdd_nominal) == pytest.approx(65 * PS)
+
+
+def test_element_slows_at_low_supply():
+    e = DelayElement(TECH_90NM, 65 * PS)
+    assert e.delay_at(0.9) > 65 * PS
+
+
+def test_element_trim_load_accounted():
+    load = 5 * FF
+    e = DelayElement(TECH_90NM, 65 * PS, trim_load=load)
+    assert e.propagation_delay("A", "Y", 1.0, load) == pytest.approx(
+        65 * PS
+    )
+
+
+def test_element_rejects_sub_intrinsic_delay():
+    with pytest.raises(ConfigurationError):
+        DelayElement(TECH_90NM, 0.1 * PS)
+
+
+def test_element_rejects_negative_trim_load():
+    with pytest.raises(ConfigurationError):
+        DelayElement(TECH_90NM, 65 * PS, trim_load=-1 * FF)
+
+
+def test_from_internal_cap_same_tech_same_delay():
+    e = DelayElement(TECH_90NM, 65 * PS)
+    e2 = DelayElement.from_internal_cap(TECH_90NM, e.internal_cap)
+    assert e2.delay_at(1.0) == pytest.approx(e.delay_at(1.0))
+
+
+def test_from_internal_cap_corner_scales():
+    e = DelayElement(TECH_90NM, 65 * PS)
+    ss = corner_by_name("SS").apply(TECH_90NM)
+    e_ss = DelayElement.from_internal_cap(ss, e.internal_cap)
+    assert e_ss.delay_at(1.0) > e.delay_at(1.0)
+    assert e_ss.internal_cap == e.internal_cap
+
+
+def test_element_is_buffer_logically():
+    e = DelayElement(TECH_90NM, 65 * PS)
+    assert e.evaluate({"A": 1})["Y"] == 1
+    assert e.evaluate({"A": 0})["Y"] == 0
+
+
+# -- library ---------------------------------------------------------------
+
+def test_default_library_contents():
+    lib = default_library()
+    for name in ("INV", "BUF", "NAND2", "NOR2", "XOR2", "MUX2", "DFF"):
+        assert name in lib
+
+
+def test_library_make_case_insensitive():
+    lib = default_library()
+    inv = lib.make("inv")
+    assert type(inv).__name__ == "Inverter"
+
+
+def test_library_make_with_strength():
+    lib = default_library()
+    inv = lib.make("INV", strength=4)
+    assert inv.strength == 4
+
+
+def test_library_unknown_cell_raises():
+    lib = default_library()
+    with pytest.raises(ConfigurationError):
+        lib.make("FOO")
+
+
+def test_library_duplicate_registration_raises():
+    lib = StdCellLibrary(TECH_90NM)
+    lib.register("INV", Inverter)
+    with pytest.raises(ConfigurationError):
+        lib.register("inv", Inverter)
+
+
+def test_library_retarget_keeps_cells():
+    lib = default_library()
+    ss = corner_by_name("SS").apply(TECH_90NM)
+    lib2 = lib.retarget(ss)
+    assert set(lib2.cell_names()) == set(lib.cell_names())
+    assert lib2.make("INV").tech.vth == pytest.approx(ss.vth)
+
+
+def test_library_iteration_sorted():
+    lib = default_library()
+    assert list(lib) == sorted(lib.cell_names())
+
+
+# -- NLDM ---------------------------------------------------------------
+
+def test_nldm_matches_analytic_on_grid_points():
+    inv = Inverter(TECH_90NM)
+    table = characterize_cell(inv)
+    v, c = table.supplies[3], table.loads[2]
+    assert table.lookup(v, c) == pytest.approx(
+        inv.propagation_delay("A", "Y", v, c)
+    )
+
+
+def test_nldm_interpolation_close_between_points():
+    inv = Inverter(TECH_90NM)
+    table = characterize_cell(inv)
+    v = 0.5 * (table.supplies[4] + table.supplies[5])
+    c = 0.5 * (table.loads[1] + table.loads[2])
+    analytic = inv.propagation_delay("A", "Y", v, c)
+    assert table.lookup(v, c) == pytest.approx(analytic, rel=0.05)
+
+
+def test_nldm_clamps_out_of_range():
+    inv = Inverter(TECH_90NM)
+    table = characterize_cell(inv)
+    lo = table.lookup(0.0, 0.0)
+    assert lo == pytest.approx(table.lookup(table.supplies[0],
+                                            table.loads[0]))
+
+
+def test_nldm_rejects_bad_axes():
+    with pytest.raises(ConfigurationError):
+        NLDMTable(supplies=(1.0,), loads=(0.0, 1e-15),
+                  delays=((1e-12, 2e-12),))
+
+
+def test_nldm_rejects_shape_mismatch():
+    with pytest.raises(ConfigurationError):
+        NLDMTable(supplies=(0.9, 1.0), loads=(0.0, 1e-15),
+                  delays=((1e-12, 2e-12),))
+
+
+def test_characterize_rejects_subthreshold_grid():
+    inv = Inverter(TECH_90NM)
+    with pytest.raises(CharacterizationError):
+        characterize_cell(inv, supplies=[0.05, 0.1, 1.0])
+
+
+def test_nldm_monotone_in_load():
+    inv = Inverter(TECH_90NM)
+    table = characterize_cell(inv)
+    d1 = table.lookup(1.0, table.loads[1])
+    d2 = table.lookup(1.0, table.loads[3])
+    assert d2 > d1

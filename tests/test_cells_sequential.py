@@ -1,0 +1,138 @@
+"""Flip-flop sampling and metastability-model tests (Fig. 2 physics)."""
+
+import math
+
+import pytest
+
+from repro.cells.base import UNKNOWN
+from repro.cells.sequential import DFlipFlop, SampleOutcome
+from repro.devices.technology import TECH_90NM
+from repro.errors import ConfigurationError
+from repro.units import NS, PS
+
+
+@pytest.fixture()
+def ff():
+    return DFlipFlop(TECH_90NM)
+
+
+def sample(ff, arrival, clock=5 * NS, new=1, old=0, supply=None):
+    return ff.sample(new_value=new, old_value=old,
+                     data_arrival=arrival, clock_edge=clock,
+                     supply_v=supply)
+
+
+def test_early_data_clean_capture(ff):
+    r = sample(ff, arrival=1 * NS)
+    assert r.outcome is SampleOutcome.CLEAN_CAPTURE
+    assert r.value == 1
+    assert r.clk_to_q == pytest.approx(ff.clk_to_q)
+
+
+def test_late_data_clean_miss(ff):
+    r = sample(ff, arrival=5 * NS + 1 * NS)
+    assert r.outcome is SampleOutcome.CLEAN_MISS
+    assert r.value == 0
+
+
+def test_capture_boundary_is_setup_before_clock(ff):
+    crit = ff.critical_arrival(5 * NS)
+    assert crit == pytest.approx(5 * NS - ff.setup_time)
+    just_early = sample(ff, arrival=crit - 1 * PS)
+    just_late = sample(ff, arrival=crit + 1 * PS)
+    assert just_early.value == 1
+    assert just_late.value == 0
+
+
+def test_metastable_outcomes_near_boundary(ff):
+    crit = ff.critical_arrival(5 * NS)
+    eps = ff.window / 10
+    early = sample(ff, arrival=crit - eps)
+    late = sample(ff, arrival=crit + eps)
+    assert early.outcome is SampleOutcome.METASTABLE_CAPTURE
+    assert late.outcome is SampleOutcome.METASTABLE_MISS
+
+
+def test_resolution_time_grows_toward_boundary(ff):
+    """The Fig. 2 signature: clk-to-q diverges as margin shrinks."""
+    crit = ff.critical_arrival(5 * NS)
+    distances = [ff.window / k for k in (2, 4, 8, 16)]
+    delays = [sample(ff, arrival=crit - d).clk_to_q for d in distances]
+    assert all(b > a for a, b in zip(delays, delays[1:]))
+    assert delays[0] > ff.clk_to_q
+
+
+def test_unresolved_at_exact_boundary(ff):
+    crit = ff.critical_arrival(5 * NS)
+    r = sample(ff, arrival=crit)
+    assert r.outcome is SampleOutcome.UNRESOLVED
+    assert r.value is UNKNOWN
+    assert r.clk_to_q == pytest.approx(ff.resolution_cap)
+
+
+def test_no_transition_trivially_clean(ff):
+    r = sample(ff, arrival=5 * NS - 1 * PS, new=1, old=1)
+    assert r.outcome is SampleOutcome.CLEAN_CAPTURE
+    assert r.value == 1
+    assert math.isinf(r.setup_margin)
+
+
+def test_outcome_flags():
+    assert SampleOutcome.CLEAN_CAPTURE.captured_new_value
+    assert SampleOutcome.METASTABLE_CAPTURE.captured_new_value
+    assert not SampleOutcome.CLEAN_MISS.captured_new_value
+    assert SampleOutcome.METASTABLE_MISS.is_metastable
+    assert SampleOutcome.UNRESOLVED.is_metastable
+    assert not SampleOutcome.CLEAN_CAPTURE.is_metastable
+
+
+def test_supply_scaling_slows_ff(ff):
+    """Reduced FF supply stretches setup — the second-order effect the
+    paper says 'should be characterized'."""
+    crit_nom = ff.critical_arrival(5 * NS)
+    crit_low = ff.critical_arrival(5 * NS, supply_v=0.85)
+    assert crit_low < crit_nom  # more setup needed -> earlier deadline
+
+
+def test_collapsed_supply_unresolved(ff):
+    r = sample(ff, arrival=1 * NS, supply=TECH_90NM.vth / 2)
+    assert r.outcome is SampleOutcome.UNRESOLVED
+
+
+def test_timing_defaults_derived_from_tech(ff):
+    assert ff.setup_time > 0
+    assert ff.hold_time > 0
+    assert ff.clk_to_q > 0
+    assert ff.resolution_cap > ff.clk_to_q
+
+
+def test_custom_timing_overrides():
+    ff = DFlipFlop(TECH_90NM, setup_time=50 * PS, clk_to_q=70 * PS,
+                   tau=10 * PS, window=8 * PS, hold_time=20 * PS)
+    assert ff.setup_time == 50 * PS
+    assert ff.clk_to_q == 70 * PS
+
+
+def test_rejects_nonpositive_setup():
+    with pytest.raises(ConfigurationError):
+        DFlipFlop(TECH_90NM, setup_time=-1 * PS)
+
+
+def test_rejects_resolution_cap_below_clk_to_q():
+    with pytest.raises(ConfigurationError):
+        DFlipFlop(TECH_90NM, clk_to_q=100 * PS, resolution_cap=50 * PS)
+
+
+def test_rejects_invalid_logic_values(ff):
+    with pytest.raises(ConfigurationError):
+        sample(ff, arrival=1 * NS, new=2)
+
+
+def test_is_sequential_flag(ff):
+    assert ff.is_sequential
+    assert ff.pin("CP").is_clock
+    assert not ff.pin("D").is_clock
+
+
+def test_evaluate_returns_no_outputs(ff):
+    assert ff.evaluate({"D": 1, "CP": 0}) == {}

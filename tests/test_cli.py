@@ -1,0 +1,117 @@
+"""CLI tests: every subcommand produces its expected report."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_info(capsys):
+    code, out = run(capsys, "info")
+    assert code == 0
+    assert "fitted Vth" in out
+    assert "0.1695" in out
+    assert "[26, 40, 50, 65, 77, 92, 100, 107]" in out
+
+
+def test_table_behavioural(capsys):
+    code, out = run(capsys, "table")
+    assert code == 0
+    assert "011" in out
+    assert "65.00" in out
+
+
+def test_table_with_sim(capsys):
+    code, out = run(capsys, "table", "--sim")
+    assert code == 0
+    assert "structural" in out
+
+
+def test_fig4(capsys):
+    code, out = run(capsys, "fig4", "--points", "5")
+    assert code == 0
+    assert "threshold" in out
+    assert "2.00" in out and "0.9360" in out
+
+
+def test_fig5(capsys):
+    code, out = run(capsys, "fig5", "--codes", "3")
+    assert code == 0
+    assert "delay code 011" in out
+    assert "0011111" in out
+    assert "0.827" in out and "1.053" in out
+
+
+def test_fig9(capsys):
+    code, out = run(capsys, "fig9")
+    assert code == 0
+    assert "0011111" in out
+    assert "0000011" in out
+    assert "0.9920" in out
+
+
+def test_critical_path(capsys):
+    code, out = run(capsys, "critical-path")
+    assert code == 0
+    assert "1.2200 ns" in out
+    assert "hold slack" in out
+    assert "clean" in out
+
+
+def test_measure_vdd(capsys):
+    code, out = run(capsys, "measure", "--vdd", "0.95")
+    assert code == 0
+    assert "0000111" in out
+
+
+def test_measure_gnd(capsys):
+    code, out = run(capsys, "measure", "--gnd", "0.05")
+    assert code == 0
+    assert "GND-n" in out
+
+
+def test_measure_autoranges(capsys):
+    code, out = run(capsys, "measure", "--vdd", "1.15")
+    assert code == 0
+    assert "code 010" in out
+
+
+def test_measure_saturated_exit_code(capsys):
+    code, out = run(capsys, "measure", "--vdd", "0.40")
+    assert code == 2
+    assert "saturated" in out
+
+
+def test_scan(capsys):
+    code, out = run(capsys, "scan", "--rows", "6", "--cols", "6",
+                    "--current", "4.0")
+    assert code == 0
+    assert "tile (" in out
+    assert "bracket rate 100%" in out
+
+
+def test_yield(capsys):
+    code, out = run(capsys, "yield", "--dies", "10")
+    assert code == 0
+    assert "per-die ladder" in out
+
+
+def test_faults(capsys):
+    code, out = run(capsys, "faults")
+    assert code == 0
+    assert "overall            100%" in out
+
+
+def test_requires_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_measure_requires_one_rail(capsys):
+    with pytest.raises(SystemExit):
+        main(["measure"])

@@ -1,0 +1,94 @@
+"""DNL/INL converter-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.converter_metrics import (
+    effective_resolution_bits,
+    linearity,
+)
+from repro.errors import ConfigurationError
+
+
+PERFECT = tuple(0.8 + 0.03 * i for i in range(8))
+
+
+def test_perfect_ladder_zero_dnl_inl():
+    rep = linearity(PERFECT)
+    assert rep.max_dnl == pytest.approx(0.0, abs=1e-9)
+    assert rep.max_inl == pytest.approx(0.0, abs=1e-9)
+    assert rep.monotonic
+
+
+def test_lsb_is_mean_step():
+    rep = linearity(PERFECT)
+    assert rep.lsb == pytest.approx(0.03)
+
+
+def test_wide_step_positive_dnl():
+    ladder = [0.8, 0.83, 0.88, 0.91]  # middle step 0.05 vs lsb ~0.0367
+    rep = linearity(ladder)
+    assert rep.dnl[1] > 0
+    assert rep.dnl[0] < 0
+
+
+def test_endpoint_inl_zero_at_ends():
+    ladder = [0.8, 0.835, 0.86, 0.89]
+    rep = linearity(ladder)
+    assert rep.inl[0] == pytest.approx(0.0, abs=1e-12)
+    assert rep.inl[-1] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_best_fit_reference_smaller_worst_inl():
+    # A bowed ladder: endpoint INL concentrates in the middle;
+    # best-fit splits it.
+    ladder = [0.8, 0.84, 0.872, 0.9]
+    ep = linearity(ladder, reference="endpoint")
+    bf = linearity(ladder, reference="best-fit")
+    assert bf.max_inl <= ep.max_inl + 1e-12
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        linearity([0.8, 0.9])
+    with pytest.raises(ConfigurationError):
+        linearity([0.8, 0.9, 0.85])
+    with pytest.raises(ConfigurationError):
+        linearity(PERFECT, reference="median")
+
+
+def test_paper_ladder_metrics(design):
+    """The anchor-fitted ladder: sub-LSB nonlinearity, monotone."""
+    rep = linearity(design.bit_thresholds_code011)
+    assert rep.monotonic
+    assert rep.max_dnl < 1.0
+    assert rep.max_inl < 1.0
+    # The paper's first step (0.827 -> 0.896) is visibly wider than the
+    # rest: positive DNL on step 1.
+    assert rep.dnl[0] == max(rep.dnl)
+
+
+def test_linearized_caps_flatten_dnl(design):
+    fitted = linearity(design.bit_thresholds_code011)
+    linear_design = design.with_load_caps(design.linearized_load_caps())
+    linear_ladder = tuple(
+        linear_design.bit_threshold(b, 3)
+        for b in range(1, linear_design.n_bits + 1)
+    )
+    linearized = linearity(linear_ladder)
+    assert linearized.max_dnl < fitted.max_dnl
+
+
+def test_enob_decreases_with_noise(design):
+    ladder = design.bit_thresholds_code011
+    clean = effective_resolution_bits(ladder, 0.0)
+    noisy = effective_resolution_bits(ladder, 0.02)
+    assert clean > noisy
+    assert clean == pytest.approx(np.log2(len(ladder) - 1), abs=0.01)
+
+
+def test_enob_validation(design):
+    with pytest.raises(ConfigurationError):
+        effective_resolution_bits(design.bit_thresholds_code011, -0.1)
+    with pytest.raises(ConfigurationError):
+        effective_resolution_bits([1.0], 0.0)

@@ -1,0 +1,175 @@
+"""Auto-ranging meter and equivalent-time noise-monitor tests."""
+
+import pytest
+
+from repro.core.autorange import AutoRangingMeter
+from repro.core.monitor import NoiseMonitor
+from repro.core.sensor import SenseRail
+from repro.errors import ConfigurationError
+from repro.sim.waveform import (
+    ConstantWaveform,
+    DampedSineWaveform,
+    SumWaveform,
+)
+from repro.units import NS
+
+
+@pytest.fixture()
+def meter(design):
+    return AutoRangingMeter(design)
+
+
+def test_interior_reading_stays_at_initial_code(meter):
+    r = meter.measure_level(vdd_n=0.95)
+    assert r.code == 3
+    assert r.attempts == 1
+    assert not r.saturated
+    assert r.decoded.contains(0.95)
+
+
+def test_high_level_steps_code_down(meter):
+    r = meter.measure_level(vdd_n=1.15)
+    assert r.code < 3
+    assert not r.saturated
+    assert r.decoded.contains(1.15)
+
+
+def test_low_level_steps_code_up(meter):
+    r = meter.measure_level(vdd_n=0.70)
+    assert r.code > 3
+    assert not r.saturated
+    assert r.decoded.contains(0.70)
+
+
+def test_far_out_of_dynamic_saturates(meter):
+    r = meter.measure_level(vdd_n=0.40)
+    assert r.saturated
+    assert r.code == 7  # walked to the extreme code
+
+
+def test_every_interior_level_decodes_within_dynamic(meter):
+    lo, hi = meter.total_dynamic()
+    for frac in (0.1, 0.3, 0.5, 0.7, 0.9):
+        v = lo + frac * (hi - lo)
+        r = meter.measure_level(vdd_n=v)
+        assert not r.saturated, f"saturated at {v:.3f}"
+        assert r.decoded.contains(v)
+
+
+def test_attempt_budget_respected(design):
+    meter = AutoRangingMeter(design, max_attempts=2)
+    r = meter.measure_level(vdd_n=0.40)
+    assert r.attempts == 2
+
+
+def test_gnd_rail_autorange(design):
+    meter = AutoRangingMeter(design, SenseRail.GND)
+    r = meter.measure_level(gnd_n=0.05)
+    assert not r.saturated
+    assert r.decoded.contains(0.05)
+
+
+def test_custom_backend(meter, design):
+    """measure_with accepts any code->word backend."""
+    from repro.core.array import SensorArray
+
+    arr = SensorArray(design)
+    calls = []
+
+    def backend(code):
+        calls.append(code)
+        return arr.measure(code, vdd_n=1.15).word
+
+    r = meter.measure_with(backend)
+    assert calls[0] == 3
+    assert r.code == calls[-1] < 3
+
+
+def test_meter_validation(design):
+    with pytest.raises(ConfigurationError):
+        AutoRangingMeter(design, initial_code=8)
+    with pytest.raises(ConfigurationError):
+        AutoRangingMeter(design, max_attempts=0)
+
+
+def test_total_dynamic_spans_all_codes(meter, design):
+    lo, hi = meter.total_dynamic()
+    assert lo == pytest.approx(design.bit_threshold(1, 7))
+    assert hi == pytest.approx(design.bit_threshold(7, 0))
+    assert hi - lo > 0.5  # a much wider span than any single code
+
+
+# -- monitor ---------------------------------------------------------------
+
+def droop_waveform():
+    # Deep enough that the recovery ring exceeds code 011's 1.053 V
+    # ceiling (forcing auto-range) while the trough stays above its
+    # 0.827 V floor.
+    return SumWaveform([
+        ConstantWaveform(1.0),
+        DampedSineWaveform(base=0.0, amplitude=-0.15, freq=60e6,
+                           decay=25 * NS, t0=20 * NS),
+    ])
+
+
+@pytest.fixture(scope="module")
+def capture(design):
+    monitor = NoiseMonitor(design)
+    return monitor.capture(droop_waveform(), t_start=5 * NS,
+                           t_stop=80 * NS, n_points=24)
+
+
+def test_monitor_covers_requested_interval(capture):
+    times = [p.time for p in capture.points]
+    assert times[0] == pytest.approx(5 * NS)
+    assert times[-1] == pytest.approx(80 * NS)
+    assert len(times) == 24
+
+
+def test_monitor_tracks_waveform(capture):
+    rmse = capture.rmse_against(droop_waveform())
+    assert rmse < 0.035  # within ~1 LSB
+
+
+def test_monitor_sees_the_droop(capture):
+    lo, hi = capture.extremes()
+    assert lo < 0.93
+    assert hi >= 1.0 - 0.035
+
+
+def test_monitor_auto_ranges_overshoot(capture):
+    """The ringing rises above code 011's 1.053 V ceiling; auto-range
+    must re-measure those points at code 010."""
+    assert capture.reranged >= 1
+    assert any(p.code == 2 for p in capture.points)
+
+
+def test_monitor_points_bracket_truth(capture):
+    wf = droop_waveform()
+    hits = sum(1 for p in capture.points
+               if p.decoded.contains(wf(p.time)))
+    assert hits == len(capture.points)
+
+
+def test_monitor_validation(design):
+    monitor = NoiseMonitor(design)
+    with pytest.raises(ConfigurationError):
+        monitor.capture(ConstantWaveform(1.0), t_start=0.0,
+                        t_stop=0.0)
+    with pytest.raises(ConfigurationError):
+        monitor.capture(ConstantWaveform(1.0), t_start=0.0,
+                        t_stop=10 * NS, n_points=1)
+    with pytest.raises(ConfigurationError):
+        NoiseMonitor(design, code=8)
+
+
+def test_monitor_gnd_rail(design):
+    monitor = NoiseMonitor(design, SenseRail.GND)
+    bounce = SumWaveform([
+        ConstantWaveform(0.0),
+        DampedSineWaveform(base=0.0, amplitude=0.04, freq=60e6,
+                           decay=25 * NS, t0=20 * NS),
+    ])
+    cap = monitor.capture(bounce, t_start=20 * NS, t_stop=40 * NS,
+                          n_points=6)
+    assert any(p.decoded.hi > 0.02 for p in cap.points)

@@ -1,0 +1,157 @@
+"""Calibration tests: every published anchor must be reproduced."""
+
+import pytest
+
+from repro.core import paperdata
+from repro.core.calibration import SensorDesign, fit_paper_design, paper_design
+from repro.devices.corners import corner_by_name
+from repro.errors import CalibrationError, ConfigurationError
+from repro.units import PF, PS
+
+
+def test_vth_in_physical_range(design):
+    assert 0.05 < design.tech.vth < 0.4
+
+
+def test_delay_code_table_is_papers(design):
+    for i, ps in enumerate((26, 40, 50, 65, 77, 92, 100, 107)):
+        assert design.delay_codes[i] == pytest.approx(ps * PS)
+
+
+@pytest.mark.parametrize("bit,expected",
+                         sorted(paperdata.FIG5_CODE011_BOUNDARIES.items()))
+def test_code011_boundaries_reproduced(design, bit, expected):
+    assert design.bit_threshold(bit, 3) == pytest.approx(expected,
+                                                         abs=5e-4)
+
+
+def test_code010_endpoints_reproduced(design):
+    assert design.bit_threshold(1, 2) == pytest.approx(0.951, abs=5e-4)
+    assert design.bit_threshold(7, 2) == pytest.approx(1.237, abs=5e-4)
+
+
+def test_fig4_anchor_reproduced(design):
+    inv = design.sensor_inverter()
+    ff = design.sense_flipflop()
+    v = inv.model.supply_for_delay(
+        design.effective_window(3),
+        paperdata.FIG4_ANCHOR_CAP + ff.pin("D").cap,
+        v_hi=3.0,
+    )
+    assert v == pytest.approx(paperdata.FIG4_ANCHOR_THRESHOLD, abs=5e-4)
+
+
+def test_load_caps_ascending_pf_scale(design):
+    caps = design.load_caps
+    assert all(b > a for a, b in zip(caps, caps[1:]))
+    assert 1.5 * PF < caps[0] < caps[-1] < 2.5 * PF
+
+
+def test_load_caps_near_linear(design):
+    linear = design.linearized_load_caps()
+    worst = max(abs(a - b) for a, b in zip(design.load_caps, linear))
+    # Within a few percent of a perfect arithmetic progression.
+    assert worst / design.load_caps[0] < 0.03
+
+
+def test_thresholds_monotone_all_codes(design):
+    for code in range(8):
+        ts = [design.bit_threshold(b, code)
+              for b in range(1, design.n_bits + 1)]
+        assert all(b > a for a, b in zip(ts, ts[1:])), f"code {code}"
+
+
+def test_windows_monotone_in_code(design):
+    ws = [design.effective_window(c) for c in range(8)]
+    assert all(b > a for a, b in zip(ws, ws[1:]))
+
+
+def test_higher_code_lower_thresholds(design):
+    """Bigger window -> more time -> lower failure threshold."""
+    for bit in (1, 4, 7):
+        t_lo = design.bit_threshold(bit, 2)
+        t_hi = design.bit_threshold(bit, 3)
+        assert t_hi < t_lo
+
+
+def test_effective_window_code_range(design):
+    with pytest.raises(ConfigurationError):
+        design.effective_window(8)
+    with pytest.raises(ConfigurationError):
+        design.effective_window(-1)
+
+
+def test_ds_external_load_includes_ff_pin(design):
+    ff = design.sense_flipflop()
+    assert design.ds_external_load(1) == pytest.approx(
+        design.load_caps[0] + ff.pin("D").cap
+    )
+    with pytest.raises(ConfigurationError):
+        design.ds_external_load(0)
+
+
+def test_timing_scale_identity_on_design_tech(design):
+    assert design.timing_scale(design.tech) == 1.0
+    assert design.timing_scale(None) == 1.0
+
+
+def test_timing_scale_slow_corner_above_one(design):
+    ss = corner_by_name("SS").apply(design.tech)
+    assert design.timing_scale(ss) > 1.0
+    ff = corner_by_name("FF").apply(design.tech)
+    assert design.timing_scale(ff) < 1.0
+
+
+def test_window_tech_override(design):
+    """Corner INV with a design-tech window shifts thresholds up for
+    a slow corner (slower INV, same deadline)."""
+    ss = corner_by_name("SS").apply(design.tech)
+    t_tracking = design.bit_threshold(1, 3, ss)
+    t_external = design.bit_threshold(1, 3, ss, window_tech=design.tech)
+    t_nominal = design.bit_threshold(1, 3)
+    assert t_external > t_nominal
+    assert abs(t_tracking - t_nominal) < abs(t_external - t_nominal)
+
+
+def test_paper_design_cached():
+    assert paper_design() is paper_design()
+
+
+def test_fit_alternative_alpha_still_hits_anchors():
+    d = fit_paper_design(alpha=1.4)
+    assert d.bit_threshold(1, 3) == pytest.approx(0.827, abs=5e-4)
+    assert d.bit_threshold(7, 2) == pytest.approx(1.237, abs=5e-4)
+
+
+def test_fit_unsolvable_alpha_raises():
+    # Near the long-channel limit the cross-code consistency equation
+    # loses its root in the physical vth bracket.
+    with pytest.raises(CalibrationError):
+        fit_paper_design(alpha=1.01)
+
+
+def test_design_validation_rejects_bad_caps(design):
+    with pytest.raises(ConfigurationError):
+        SensorDesign(
+            tech=design.tech,
+            sensor_strength=design.sensor_strength,
+            ff_strength=design.ff_strength,
+            t0=design.t0,
+            delay_codes=design.delay_codes,
+            load_caps=(2e-12, 1e-12),  # descending
+            bit_thresholds_code011=(0.9, 1.0),
+        )
+
+
+def test_with_load_caps_replaces(design):
+    d2 = design.with_load_caps((1e-12, 2e-12))
+    assert d2.n_bits == 2
+    assert design.n_bits == 7
+
+
+def test_cp_route_element_realizes_t0(design):
+    ff = design.sense_flipflop()
+    elem = design.cp_route_element(trim_load=ff.pin("CP").cap)
+    realized = elem.propagation_delay("A", "Y", design.tech.vdd_nominal,
+                                      ff.pin("CP").cap)
+    assert realized == pytest.approx(design.t0 + ff.setup_time)

@@ -1,0 +1,126 @@
+"""Characterization tests (Figs. 4-5 machinery), incl. sim/analytic
+cross-checks."""
+
+import pytest
+
+from repro.core.characterization import (
+    characterize_array,
+    characterize_bit_thresholds,
+    linearity_report,
+    threshold_vs_capacitance,
+)
+from repro.core.sensor import SenseRail
+from repro.errors import ConfigurationError
+from repro.units import PF
+
+
+def test_analytic_thresholds_match_design(design):
+    ts = characterize_bit_thresholds(design, 3)
+    for b, t in enumerate(ts, start=1):
+        assert t == pytest.approx(design.bit_threshold(b, 3))
+
+
+def test_sim_thresholds_match_analytic_sub_mv(design):
+    """The cross-check that the event-driven stack realizes the
+    analytic design: bisected sim thresholds within 1 mV."""
+    analytic = characterize_bit_thresholds(design, 3)
+    sim = characterize_bit_thresholds(design, 3, method="sim",
+                                      tol=0.25e-3)
+    for b, (a, s) in enumerate(zip(analytic, sim), start=1):
+        assert s == pytest.approx(a, abs=1e-3), f"bit {b}"
+
+
+def test_gnd_thresholds_complementary(design):
+    vdd_ts = characterize_bit_thresholds(design, 3)
+    gnd_ts = characterize_bit_thresholds(design, 3, rail=SenseRail.GND)
+    nominal = design.tech.vdd_nominal
+    for v, g in zip(vdd_ts, gnd_ts):
+        assert g == pytest.approx(nominal - v)
+
+
+def test_unknown_method_rejected(design):
+    with pytest.raises(ConfigurationError):
+        characterize_bit_thresholds(design, 3, method="magic")
+
+
+def test_characterize_array_fig5_ranges(design):
+    chars = characterize_array(design, codes=(2, 3))
+    assert chars[3].v_min == pytest.approx(0.827, abs=5e-4)
+    assert chars[3].v_max == pytest.approx(1.053, abs=5e-4)
+    assert chars[2].v_min == pytest.approx(0.951, abs=5e-4)
+    assert chars[2].v_max == pytest.approx(1.237, abs=5e-4)
+
+
+def test_characteristic_table_has_all_words(design):
+    chars = characterize_array(design, codes=(3,))
+    table = chars[3].table
+    assert len(table) == 8
+    assert table[0][0] == "0000000"
+    assert table[-1][0] == "1111111"
+
+
+def test_characteristic_word_at(design):
+    chars = characterize_array(design, codes=(3,))
+    assert chars[3].word_at(1.00) == "0011111"
+    assert chars[3].word_at(0.90) == "0000011"
+    assert chars[3].word_at(0.50) == "0000000"
+    assert chars[3].word_at(1.50) == "1111111"
+
+
+def test_lower_code_shifts_range_up(design):
+    """The paper's code 010-vs-011 observation: smaller skew -> only
+    higher supplies pass."""
+    chars = characterize_array(design, codes=(1, 2, 3))
+    assert chars[2].v_min > chars[3].v_min
+    assert chars[1].v_min > chars[2].v_min
+
+
+def test_fig4_anchor_point(design):
+    pts = threshold_vs_capacitance(design, [2 * PF])
+    assert pts[0][1] == pytest.approx(0.9360, abs=5e-4)
+
+
+def test_fig4_monotone_in_cap(design):
+    caps = [(1.7 + 0.1 * i) * PF for i in range(6)]
+    pts = threshold_vs_capacitance(design, caps)
+    vals = [v for _, v in pts]
+    assert all(b > a for a, b in zip(vals, vals[1:]))
+
+
+def test_fig4_linear_in_paper_range(design):
+    """Fig. 4's claim: linear within the 0.9-1.1 V window."""
+    caps = [(1.85 + 0.04 * i) * PF for i in range(10)]
+    pts = threshold_vs_capacitance(design, caps)
+    report = linearity_report(pts)
+    assert report["r_squared"] > 0.995
+    assert report["max_residual"] < 0.008  # < half an LSB (~32 mV)
+
+
+def test_fig4_sim_matches_analytic(design):
+    caps = [1.9 * PF, 2.1 * PF]
+    analytic = threshold_vs_capacitance(design, caps)
+    sim = threshold_vs_capacitance(design, caps, method="sim",
+                                   tol=0.25e-3)
+    for (_, a), (_, s) in zip(analytic, sim):
+        assert s == pytest.approx(a, abs=1e-3)
+
+
+def test_fig4_rejects_bad_caps(design):
+    with pytest.raises(ConfigurationError):
+        threshold_vs_capacitance(design, [])
+    with pytest.raises(ConfigurationError):
+        threshold_vs_capacitance(design, [-1 * PF])
+
+
+def test_linearity_report_needs_points():
+    with pytest.raises(ConfigurationError):
+        linearity_report([(0.0, 0.0), (1.0, 1.0)])
+
+
+def test_linearity_report_perfect_line():
+    pts = [(float(i), 2.0 * i + 1.0) for i in range(5)]
+    rep = linearity_report(pts)
+    assert rep["slope"] == pytest.approx(2.0)
+    assert rep["intercept"] == pytest.approx(1.0)
+    assert rep["r_squared"] == pytest.approx(1.0)
+    assert rep["max_residual"] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,178 @@
+"""Control-FSM tests: Fig. 8 protocol conformance."""
+
+import pytest
+
+from repro.core.control import (
+    ControlFSM,
+    ControlState,
+    build_control_netlist,
+)
+from repro.core.sensor import SenseRail
+from repro.errors import ConfigurationError, ProtocolError
+from repro.units import NS
+
+
+def drain_states(fsm, n):
+    return [fsm.tick().state for _ in range(n)]
+
+
+def test_reset_state_is_idle():
+    fsm = ControlFSM()
+    assert fsm.state is ControlState.IDLE
+
+
+def test_idle_until_enabled():
+    fsm = ControlFSM()
+    out = fsm.tick(enable=False)
+    assert out.state is ControlState.IDLE
+    out = fsm.tick(enable=True)
+    assert out.state is ControlState.READY
+
+
+def test_ready_holds_without_request():
+    fsm = ControlFSM()
+    fsm.tick()
+    states = drain_states(fsm, 3)
+    assert states == [ControlState.READY] * 3
+
+
+def test_full_measurement_sequence():
+    """IDLE->READY->S_PRP0->S_PRP->S_SNS0->S_SNS->READY (Fig. 8)."""
+    fsm = ControlFSM()
+    fsm.tick()
+    fsm.request_measures(1)
+    states = drain_states(fsm, 5)
+    assert states == [
+        ControlState.S_PRP0,
+        ControlState.S_PRP,
+        ControlState.S_SNS0,
+        ControlState.S_SNS,
+        ControlState.READY,
+    ]
+
+
+def test_iterated_measures_loop_back():
+    fsm = ControlFSM()
+    fsm.tick()
+    fsm.request_measures(2)
+    states = drain_states(fsm, 9)
+    assert states[3] is ControlState.S_SNS
+    assert states[4] is ControlState.S_PRP0  # loops for measure 2
+    assert states[7] is ControlState.S_SNS
+    assert states[8] is ControlState.READY
+
+
+def test_cp_edge_pattern():
+    """CP low in *_0 states (negative edges), high at sampling states."""
+    fsm = ControlFSM()
+    fsm.tick()
+    fsm.request_measures(1)
+    outs = [fsm.tick() for _ in range(4)]
+    assert [o.cp for o in outs] == [0, 1, 0, 1]
+
+
+def test_p_polarity_vdd_rail():
+    fsm = ControlFSM(SenseRail.VDD)
+    fsm.tick()
+    fsm.request_measures(1)
+    outs = [fsm.tick() for _ in range(4)]
+    # P=1 through PREPARE, drops to 0 only in the sense phase.
+    assert [o.p for o in outs] == [1, 1, 1, 0]
+
+
+def test_p_polarity_gnd_rail_opposite():
+    fsm = ControlFSM(SenseRail.GND)
+    fsm.tick()
+    fsm.request_measures(1)
+    outs = [fsm.tick() for _ in range(4)]
+    assert [o.p for o in outs] == [0, 0, 0, 1]
+
+
+def test_sample_flags():
+    fsm = ControlFSM()
+    fsm.tick()
+    fsm.request_measures(1)
+    outs = [fsm.tick() for _ in range(4)]
+    assert [o.prepare_sample for o in outs] == [False, True, False, False]
+    assert [o.sense_sample for o in outs] == [False, False, False, True]
+
+
+def test_request_mid_sequence_rejected():
+    fsm = ControlFSM()
+    fsm.tick()
+    fsm.request_measures(1)
+    fsm.tick()  # S_PRP0
+    with pytest.raises(ProtocolError):
+        fsm.request_measures(1)
+
+
+def test_request_nonpositive_rejected():
+    fsm = ControlFSM()
+    with pytest.raises(ConfigurationError):
+        fsm.request_measures(0)
+
+
+def test_reset_drops_pending():
+    fsm = ControlFSM()
+    fsm.tick()
+    fsm.request_measures(3)
+    fsm.reset()
+    assert fsm.pending_measures == 0
+    assert fsm.state is ControlState.IDLE
+
+
+def test_schedule_sense_count_and_spacing():
+    fsm = ControlFSM()
+    sched = fsm.run_schedule(3, clock_period=2 * NS, start_time=4 * NS)
+    assert len(sched.sense_times) == 3
+    assert len(sched.prepare_times) == 3
+    diffs = [b - a for a, b in zip(sched.sense_times,
+                                   sched.sense_times[1:])]
+    assert all(d == pytest.approx(8 * NS) for d in diffs)  # 4 states
+
+
+def test_schedule_prepare_precedes_sense():
+    fsm = ControlFSM()
+    sched = fsm.run_schedule(2, clock_period=2 * NS, start_time=4 * NS)
+    for tp, ts in zip(sched.prepare_times, sched.sense_times):
+        assert tp < ts
+
+
+def test_schedule_p_events_match_rail():
+    fsm = ControlFSM(SenseRail.VDD)
+    sched = fsm.run_schedule(1, clock_period=2 * NS, start_time=4 * NS)
+    # One P drop (sense) and one recovery-less end (single measure).
+    values = [v for _, v in sched.p_events]
+    assert values[0] == 0  # the sense drop
+
+
+def test_schedule_validation():
+    fsm = ControlFSM()
+    with pytest.raises(ConfigurationError):
+        fsm.run_schedule(0, clock_period=2 * NS, start_time=4 * NS)
+    with pytest.raises(ConfigurationError):
+        fsm.run_schedule(1, clock_period=0.0, start_time=4 * NS)
+
+
+def test_state_encodings_unique():
+    encs = [s.encoding for s in ControlState]
+    assert len(set(encs)) == len(encs)
+
+
+def test_control_netlist_builds_and_validates(design):
+    nl, ports = build_control_netlist(design)
+    nl.validate()
+    assert len(ports.state_bits) == 3
+    assert len(ports.counter_bits) == 8
+    assert len(ports.encoder_inputs) == 7
+    assert len(ports.oute_bits) == 3
+
+
+def test_control_netlist_standard_cells_only(design):
+    """The paper's claim: fully digital, standard-cell based."""
+    nl, _ = build_control_netlist(design)
+    kinds = {type(i.cell).__name__ for i in nl.iter_instances()}
+    allowed = {"Inverter", "Buffer", "Nand2", "Nor2", "And2", "Or2",
+               "Xor2", "Xnor2", "Aoi21", "Oai21", "Mux2", "DFlipFlop",
+               "DelayElement"}
+    assert kinds <= allowed

@@ -1,0 +1,133 @@
+"""ENC and counter tests: behavioural and structural equivalence."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.thermometer import ThermometerWord
+from repro.core.counter import (
+    MeasurementCounter,
+    build_counter_netlist,
+    run_counter_netlist,
+)
+from repro.core.encoder import (
+    ThermometerEncoder,
+    build_encoder_netlist,
+    encode_via_netlist,
+)
+from repro.errors import ConfigurationError
+
+
+# -- encoder -----------------------------------------------------------------
+
+def test_encoder_counts_ones():
+    enc = ThermometerEncoder(7)
+    assert enc.encode(ThermometerWord.from_string("0011111")).oute == 5
+    assert enc.encode(ThermometerWord.from_string("0000000")).oute == 0
+    assert enc.encode(ThermometerWord.from_string("1111111")).oute == 7
+
+
+def test_encoder_flags_bubbles():
+    enc = ThermometerEncoder(7)
+    ok = enc.encode(ThermometerWord.from_string("0011111"))
+    bad = enc.encode(ThermometerWord.from_string("0101111"))
+    assert ok.valid and not bad.valid
+    assert bad.oute == 5  # ones count is bubble-immune
+
+
+def test_encoder_output_width():
+    assert ThermometerEncoder(7).output_width == 3
+    assert ThermometerEncoder(15).output_width == 4
+    assert ThermometerEncoder(1).output_width == 1
+
+
+def test_encoder_width_mismatch():
+    enc = ThermometerEncoder(7)
+    with pytest.raises(ConfigurationError):
+        enc.encode(ThermometerWord.from_string("011"))
+
+
+def test_encoder_oute_bits_lsb_first():
+    enc = ThermometerEncoder(7)
+    e = enc.encode(ThermometerWord.from_string("0011111"))
+    assert e.oute_bits(3) == (1, 0, 1)  # 5 = 0b101
+
+
+def test_structural_encoder_equivalent_exhaustive(design):
+    """All 128 input patterns: netlist ones-counter == behavioural."""
+    enc = ThermometerEncoder(7)
+    for bits in itertools.product((0, 1), repeat=7):
+        w = ThermometerWord(bits)
+        assert encode_via_netlist(design, w) == enc.encode(w).oute, bits
+
+
+def test_structural_encoder_needs_7_bits(design):
+    with pytest.raises(ConfigurationError):
+        build_encoder_netlist(design.with_load_caps((1e-12, 2e-12)))
+
+
+# -- counter ------------------------------------------------------------------
+
+def test_counter_increments_and_wraps():
+    c = MeasurementCounter(width=3)
+    values = [c.tick() for _ in range(10)]
+    assert values == [1, 2, 3, 4, 5, 6, 7, 0, 1, 2]
+
+
+def test_counter_enable_gates():
+    c = MeasurementCounter(width=4)
+    c.tick()
+    c.tick(enable=False)
+    assert c.value == 1
+
+
+def test_counter_load_and_reset():
+    c = MeasurementCounter(width=4)
+    c.load(13)
+    assert c.value == 13
+    c.load(16)  # wraps
+    assert c.value == 0
+    c.load(5)
+    c.reset()
+    assert c.value == 0
+
+
+def test_counter_terminal_flag():
+    c = MeasurementCounter(width=2)
+    assert not c.terminal
+    c.load(3)
+    assert c.terminal
+
+
+def test_counter_bits_lsb_first():
+    c = MeasurementCounter(width=4)
+    c.load(6)
+    assert c.bits() == (0, 1, 1, 0)
+
+
+def test_counter_validation():
+    with pytest.raises(ConfigurationError):
+        MeasurementCounter(width=0)
+    c = MeasurementCounter(width=3)
+    with pytest.raises(ConfigurationError):
+        c.load(-1)
+
+
+def test_structural_counter_counts(design):
+    values = run_counter_netlist(design, 10, width=4)
+    assert values == list(range(1, 11))
+
+
+def test_structural_counter_wraps(design):
+    values = run_counter_netlist(design, 18, width=4)
+    assert values[14:18] == [15, 0, 1, 2]
+
+
+def test_structural_counter_terminal_net(design):
+    nl, ports = build_counter_netlist(design, 4)
+    assert ports.terminal in nl.nets
+
+
+def test_structural_counter_width_validated(design):
+    with pytest.raises(ConfigurationError):
+        build_counter_netlist(design, 1)

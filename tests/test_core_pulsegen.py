@@ -1,0 +1,112 @@
+"""Pulse-generator tests: table realization, matching, corners."""
+
+import pytest
+
+from repro.core.pulsegen import (
+    PulseGenerator,
+    PulseGeneratorHarness,
+    build_pg_netlist,
+)
+from repro.devices.corners import corner_by_name
+from repro.errors import ConfigurationError
+from repro.units import PS
+
+
+PAPER_TABLE_PS = (26, 40, 50, 65, 77, 92, 100, 107)
+
+
+def test_behavioral_table_matches_paper(design):
+    pg = PulseGenerator(design)
+    for code, ps in enumerate(PAPER_TABLE_PS):
+        assert pg.skew(code) == pytest.approx(ps * PS, abs=0.01 * PS)
+
+
+def test_behavioral_table_monotone(design):
+    pg = PulseGenerator(design)
+    t = pg.delay_table()
+    assert all(b > a for a, b in zip(t, t[1:]))
+
+
+def test_skew_code_range_validated(design):
+    pg = PulseGenerator(design)
+    with pytest.raises(ConfigurationError):
+        pg.skew(8)
+    with pytest.raises(ConfigurationError):
+        pg.skew(-1)
+
+
+def test_pg_supply_noise_perturbs_skew(design):
+    """A droop on the PG's own rail stretches the skew — second-order
+    effect the characterization can quantify."""
+    pg = PulseGenerator(design)
+    assert pg.skew(3, supply_v=0.9) > pg.skew(3)
+
+
+def test_code_for_skew_roundtrip(design):
+    pg = PulseGenerator(design)
+    for code in range(8):
+        assert pg.code_for_skew(pg.skew(code)) == code
+
+
+def test_code_for_skew_nearest(design):
+    pg = PulseGenerator(design)
+    assert pg.code_for_skew(58 * PS) in (2, 3)  # between 50 and 65
+
+
+def test_corner_scales_whole_table(design):
+    ss = corner_by_name("SS").apply(design.tech)
+    pg_tt = PulseGenerator(design)
+    pg_ss = PulseGenerator(design, ss)
+    ratios = [pg_ss.skew(c) / pg_tt.skew(c) for c in range(8)]
+    assert all(r > 1.05 for r in ratios)
+    # Uniform scaling: all ratios equal (fixed caps, common devices).
+    assert max(ratios) - min(ratios) < 1e-9
+
+
+# -- structural ---------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def pg_harness(design):
+    return PulseGeneratorHarness(design)
+
+
+def test_structural_table_matches_paper(design, pg_harness):
+    table = pg_harness.measure_table()
+    for code, ps in enumerate(PAPER_TABLE_PS):
+        assert table[code] == pytest.approx(ps * PS, abs=0.5 * PS), \
+            f"code {code}"
+
+
+def test_structural_mux_insertion_cancels(design, pg_harness):
+    """The P and CP trees are matched: realized skew equals the tap
+    delay alone, independent of the 3 mux levels both share."""
+    pg = PulseGenerator(design)
+    skew = pg_harness.measure_skew(5)
+    assert skew == pytest.approx(pg.skew(5), abs=0.5 * PS)
+
+
+def test_structural_code_validated(design, pg_harness):
+    with pytest.raises(ConfigurationError):
+        pg_harness.measure_skew(9)
+
+
+def test_build_into_existing_netlist(design):
+    from repro.sim.netlist import Netlist
+
+    nl = Netlist("host")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl2, ports = build_pg_netlist(design, netlist=nl, prefix="x")
+    assert nl2 is nl
+    assert ports.p_out in nl.nets
+    assert ports.cp_out in nl.nets
+
+
+def test_output_load_balancing(design):
+    _, ports_a = build_pg_netlist(design, prefix="a",
+                                  p_out_load=10e-15, cp_out_load=2e-15)
+    # The lighter output net gets the balance capacitor.
+    nl, ports = build_pg_netlist(design, prefix="b",
+                                 p_out_load=10e-15, cp_out_load=2e-15)
+    assert nl.nets[ports.cp_out].extra_cap == pytest.approx(8e-15)
+    assert nl.nets[ports.p_out].extra_cap == pytest.approx(0.0)

@@ -1,0 +1,167 @@
+"""Single-bit sensor tests: analytic model, event harness, agreement."""
+
+import pytest
+
+from repro.core.sensor import SenseRail, SensorBit, SensorBitHarness
+from repro.errors import ConfigurationError
+from repro.sim.waveform import StepWaveform
+from repro.units import NS
+
+
+# -- rail polarity -----------------------------------------------------------
+
+def test_vdd_rail_phases():
+    r = SenseRail.VDD
+    assert r.prepare_p == 1 and r.sense_p == 0
+    assert r.prepare_ds == 0 and r.pass_value == 1
+
+
+def test_gnd_rail_phases_opposite():
+    r = SenseRail.GND
+    assert r.prepare_p == 0 and r.sense_p == 1
+    assert r.prepare_ds == 1 and r.pass_value == 0
+
+
+# -- analytic ----------------------------------------------------------------
+
+def test_bit_index_validated(design):
+    with pytest.raises(ConfigurationError):
+        SensorBit(design, 0)
+    with pytest.raises(ConfigurationError):
+        SensorBit(design, 8)
+
+
+def test_analytic_pass_above_threshold(design):
+    bit = SensorBit(design, 1)
+    t = bit.threshold(3)
+    assert bit.measure(3, vdd_n=t + 0.02).passed
+    assert not bit.measure(3, vdd_n=t - 0.02).passed
+
+
+def test_analytic_boundary_is_exact_threshold(design):
+    bit = SensorBit(design, 4)
+    t = bit.threshold(3)
+    assert bit.measure(3, vdd_n=t + 1e-6).passed
+    assert not bit.measure(3, vdd_n=t - 1e-6).passed
+
+
+def test_analytic_metastable_flag_near_threshold(design):
+    bit = SensorBit(design, 1)
+    t = bit.threshold(3)
+    m = bit.measure(3, vdd_n=t + 1e-4)
+    assert "metastable" in m.outcome
+    assert m.out_delay > design.sense_flipflop().clk_to_q
+
+
+def test_analytic_clean_far_from_threshold(design):
+    bit = SensorBit(design, 1)
+    m = bit.measure(3, vdd_n=1.0)
+    assert m.outcome == "clean_capture"
+
+
+def test_ds_delay_grows_as_supply_drops(design):
+    bit = SensorBit(design, 1)
+    d1 = bit.ds_delay(3, vdd_n=1.0)
+    d2 = bit.ds_delay(3, vdd_n=0.9)
+    assert d2 > d1
+
+
+def test_gnd_rail_threshold_complements_vdd(design):
+    vbit = SensorBit(design, 5)
+    gbit = SensorBit(design, 5, SenseRail.GND)
+    assert gbit.threshold(3) == pytest.approx(
+        design.tech.vdd_nominal - vbit.threshold(3)
+    )
+
+
+def test_gnd_rail_fails_on_bounce(design):
+    gbit = SensorBit(design, 5, SenseRail.GND)
+    t = gbit.threshold(3)  # tolerable bounce
+    assert gbit.measure(3, gnd_n=max(t - 0.01, 0.0)).passed
+    assert not gbit.measure(3, gnd_n=t + 0.01).passed
+
+
+def test_effective_supply_separation(design):
+    """HS sees vdd_n only; LS sees gnd_n only — the interference
+    isolation of Fig. 6."""
+    vbit = SensorBit(design, 1)
+    gbit = SensorBit(design, 1, SenseRail.GND)
+    assert vbit.effective_supply(vdd_n=0.9, gnd_n=0.5) == 0.9
+    assert gbit.effective_supply(vdd_n=0.5, gnd_n=0.05) == \
+        pytest.approx(0.95)
+
+
+# -- event-driven harness -----------------------------------------------------
+
+def test_sim_agrees_with_analytic_at_boundary(design):
+    """The headline invariant: sim pass/fail flips at the analytic
+    threshold."""
+    h = SensorBitHarness(design, 1)
+    t = SensorBit(design, 1).threshold(3)
+    assert h.measure_once(3, vdd_n=t + 0.002).passed
+    assert not h.measure_once(3, vdd_n=t - 0.002).passed
+
+
+@pytest.mark.parametrize("bit", [2, 5, 7])
+def test_sim_boundary_other_bits(design, bit):
+    h = SensorBitHarness(design, bit)
+    t = SensorBit(design, bit).threshold(3)
+    assert h.measure_once(3, vdd_n=t + 0.003).passed
+    assert not h.measure_once(3, vdd_n=t - 0.003).passed
+
+
+def test_sim_boundary_other_code(design):
+    h = SensorBitHarness(design, 1)
+    t = SensorBit(design, 1).threshold(2)
+    assert h.measure_once(2, vdd_n=t + 0.003).passed
+    assert not h.measure_once(2, vdd_n=t - 0.003).passed
+
+
+def test_sim_ds_delay_close_to_analytic(design):
+    h = SensorBitHarness(design, 1)
+    m = h.measure_once(3, vdd_n=0.95)
+    analytic = SensorBit(design, 1).ds_delay(3, vdd_n=0.95)
+    assert m.ds_delay == pytest.approx(analytic, rel=1e-6)
+
+
+def test_sim_fig3_two_measures(design):
+    """Fig. 3: 1.00 V passes, 0.95 V fails (bit with threshold
+    between)."""
+    h = SensorBitHarness(design, 5)  # threshold 0.992
+    wf = StepWaveform(1.0, 0.95, 7 * NS)
+    results = h.run_measures(3, [4 * NS, 10 * NS], vdd_n=wf)
+    assert results[0].passed and results[0].value == 1
+    assert not results[1].passed and results[1].value == 0
+
+
+def test_sim_gnd_rail(design):
+    h = SensorBitHarness(design, 5, SenseRail.GND)
+    assert h.measure_once(3, gnd_n=0.0).passed
+    assert not h.measure_once(3, gnd_n=0.05).passed
+
+
+def test_sim_metastable_near_boundary(design):
+    h = SensorBitHarness(design, 1)
+    t = SensorBit(design, 1).threshold(3)
+    m = h.measure_once(3, vdd_n=t + 0.0005)
+    assert "metastable" in m.outcome
+    assert m.out_delay > design.sense_flipflop().clk_to_q
+
+
+def test_sim_out_delay_grows_toward_failure(design):
+    """Fig. 2's non-linear OUT delay growth."""
+    h = SensorBitHarness(design, 1)
+    t = SensorBit(design, 1).threshold(3)
+    delays = [h.measure_once(3, vdd_n=t + dv).out_delay
+              for dv in (0.05, 0.01, 0.002)]
+    assert delays[0] < delays[1] < delays[2]
+
+
+def test_measure_times_validation(design):
+    h = SensorBitHarness(design, 1)
+    with pytest.raises(ConfigurationError):
+        h.run_measures(3, [])
+    with pytest.raises(ConfigurationError):
+        h.run_measures(3, [1 * NS])  # before PREPARE_LEAD
+    with pytest.raises(ConfigurationError):
+        h.run_measures(3, [4 * NS, 4.5 * NS])  # too dense

@@ -1,0 +1,130 @@
+"""Full sensor-system tests (Fig. 6 assembly, Fig. 9 behaviour)."""
+
+import pytest
+
+from repro.core.sensor import SenseRail
+from repro.core.system import SensorSystem
+from repro.devices.corners import corner_by_name
+from repro.errors import ConfigurationError
+from repro.sim.waveform import StepWaveform, SumWaveform, ConstantWaveform, DampedSineWaveform
+from repro.units import NS
+
+
+@pytest.fixture(scope="module")
+def system(design):
+    return SensorSystem(design)
+
+
+def test_fig9_sequence(system):
+    wf = StepWaveform(1.0, 0.9, 16 * NS)
+    run = system.run(2, vdd_n=wf)
+    assert run.hs[0].word.to_string() == "0011111"
+    assert run.hs[1].word.to_string() == "0000011"
+
+
+def test_fig9_decoded_ranges(system):
+    wf = StepWaveform(1.0, 0.9, 16 * NS)
+    run = system.run(2, vdd_n=wf)
+    r1, r2 = run.hs[0].decoded, run.hs[1].decoded
+    assert (r1.lo, r1.hi) == (pytest.approx(0.992, abs=5e-4),
+                              pytest.approx(1.021, abs=5e-4))
+    assert (r2.lo, r2.hi) == (pytest.approx(0.896, abs=5e-4),
+                              pytest.approx(0.929, abs=5e-4))
+
+
+def test_prepare_word_all_zero(system):
+    """Fig. 9: 'during the PREPARE phase the sensor output is
+    0000000'."""
+    run = system.run(1, vdd_n=1.0)
+    assert run.hs[0].prepare_word == "0000000"
+
+
+def test_oute_encoding(system):
+    run = system.run(1, vdd_n=1.0)
+    assert run.hs[0].encoded.oute == 5
+    assert run.hs[0].encoded.valid
+
+
+def test_ls_chain_reads_ground(system):
+    run = system.run(1, gnd_n=0.05)
+    assert run.ls[0].decoded.contains(0.05)
+
+
+def test_hs_ls_isolation(system):
+    """Ground bounce must NOT disturb the HS reading and vice versa —
+    the separation argument of Fig. 6."""
+    clean = system.run(1, vdd_n=1.0, gnd_n=0.0)
+    bounced = system.run(1, vdd_n=1.0, gnd_n=0.06)
+    assert clean.hs[0].word == bounced.hs[0].word
+    assert clean.ls[0].word != bounced.ls[0].word
+
+
+def test_decoded_ranges_bracket_truth(system):
+    for v in (0.87, 0.93, 1.01):
+        run = system.run(1, vdd_n=v)
+        assert run.hs[0].decoded.contains(v), f"at {v}"
+
+
+def test_different_codes_for_hs_ls(system):
+    run = system.run(1, code_hs=3, code_ls=2, vdd_n=0.97)
+    assert run.hs[0].decoded.contains(0.97)
+
+
+def test_measure_times_spaced_by_fsm(system):
+    run = system.run(3, vdd_n=1.0)
+    times = [m.time for m in run.hs]
+    diffs = [b - a for a, b in zip(times, times[1:])]
+    assert all(d == pytest.approx(4 * system.clock_period)
+               for d in diffs)
+
+
+def test_droop_event_detected_mid_burst(design):
+    """A resonant droop between measures shows up in exactly the
+    measures that overlap it."""
+    system = SensorSystem(design, include_ls=False)
+    droop = SumWaveform([
+        ConstantWaveform(1.0),
+        DampedSineWaveform(base=0.0, amplitude=-0.12, freq=30e6,
+                           decay=15 * NS, t0=18 * NS),
+    ])
+    run = system.run(4, vdd_n=droop)
+    readings = [m.decoded.midpoint for m in run.hs]
+    assert min(readings[1:3]) < readings[0] - 0.02
+
+
+def test_code_out_of_range_rejected(system):
+    with pytest.raises(ConfigurationError):
+        system.run(1, code_hs=8)
+
+
+def test_nonpositive_measures_rejected(system):
+    with pytest.raises(ConfigurationError):
+        system.run(0)
+
+
+def test_clock_period_minimum_enforced(design):
+    with pytest.raises(ConfigurationError):
+        SensorSystem(design, clock_period=0.2 * NS)
+
+
+def test_hs_only_system(design):
+    system = SensorSystem(design, include_ls=False)
+    run = system.run(1, vdd_n=0.95)
+    assert run.ls == ()
+    assert run.hs[0].decoded.contains(0.95)
+
+
+def test_corner_system_still_brackets(design):
+    """At a process corner, the corner-characterized decode still
+    brackets the true supply (sim and analytic shift together)."""
+    ss = corner_by_name("SS").apply(design.tech)
+    system = SensorSystem(design, tech=ss, include_ls=False)
+    run = system.run(1, vdd_n=0.95)
+    assert run.hs[0].decoded.contains(0.95)
+
+
+def test_cell_stats_accounting(system):
+    stats = system.cell_stats()
+    assert stats["Inverter"] == 14  # 7 HS + 7 LS sensor INVs
+    assert stats["DFlipFlop"] == 14
+    assert stats["#instances"] > 50

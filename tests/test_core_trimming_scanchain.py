@@ -1,0 +1,146 @@
+"""Trimming-policy and PSN-scan-chain tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.scanchain import PSNScanChain
+from repro.core.trimming import TrimmingPolicy, retrim_for_corner
+from repro.devices.corners import corner_by_name
+from repro.errors import ConfigurationError
+from repro.psn.grid import IRDropGrid
+
+
+# -- trimming -----------------------------------------------------------------
+
+def test_reference_range_is_code011(design):
+    policy = TrimmingPolicy(design, 3)
+    assert policy.reference_range[0] == pytest.approx(0.827, abs=5e-4)
+    assert policy.reference_range[1] == pytest.approx(1.053, abs=5e-4)
+
+
+def test_typical_corner_keeps_reference_code(design):
+    policy = TrimmingPolicy(design, 3)
+    assert policy.choose_code(design.tech) == 3
+
+
+def test_tracking_pg_small_shift_same_code(design):
+    """When the PG tracks the corner, the drive shift cancels and the
+    residual Vth shift stays below one code step."""
+    for name in ("SS", "FF"):
+        r = retrim_for_corner(design, corner_by_name(name))
+        assert r.chosen_code == 3
+        assert r.untrimmed_residual < 0.05
+
+
+def test_external_reference_ss_needs_bigger_window(design):
+    """With an external timing reference, a slow corner's slower
+    inverter needs a larger window: higher code."""
+    r = retrim_for_corner(design, corner_by_name("SS"),
+                          pg_tracks_corner=False)
+    assert r.chosen_code > 3
+    assert r.residual < r.untrimmed_residual / 5
+
+
+def test_external_reference_ff_needs_smaller_window(design):
+    r = retrim_for_corner(design, corner_by_name("FF"),
+                          pg_tracks_corner=False)
+    assert r.chosen_code < 3
+    assert r.residual < r.untrimmed_residual
+
+
+def test_trim_result_reports_all_code_ranges(design):
+    r = retrim_for_corner(design, corner_by_name("SS"),
+                          pg_tracks_corner=False)
+    assert len(r.corner_ranges) == 8
+    mins = [lo for lo, _ in r.corner_ranges]
+    assert all(b < a for a, b in zip(mins, mins[1:]))  # higher code, lower range
+
+
+def test_trim_improved_flag(design):
+    r = retrim_for_corner(design, corner_by_name("SS"),
+                          pg_tracks_corner=False)
+    assert r.improved
+
+
+def test_trim_reference_code_validated(design):
+    with pytest.raises(ConfigurationError):
+        TrimmingPolicy(design, 9)
+
+
+# -- scan chain ----------------------------------------------------------------
+
+@pytest.fixture()
+def grid():
+    return IRDropGrid(rows=6, cols=6, r_segment=0.08, r_pad=0.01)
+
+
+@pytest.fixture()
+def chain(design, grid):
+    sites = [(1, 1), (3, 3), (4, 4), (0, 5)]
+    return PSNScanChain(design, grid, sites, code=3)
+
+
+def test_measures_bracket_tile_voltages(chain, grid):
+    currents = grid.hotspot_currents(total_current=4.0, hotspot=(3, 3))
+    measures = chain.measure_map(currents)
+    assert all(m.brackets_truth for m in measures)
+
+
+def test_map_error_metrics(chain, grid):
+    currents = grid.hotspot_currents(total_current=4.0, hotspot=(3, 3))
+    measures = chain.measure_map(currents)
+    err = chain.map_error(measures)
+    assert err["bracket_rate"] == 1.0
+    assert err["rmse"] < 0.02  # within one LSB-ish
+    assert err["worst"] >= err["rmse"]
+
+
+def test_hotspot_found_when_gradient_resolvable(design, grid):
+    """With a strong gradient, the site nearest the hotspot reads the
+    deepest droop."""
+    sites = [(0, 0), (3, 3), (5, 5)]
+    chain = PSNScanChain(design, grid, sites, code=3)
+    currents = grid.hotspot_currents(total_current=12.0, hotspot=(3, 3),
+                                     hotspot_share=0.9)
+    measures = chain.measure_map(currents)
+    assert chain.hotspot_site(measures) == (3, 3)
+
+
+def test_scan_out_stream_order(chain, grid):
+    currents = np.zeros((6, 6))
+    measures = chain.measure_map(currents)
+    stream = chain.scan_out(measures)
+    assert len(stream) == 7 * 4
+    # Last site shifts out first.
+    first_word = "".join(str(b) for b in stream[:7])
+    assert first_word == measures[-1].word.to_string()
+
+
+def test_scan_roundtrip(chain, grid):
+    currents = grid.hotspot_currents(total_current=6.0, hotspot=(3, 3))
+    measures = chain.measure_map(currents)
+    words = chain.deserialize(chain.scan_out(measures))
+    assert [w.to_string() for w in words] == \
+        [m.word.to_string() for m in measures]
+
+
+def test_deserialize_length_validated(chain):
+    with pytest.raises(ConfigurationError):
+        chain.deserialize([0, 1, 0])
+
+
+def test_chain_validation(design, grid):
+    with pytest.raises(ConfigurationError):
+        PSNScanChain(design, grid, [])
+    with pytest.raises(ConfigurationError):
+        PSNScanChain(design, grid, [(0, 0), (0, 0)])
+    with pytest.raises(ConfigurationError):
+        PSNScanChain(design, grid, [(9, 0)])
+    with pytest.raises(ConfigurationError):
+        PSNScanChain(design, grid, [(0, 0)], code=8)
+
+
+def test_scan_out_count_validated(chain, grid):
+    measures = chain.measure_map(np.zeros((6, 6)))
+    with pytest.raises(ConfigurationError):
+        chain.scan_out(measures[:-1])

@@ -1,0 +1,60 @@
+"""Process-corner tests."""
+
+import pytest
+
+from repro.devices.corners import CORNERS, ProcessCorner, corner_by_name
+from repro.devices.mosfet import AlphaPowerModel
+from repro.devices.technology import TECH_90NM
+from repro.errors import ConfigurationError
+from repro.units import FF
+
+
+def test_five_classic_corners_present():
+    assert set(CORNERS) == {"TT", "SS", "FF", "SF", "FS"}
+
+
+def test_tt_is_identity():
+    t = CORNERS["TT"].apply(TECH_90NM)
+    assert t.vth == TECH_90NM.vth
+    assert t.drive_constant == TECH_90NM.drive_constant
+
+
+def test_ss_is_slower_than_tt():
+    ss = CORNERS["SS"].apply(TECH_90NM)
+    d_ss = AlphaPowerModel(ss).delay(1.0, 5 * FF)
+    d_tt = AlphaPowerModel(TECH_90NM).delay(1.0, 5 * FF)
+    assert d_ss > d_tt
+
+
+def test_ff_is_faster_than_tt():
+    ff = CORNERS["FF"].apply(TECH_90NM)
+    d_ff = AlphaPowerModel(ff).delay(1.0, 5 * FF)
+    d_tt = AlphaPowerModel(TECH_90NM).delay(1.0, 5 * FF)
+    assert d_ff < d_tt
+
+
+def test_corner_ordering_ss_tt_ff():
+    delays = {}
+    for name in ("SS", "TT", "FF"):
+        t = CORNERS[name].apply(TECH_90NM)
+        delays[name] = AlphaPowerModel(t).delay(1.0, 5 * FF)
+    assert delays["SS"] > delays["TT"] > delays["FF"]
+
+
+def test_corner_renames_tech():
+    t = CORNERS["SS"].apply(TECH_90NM)
+    assert t.name.endswith("-SS")
+
+
+def test_lookup_case_insensitive():
+    assert corner_by_name("ss") is CORNERS["SS"]
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        corner_by_name("XX")
+
+
+def test_rejects_nonpositive_drive_scale():
+    with pytest.raises(ConfigurationError):
+        ProcessCorner("BAD", 0.0, 0.0)

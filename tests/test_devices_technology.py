@@ -1,0 +1,92 @@
+"""Technology parameter-bag tests."""
+
+import pytest
+
+from repro.devices.technology import TECH_90NM, Technology
+from repro.errors import ConfigurationError
+
+
+def make(**overrides):
+    base = dict(
+        name="t", vdd_nominal=1.0, vth=0.2, alpha=1.3,
+        drive_constant=3900.0, gate_cap_unit=1.8e-15,
+        intrinsic_cap_unit=1.1e-15,
+    )
+    base.update(overrides)
+    return Technology(**base)
+
+
+def test_default_tech_is_1v_90nm_class():
+    assert TECH_90NM.vdd_nominal == 1.0
+    assert 0.05 < TECH_90NM.vth < 0.5
+    assert 1.0 <= TECH_90NM.alpha <= 2.0
+
+
+def test_rejects_nonpositive_vdd():
+    with pytest.raises(ConfigurationError):
+        make(vdd_nominal=0.0)
+
+
+def test_rejects_vth_above_vdd():
+    with pytest.raises(ConfigurationError):
+        make(vth=1.5)
+
+
+def test_rejects_zero_vth():
+    with pytest.raises(ConfigurationError):
+        make(vth=0.0)
+
+
+def test_rejects_alpha_below_one():
+    with pytest.raises(ConfigurationError):
+        make(alpha=0.9)
+
+
+def test_rejects_alpha_above_two():
+    with pytest.raises(ConfigurationError):
+        make(alpha=2.1)
+
+
+def test_rejects_nonpositive_drive():
+    with pytest.raises(ConfigurationError):
+        make(drive_constant=-1.0)
+
+
+def test_rejects_negative_caps():
+    with pytest.raises(ConfigurationError):
+        make(gate_cap_unit=-1e-15)
+
+
+def test_scaled_shifts_vth():
+    t = make()
+    t2 = t.scaled(vth_shift=0.04)
+    assert t2.vth == pytest.approx(0.24)
+    assert t2.drive_constant == t.drive_constant
+
+
+def test_scaled_scales_drive():
+    t = make()
+    t2 = t.scaled(drive_scale=1.12)
+    assert t2.drive_constant == pytest.approx(3900 * 1.12)
+    assert t2.vth == t.vth
+
+
+def test_scaled_renames():
+    t = make().scaled(name="corner")
+    assert t.name == "corner"
+
+
+def test_scaled_rejects_unphysical_shift():
+    with pytest.raises(ConfigurationError):
+        make().scaled(vth_shift=1.0)
+
+
+def test_scaled_rejects_nonpositive_scale():
+    with pytest.raises(ConfigurationError):
+        make().scaled(drive_scale=0.0)
+
+
+def test_frozen():
+    t = make()
+    with pytest.raises(AttributeError):
+        t.vth = 0.3

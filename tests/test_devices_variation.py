@@ -1,0 +1,105 @@
+"""Statistical process-variation tests."""
+
+import numpy as np
+import pytest
+
+from repro.devices.technology import TECH_90NM
+from repro.devices.variation import VariationModel, VariationSample
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def model():
+    return VariationModel()
+
+
+def test_sample_deterministic_for_seed(model):
+    a = model.sample_die(7, seed=42)
+    b = model.sample_die(7, seed=42)
+    assert a == b
+
+
+def test_different_seeds_differ(model):
+    a = model.sample_die(7, seed=1)
+    b = model.sample_die(7, seed=2)
+    assert a != b
+
+
+def test_sample_instance_count(model):
+    s = model.sample_die(7, seed=0)
+    assert s.n_instances == 7
+    assert len(s.instance_drive_scales) == 7
+
+
+def test_zero_instances_allowed(model):
+    s = model.sample_die(0, seed=0)
+    assert s.n_instances == 0
+
+
+def test_negative_instances_rejected(model):
+    with pytest.raises(ConfigurationError):
+        model.sample_die(-1, seed=0)
+
+
+def test_technology_for_applies_both_components(model):
+    s = model.sample_die(3, seed=5)
+    t = s.technology_for(TECH_90NM, 0)
+    expected_vth = (TECH_90NM.vth + s.die_vth_shift
+                    + s.instance_vth_shifts[0])
+    assert t.vth == pytest.approx(expected_vth)
+
+
+def test_technology_for_out_of_range(model):
+    s = model.sample_die(3, seed=5)
+    with pytest.raises(ConfigurationError):
+        s.technology_for(TECH_90NM, 3)
+
+
+def test_die_technology_ignores_instances(model):
+    s = model.sample_die(3, seed=5)
+    t = s.die_technology(TECH_90NM)
+    assert t.vth == pytest.approx(TECH_90NM.vth + s.die_vth_shift)
+
+
+def test_clipping_bounds_shifts():
+    m = VariationModel(clip_sigmas=2.0)
+    shifts = [m.sample_die(1, seed=k).die_vth_shift for k in range(200)]
+    assert max(abs(s) for s in shifts) <= 2.0 * m.sigma_vth_inter + 1e-12
+
+
+def test_lot_sampling_decorrelated(model):
+    lot = model.sample_lot(5, 7, seed=3)
+    assert len(lot) == 5
+    shifts = [d.die_vth_shift for d in lot]
+    assert len(set(shifts)) == 5  # all distinct
+
+
+def test_lot_deterministic(model):
+    a = model.sample_lot(3, 2, seed=9)
+    b = model.sample_lot(3, 2, seed=9)
+    assert a == b
+
+
+def test_inter_die_statistics():
+    m = VariationModel()
+    shifts = np.array([
+        m.sample_die(0, seed=k).die_vth_shift for k in range(500)
+    ])
+    assert abs(np.mean(shifts)) < 3 * m.sigma_vth_inter / np.sqrt(500) * 2
+    assert np.std(shifts) == pytest.approx(m.sigma_vth_inter, rel=0.25)
+
+
+def test_drive_scales_positive(model):
+    s = model.sample_die(50, seed=11)
+    assert s.die_drive_scale > 0
+    assert all(x > 0 for x in s.instance_drive_scales)
+
+
+def test_rejects_negative_sigma():
+    with pytest.raises(ConfigurationError):
+        VariationModel(sigma_vth_inter=-0.01)
+
+
+def test_rejects_nonpositive_clip():
+    with pytest.raises(ConfigurationError):
+        VariationModel(clip_sigmas=0.0)

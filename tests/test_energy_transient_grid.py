@@ -1,0 +1,172 @@
+"""Switching-energy accounting and quasi-static grid-transient tests."""
+
+import numpy as np
+import pytest
+
+from repro.cells.combinational import Inverter
+from repro.core.system import SensorSystem
+from repro.devices.technology import TECH_90NM
+from repro.errors import ConfigurationError
+from repro.psn.grid import IRDropGrid
+from repro.psn.transient_grid import (
+    migrating_hotspot,
+    solve_transient,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+from repro.units import FF, NS
+
+
+def single_inverter(extra_cap=0.0, vdd=1.0):
+    nl = Netlist()
+    nl.add_supply("VDD", vdd)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl.add_net("a")
+    nl.add_net("y", extra_cap=extra_cap)
+    nl.mark_external_input("a")
+    inv = Inverter(TECH_90NM)
+    nl.add_instance("u", inv, {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    return nl, inv
+
+
+# -- energy accounting ---------------------------------------------------------
+
+def test_energy_half_cv2_per_transition():
+    cap = 10 * FF
+    nl, inv = single_inverter(extra_cap=cap)
+    engine = SimulationEngine(nl)
+    engine.set_initial("a", 0)
+    engine.settle()
+    engine.schedule_stimulus("a", 1, 1 * NS)
+    engine.run(3 * NS)
+    expected = 0.5 * (cap + inv.model.intrinsic_cap) * 1.0 ** 2
+    assert engine.total_energy == pytest.approx(expected)
+
+
+def test_energy_scales_with_v_squared():
+    nl_hi, _ = single_inverter(extra_cap=10 * FF, vdd=1.2)
+    nl_lo, _ = single_inverter(extra_cap=10 * FF, vdd=0.8)
+    energies = []
+    for nl in (nl_hi, nl_lo):
+        engine = SimulationEngine(nl)
+        engine.set_initial("a", 0)
+        engine.settle()
+        engine.schedule_stimulus("a", 1, 1 * NS)
+        engine.run(3 * NS)
+        energies.append(engine.total_energy)
+    assert energies[0] / energies[1] == pytest.approx((1.2 / 0.8) ** 2)
+
+
+def test_energy_counts_both_edges():
+    nl, inv = single_inverter(extra_cap=5 * FF)
+    engine = SimulationEngine(nl)
+    engine.set_initial("a", 0)
+    engine.settle()
+    engine.schedule_stimulus("a", 1, 1 * NS)
+    engine.schedule_stimulus("a", 0, 2 * NS)
+    engine.run(4 * NS)
+    per_edge = 0.5 * (5 * FF + inv.model.intrinsic_cap)
+    assert engine.total_energy == pytest.approx(2 * per_edge)
+
+
+def test_stimulus_transitions_not_charged():
+    """External input edges draw from off-netlist sources."""
+    nl, _ = single_inverter()
+    engine = SimulationEngine(nl)
+    engine.set_initial("a", 0)
+    engine.settle()
+    engine.schedule_stimulus("a", 1, 1 * NS)
+    engine.run(3 * NS)
+    assert "u" in engine.energy_by_instance
+    assert set(engine.energy_by_instance) == {"u"}
+
+
+def test_system_burst_energy_positive_and_scales(design):
+    system = SensorSystem(design, include_ls=False)
+    one = system.run(1, vdd_n=0.97).switching_energy
+    five = system.run(5, vdd_n=0.97).switching_energy
+    assert one > 0
+    # Per-measure energy dominates; 5 measures cost ~5x one.
+    assert five == pytest.approx(5 * one, rel=0.25)
+
+
+def test_sensor_burst_energy_order_of_magnitude(design):
+    """~7 stages x ~2 pF x 1V^2 per PREPARE/SENSE pair: tens of pJ per
+    measure — the 'very low power overhead' magnitude."""
+    system = SensorSystem(design, include_ls=False)
+    run = system.run(1, vdd_n=1.0)
+    assert 5e-12 < run.switching_energy < 100e-12
+
+
+# -- transient grid -----------------------------------------------------------
+
+@pytest.fixture()
+def grid():
+    return IRDropGrid(rows=5, cols=5, r_segment=0.05, r_pad=0.01)
+
+
+def test_transient_matches_static_for_constant_currents(grid):
+    currents = grid.hotspot_currents(total_current=3.0, hotspot=(2, 2))
+    tr = solve_transient(grid, lambda t: currents,
+                         t_end=50 * NS, dt=10 * NS)
+    static = grid.solve(currents)
+    for k in range(tr.times.size):
+        assert np.allclose(tr.voltages[k], static)
+
+
+def test_migrating_hotspot_moves_the_droop(grid):
+    fn = migrating_hotspot(grid, total_current=4.0,
+                           path=[(0, 0), (4, 4)], dwell=50 * NS)
+    tr = solve_transient(grid, fn, t_end=120 * NS, dt=10 * NS)
+    early = tr.snapshot(10 * NS)
+    late = tr.snapshot(110 * NS)
+    assert np.argmin(early) == grid.tile_index(0, 0)
+    assert np.argmin(late) == grid.tile_index(4, 4)
+
+
+def test_worst_tile_and_drop(grid):
+    fn = migrating_hotspot(grid, total_current=4.0,
+                           path=[(1, 3)], dwell=50 * NS)
+    tr = solve_transient(grid, fn, t_end=50 * NS, dt=10 * NS)
+    assert tr.worst_tile() == (1, 3)
+    assert tr.worst_drop() > 0
+
+
+def test_waveform_at_tile_feeds_sensor(grid, design):
+    """A tile waveform binds straight to a sensor harness."""
+    from repro.core.array import SensorArrayHarness
+
+    fn = migrating_hotspot(grid, total_current=4.0,
+                           path=[(2, 2)], dwell=100 * NS)
+    tr = solve_transient(grid, fn, t_end=100 * NS, dt=10 * NS)
+    wf = tr.waveform_at(2, 2)
+    h = SensorArrayHarness(design)
+    m = h.measure_once(3, vdd_n=wf)
+    from repro.core.array import SensorArray
+
+    rng = SensorArray(design).decode(m.word, 3)
+    assert rng.contains(wf(2 * h.PREPARE_LEAD))
+
+
+def test_snapshot_interpolates(grid):
+    fn = migrating_hotspot(grid, total_current=4.0,
+                           path=[(0, 0), (4, 4)], dwell=30 * NS)
+    tr = solve_transient(grid, fn, t_end=60 * NS, dt=10 * NS)
+    mid = tr.snapshot(15 * NS)
+    assert mid.shape == (5, 5)
+    # Clamps outside the sweep.
+    assert np.allclose(tr.snapshot(-1.0), tr.voltages[0])
+    assert np.allclose(tr.snapshot(1.0), tr.voltages[-1])
+
+
+def test_transient_validation(grid):
+    with pytest.raises(ConfigurationError):
+        solve_transient(grid, lambda t: np.zeros((5, 5)),
+                        t_end=0.0, dt=1 * NS)
+    with pytest.raises(ConfigurationError):
+        solve_transient(grid, lambda t: np.zeros((3, 3)),
+                        t_end=50 * NS, dt=10 * NS)
+    with pytest.raises(ConfigurationError):
+        migrating_hotspot(grid, total_current=1.0, path=[],
+                          dwell=1 * NS)

@@ -1,0 +1,37 @@
+"""Exception-hierarchy tests: one catch-all base, distinct subtypes."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.CalibrationError,
+    errors.SimulationError,
+    errors.TimingViolationError,
+    errors.NetlistError,
+    errors.CharacterizationError,
+    errors.DecodingError,
+    errors.ProtocolError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_base(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_catchable_as_base(exc):
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_base_derives_from_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_subtypes_are_distinct():
+    assert not issubclass(errors.SimulationError, errors.NetlistError)
+    assert not issubclass(errors.NetlistError, errors.SimulationError)

@@ -1,0 +1,200 @@
+"""VCD, Verilog and Liberty exporter tests."""
+
+import io
+
+import pytest
+
+from repro.cells.liberty import write_liberty
+from repro.cells.library import default_library
+from repro.core.control import build_control_netlist
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+from repro.sim.trace import Trace
+from repro.sim.vcd import write_vcd
+from repro.sim.verilog import write_verilog
+from repro.units import NS
+
+
+def simple_trace():
+    t = Trace()
+    t.record("a", 0.0, 0)
+    t.record("b", 0.0, None)
+    t.record("a", 1 * NS, 1)
+    t.record("b", 1.5 * NS, 1)
+    t.record("a", 2 * NS, 0)
+    return t
+
+
+# -- VCD ------------------------------------------------------------------
+
+def test_vcd_header_and_vars():
+    buf = io.StringIO()
+    write_vcd(simple_trace(), buf)
+    text = buf.getvalue()
+    assert "$timescale 1 fs $end" in text
+    assert "$var wire 1" in text
+    assert " a $end" in text and " b $end" in text
+    assert "$enddefinitions $end" in text
+
+
+def test_vcd_initial_values_in_dumpvars():
+    buf = io.StringIO()
+    write_vcd(simple_trace(), buf)
+    text = buf.getvalue()
+    dump = text.split("$dumpvars")[1].split("$end")[0]
+    assert "0" in dump  # a starts low
+    assert "x" in dump  # b starts unknown
+
+
+def test_vcd_ticks_in_femtoseconds():
+    buf = io.StringIO()
+    write_vcd(simple_trace(), buf)
+    assert "#1000000\n" in buf.getvalue()  # 1 ns = 1e6 fs
+    assert "#1500000\n" in buf.getvalue()
+
+
+def test_vcd_net_selection():
+    buf = io.StringIO()
+    n = write_vcd(simple_trace(), buf, nets=["a"])
+    assert " b $end" not in buf.getvalue()
+    assert n == 3  # initial + two changes
+
+
+def test_vcd_unknown_net_rejected():
+    with pytest.raises(ConfigurationError):
+        write_vcd(simple_trace(), io.StringIO(), nets=["zz"])
+
+
+def test_vcd_timescale_validated():
+    with pytest.raises(ConfigurationError):
+        write_vcd(simple_trace(), io.StringIO(), timescale=0.0)
+
+
+def test_vcd_from_real_simulation(design):
+    from repro.core.sensor import SensorBitHarness
+
+    h = SensorBitHarness(design, 1)
+    h.bind_rails(vdd_n=0.95)
+    engine = SimulationEngine(h.netlist)
+    engine.set_initial("P", 1)
+    engine.set_initial("CP", 0)
+    engine.settle()
+    engine.set_initial("OUT", 0)
+    engine.schedule_stimulus("P", 0, 4 * NS)
+    engine.schedule_stimulus("CP", 1, 4 * NS + 65e-12)
+    engine.run(6 * NS)
+    buf = io.StringIO()
+    changes = write_vcd(engine.trace, buf)
+    assert changes >= 8
+    assert "DS" in buf.getvalue()
+
+
+# -- Verilog ---------------------------------------------------------------
+
+def test_verilog_control_netlist_exports(design):
+    nl, _ = build_control_netlist(design)
+    buf = io.StringIO()
+    count = write_verilog(nl, buf)
+    text = buf.getvalue()
+    assert count == nl.stats()["#instances"]
+    assert "module control_system (" in text
+    assert "endmodule" in text
+    assert "DFF" in text and "XOR2" in text
+
+
+def test_verilog_ports_are_external_inputs(design):
+    nl, ports = build_control_netlist(design)
+    buf = io.StringIO()
+    write_verilog(nl, buf)
+    text = buf.getvalue()
+    assert f"input  wire {ports.clock}" in text
+    assert f"input  wire {ports.enable}" in text
+
+
+def test_verilog_primitives_emitted(design):
+    nl, _ = build_control_netlist(design)
+    buf = io.StringIO()
+    write_verilog(nl, buf)
+    text = buf.getvalue()
+    assert "module DFF (" in text
+    assert "always @(posedge CP) Q <= D;" in text
+    assert "module AND2 (" in text
+
+
+def test_verilog_primitives_suppressed(design):
+    nl, _ = build_control_netlist(design)
+    buf = io.StringIO()
+    write_verilog(nl, buf, emit_primitives=False)
+    assert "module DFF (" not in buf.getvalue()
+
+
+def test_verilog_sanitizes_names():
+    from repro.cells.combinational import Inverter
+    from repro.devices.technology import TECH_90NM
+
+    nl = Netlist("weird design!")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl.add_net("a.in")
+    nl.add_net("1out")
+    nl.mark_external_input("a.in")
+    nl.add_instance("u-1", Inverter(TECH_90NM),
+                    {"A": "a.in", "Y": "1out"}, vdd="VDD", gnd="GND")
+    buf = io.StringIO()
+    write_verilog(nl, buf)
+    text = buf.getvalue()
+    assert "a_in" in text
+    assert "n_1out" in text
+    assert "u_1" in text
+
+
+# -- Liberty -----------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def liberty_text(design):
+    buf = io.StringIO()
+    lib = default_library(design.tech)
+    write_liberty(lib, buf, strengths=(1.0,),
+                  supplies=[0.8, 0.9, 1.0, 1.1, 1.2])
+    return buf.getvalue()
+
+
+def test_liberty_header(liberty_text, design):
+    assert 'library ("repro90")' in liberty_text
+    assert "delay_model : table_lookup;" in liberty_text
+    assert f"nom_voltage : {design.tech.vdd_nominal:.3f};" \
+        in liberty_text
+
+
+def test_liberty_all_cells_present(liberty_text):
+    for cell in ("INV", "NAND2", "MUX2", "DFF"):
+        assert f'cell ("{cell}_X1")' in liberty_text
+
+
+def test_liberty_tables_have_axes(liberty_text):
+    assert "index_1" in liberty_text
+    assert "index_2" in liberty_text
+    assert "values (" in liberty_text
+
+
+def test_liberty_ff_constraints(liberty_text):
+    assert "setup:" in liberty_text
+    assert "hold:" in liberty_text
+    assert "clock : true;" in liberty_text
+
+
+def test_liberty_strength_suffixes(design):
+    buf = io.StringIO()
+    write_liberty(default_library(design.tech), buf,
+                  strengths=(1.0, 2.0),
+                  supplies=[0.9, 1.0, 1.1])
+    text = buf.getvalue()
+    assert 'cell ("INV_X1")' in text
+    assert 'cell ("INV_X2")' in text
+
+
+def test_liberty_empty_strengths_rejected(design):
+    with pytest.raises(ConfigurationError):
+        write_liberty(default_library(design.tech), io.StringIO(),
+                      strengths=())

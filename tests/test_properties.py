@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on core data structures and the
+library's cross-cutting invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.thermometer import ThermometerWord, decode_word
+from repro.cells.characterize import characterize_cell
+from repro.cells.combinational import Inverter, Nand2
+from repro.core.calibration import paper_design
+from repro.core.encoder import ThermometerEncoder
+from repro.devices.mosfet import AlphaPowerModel, voltage_factor
+from repro.devices.technology import TECH_90NM
+from repro.sim.waveform import PiecewiseLinearWaveform
+from repro.units import FF
+
+
+# -- thermometer words ---------------------------------------------------------
+
+word_bits = st.lists(st.integers(min_value=0, max_value=1),
+                     min_size=1, max_size=16)
+
+
+@given(word_bits)
+def test_word_string_roundtrip(bits):
+    w = ThermometerWord(bits)
+    assert ThermometerWord.from_string(w.to_string()) == w
+
+
+@given(word_bits)
+def test_corrected_is_valid_and_preserves_ones(bits):
+    w = ThermometerWord(bits)
+    c = w.corrected()
+    assert c.is_valid_thermometer
+    assert c.ones == w.ones
+
+
+@given(word_bits)
+def test_corrected_idempotent(bits):
+    w = ThermometerWord(bits).corrected()
+    assert w.corrected() == w
+
+
+@given(word_bits)
+def test_bubble_count_zero_iff_valid(bits):
+    w = ThermometerWord(bits)
+    assert (w.bubble_count == 0) == w.is_valid_thermometer
+
+
+@given(st.integers(min_value=0, max_value=7))
+def test_decode_word_brackets_are_tight(k):
+    """Every valid k-ones word decodes to the k-th rung interval."""
+    design = paper_design()
+    thresholds = design.bit_thresholds_code011
+    w = ThermometerWord(tuple(1 if i < k else 0 for i in range(7)))
+    rng = decode_word(w, thresholds)
+    if k > 0:
+        assert rng.lo == thresholds[k - 1]
+    else:
+        assert math.isinf(rng.lo)
+    if k < 7:
+        assert rng.hi == thresholds[k]
+    else:
+        assert math.isinf(rng.hi)
+
+
+@given(word_bits)
+def test_encoder_equals_popcount(bits):
+    enc = ThermometerEncoder(len(bits))
+    assert enc.encode(ThermometerWord(bits)).oute == sum(bits)
+
+
+# -- device model ---------------------------------------------------------------
+
+supplies = st.floats(min_value=0.5, max_value=1.5)
+loads = st.floats(min_value=0.0, max_value=5e-12)
+
+
+@given(supplies, supplies, loads)
+def test_delay_monotone_decreasing_in_supply(v1, v2, load):
+    m = AlphaPowerModel(TECH_90NM)
+    lo, hi = sorted((v1, v2))
+    if hi - lo < 1e-9:
+        return
+    assert m.delay(hi, load) <= m.delay(lo, load)
+
+
+@given(supplies, loads, loads)
+def test_delay_monotone_increasing_in_load(v, c1, c2):
+    m = AlphaPowerModel(TECH_90NM)
+    lo, hi = sorted((c1, c2))
+    assert m.delay(v, lo) <= m.delay(v, hi)
+
+
+@given(st.floats(min_value=0.05, max_value=0.4),
+       st.floats(min_value=1.05, max_value=1.95),
+       supplies)
+def test_voltage_factor_positive_above_threshold(vth, alpha, v):
+    g = voltage_factor(v, vth, alpha)
+    if v > vth:
+        assert g > 0 and math.isfinite(g)
+    else:
+        assert math.isinf(g)
+
+
+@given(supplies, loads)
+def test_supply_for_delay_is_inverse(v, load):
+    m = AlphaPowerModel(TECH_90NM)
+    target = m.delay(v, load)
+    recovered = m.supply_for_delay(target, load, v_hi=2.0)
+    assert recovered == pytest.approx(v, abs=1e-5)
+
+
+# -- NLDM vs analytic -------------------------------------------------------------
+
+@settings(max_examples=25)
+@given(st.floats(min_value=0.72, max_value=1.28),
+       st.floats(min_value=0.0, max_value=25e-15))
+def test_nldm_interpolation_tracks_analytic(v, load):
+    inv = Inverter(TECH_90NM)
+    table = characterize_cell(inv)
+    analytic = inv.propagation_delay("A", "Y", v, load)
+    assert table.lookup(v, load) == pytest.approx(analytic, rel=0.06)
+
+
+# -- PWL waveforms ------------------------------------------------------------------
+
+@st.composite
+def pwl_waveforms(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    times = sorted(draw(st.lists(
+        st.floats(min_value=0.0, max_value=1e-6), min_size=n, max_size=n,
+        unique=True,
+    )))
+    values = draw(st.lists(
+        st.floats(min_value=0.0, max_value=2.0), min_size=n, max_size=n,
+    ))
+    return PiecewiseLinearWaveform(times, values)
+
+
+@given(pwl_waveforms(), st.floats(min_value=-1e-7, max_value=2e-6))
+def test_pwl_bounded_by_breakpoint_values(w, t):
+    lo, hi = float(np.min(w.values)), float(np.max(w.values))
+    assert lo - 1e-12 <= w(t) <= hi + 1e-12
+
+
+@given(pwl_waveforms())
+def test_pwl_exact_at_breakpoints(w):
+    for t, v in zip(w.times, w.values):
+        assert w(t) == pytest.approx(v, abs=1e-9)
+
+
+# -- sensor invariants ----------------------------------------------------------------
+
+@settings(max_examples=30)
+@given(st.floats(min_value=0.80, max_value=1.10),
+       st.integers(min_value=1, max_value=3))
+def test_array_word_valid_and_brackets(v, code):
+    """For any static supply and plotted code: the analytic word is a
+    valid thermometer code and its decode brackets the supply (within
+    the measurable range)."""
+    from repro.core.array import SensorArray
+
+    design = paper_design()
+    arr = SensorArray(design)
+    m = arr.measure(code, vdd_n=v)
+    assert m.word.is_valid_thermometer
+    rng = arr.decode(m.word, code)
+    # Guard band for supplies landing exactly on a threshold: the
+    # brentq-inverted ladder and the direct delay comparison can
+    # disagree by the root-finder tolerance (~1e-9 V).
+    assert rng.lo - 1e-6 < v <= rng.hi + 1e-6
+
+
+@settings(max_examples=20)
+@given(st.floats(min_value=0.86, max_value=1.04),
+       st.floats(min_value=0.86, max_value=1.04))
+def test_array_reading_monotone(v1, v2):
+    from repro.core.array import SensorArray
+
+    design = paper_design()
+    arr = SensorArray(design)
+    lo, hi = sorted((v1, v2))
+    ones_lo = arr.measure(3, vdd_n=lo).word.ones
+    ones_hi = arr.measure(3, vdd_n=hi).word.ones
+    assert ones_lo <= ones_hi
+
+
+# -- logic cells ------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=1),
+       st.integers(min_value=0, max_value=1))
+def test_nand_de_morgan(a, b):
+    nand = Nand2(TECH_90NM)
+    assert nand.evaluate({"A": a, "B": b})["Y"] == (1 - (a and b))

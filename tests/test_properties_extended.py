@@ -1,0 +1,118 @@
+"""Property-based tests over the newer subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.converter_metrics import linearity
+from repro.analysis.thermometer import ThermometerWord
+from repro.core.autorange import AutoRangingMeter
+from repro.core.calibration import paper_design
+from repro.core.scan_register import ScanRegisterHarness
+from repro.psn.grid import IRDropGrid
+
+
+# -- scan register: capture/shift is exact reversal ---------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1),
+                min_size=2, max_size=10))
+def test_scan_roundtrip_any_pattern(bits):
+    design = paper_design()
+    harness = ScanRegisterHarness(design, len(bits))
+    assert harness.capture_and_shift(bits) == list(reversed(bits))
+
+
+# -- auto-ranging: always converges inside the total dynamic -------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.65, max_value=1.65))
+def test_autorange_brackets_any_interior_level(v):
+    design = paper_design()
+    meter = AutoRangingMeter(design, max_attempts=8)
+    lo, hi = meter.total_dynamic()
+    result = meter.measure_level(vdd_n=v)
+    if lo + 0.01 < v < hi - 0.01:
+        assert not result.saturated
+        assert result.decoded.lo - 1e-6 < v <= result.decoded.hi + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.3, max_value=2.2))
+def test_autorange_never_crashes_and_flags_saturation(v):
+    design = paper_design()
+    meter = AutoRangingMeter(design, max_attempts=8)
+    lo, hi = meter.total_dynamic()
+    result = meter.measure_level(vdd_n=v)
+    if v <= lo:
+        assert result.saturated and result.code == 7
+    elif v > hi:
+        assert result.saturated and result.code == 0
+
+
+# -- IR grid: physics properties -------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(min_value=0.1, max_value=5.0),
+       st.integers(min_value=0, max_value=24))
+def test_grid_superposition(scale, tile):
+    grid = IRDropGrid(rows=5, cols=5)
+    base = np.zeros(25)
+    base[tile] = 1.0
+    drop1 = grid.vdd - grid.solve(base)
+    dropk = grid.vdd - grid.solve(scale * base)
+    assert np.allclose(dropk, scale * drop1, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=24))
+def test_grid_voltages_never_exceed_pad(tile):
+    grid = IRDropGrid(rows=5, cols=5)
+    currents = np.zeros(25)
+    currents[tile] = 2.0
+    v = grid.solve(currents)
+    assert np.all(v <= grid.vdd + 1e-12)
+    assert v.flat[tile] == pytest.approx(v.min())
+
+
+# -- converter metrics: invariances ---------------------------------------------
+
+ladders = st.lists(
+    st.floats(min_value=0.5, max_value=1.5), min_size=3, max_size=12,
+    unique=True,
+).map(sorted).filter(
+    lambda xs: min(b - a for a, b in zip(xs, xs[1:])) > 1e-4
+)
+
+
+@given(ladders)
+def test_endpoint_inl_zero_at_endpoints(ladder):
+    rep = linearity(ladder)
+    assert rep.inl[0] == pytest.approx(0.0, abs=1e-9)
+    assert rep.inl[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+@given(ladders)
+def test_dnl_sums_to_zero(ladder):
+    """Endpoint-referred DNL always sums to ~0 (the steps must span
+    the range)."""
+    rep = linearity(ladder)
+    assert sum(rep.dnl) == pytest.approx(0.0, abs=1e-6)
+
+
+@given(ladders, st.floats(min_value=1e-4, max_value=0.05))
+def test_shift_invariance_of_metrics(ladder, shift):
+    a = linearity(ladder)
+    b = linearity([x + shift for x in ladder])
+    assert a.max_dnl == pytest.approx(b.max_dnl, abs=1e-9)
+    assert a.max_inl == pytest.approx(b.max_inl, abs=1e-9)
+
+
+# -- thermometer/encoder duality ---------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=7))
+def test_word_of_count_roundtrip(k):
+    """count -> canonical word -> count is the identity."""
+    word = ThermometerWord(tuple(1 if i < k else 0 for i in range(7)))
+    assert word.ones == k
+    assert word.corrected() == word

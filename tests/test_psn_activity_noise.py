@@ -1,0 +1,182 @@
+"""Activity-generator and noise-synthesis tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.psn.activity import ActivityProfile, ClockedActivityGenerator
+from repro.psn.noise import (
+    NoiseScenario,
+    band_limited_noise,
+    droop_event,
+    two_level_scenario,
+)
+from repro.units import NS
+
+
+def make_gen(**kw):
+    base = dict(clock_period=2 * NS, peak_current=10.0)
+    base.update(kw)
+    return ClockedActivityGenerator(**base)
+
+
+def test_constant_profile_every_cycle():
+    g = make_gen(base_activity=0.5)
+    assert g.activity_for_cycle(0) == 0.5
+    assert g.activity_for_cycle(100) == 0.5
+
+
+def test_step_profile_switches_at_cycle():
+    g = make_gen(profile=ActivityProfile.STEP, step_cycle=10,
+                 idle_activity=0.1, base_activity=0.8)
+    assert g.activity_for_cycle(9) == 0.1
+    assert g.activity_for_cycle(10) == 0.8
+
+
+def test_burst_profile_alternates():
+    g = make_gen(profile=ActivityProfile.BURST, burst_cycles=4)
+    acts = [g.activity_for_cycle(c) for c in range(12)]
+    assert acts[0] == acts[3] == g.base_activity
+    assert acts[4] == acts[7] == g.idle_activity
+    assert acts[8] == g.base_activity
+
+
+def test_random_profile_deterministic():
+    g = make_gen(profile=ActivityProfile.RANDOM, seed=7)
+    a = [g.activity_for_cycle(c) for c in range(20)]
+    b = [g.activity_for_cycle(c) for c in range(20)]
+    assert a == b
+    assert len(set(a)) > 5  # actually varies
+
+
+def test_random_profile_in_bounds():
+    g = make_gen(profile=ActivityProfile.RANDOM, idle_activity=0.2,
+                 base_activity=0.6, seed=3)
+    for c in range(50):
+        assert 0.2 <= g.activity_for_cycle(c) <= 0.6
+
+
+def test_sample_shape_and_nonnegative():
+    g = make_gen()
+    i = g.sample(t_end=20 * NS, dt=0.05 * NS)
+    assert i.shape == (401,)
+    assert np.all(i >= 0)
+
+
+def test_sample_peak_matches_activity():
+    g = make_gen(base_activity=1.0, peak_current=5.0)
+    i = g.sample(t_end=20 * NS, dt=0.01 * NS)
+    assert np.max(i) == pytest.approx(5.0, rel=0.05)
+
+
+def test_sample_pulse_confined_to_fraction():
+    g = make_gen(pulse_fraction=0.25)
+    dt = 0.01 * NS
+    i = g.sample(t_end=2 * NS, dt=dt)
+    times = np.arange(i.size) * dt
+    outside = i[(times > 0.25 * 2 * NS + dt) & (times < 2 * NS - dt)]
+    assert np.all(outside == 0)
+
+
+def test_sample_rejects_coarse_dt():
+    g = make_gen(pulse_fraction=0.1)
+    with pytest.raises(ConfigurationError):
+        g.sample(t_end=20 * NS, dt=0.1 * NS)
+
+
+def test_average_current_formula():
+    g = make_gen(base_activity=0.5, peak_current=8.0, pulse_fraction=0.4)
+    assert g.average_current() == pytest.approx(0.5 * 0.5 * 8.0 * 0.4)
+
+
+def test_generator_validation():
+    with pytest.raises(ConfigurationError):
+        make_gen(clock_period=0.0)
+    with pytest.raises(ConfigurationError):
+        make_gen(base_activity=1.5)
+    with pytest.raises(ConfigurationError):
+        make_gen(pulse_fraction=0.0)
+
+
+# -- noise synthesis -------------------------------------------------------
+
+def test_two_level_scenario_levels():
+    w = two_level_scenario(1.0, 0.95, 10 * NS)
+    assert w(5 * NS) == 1.0
+    assert w(15 * NS) == 0.95
+
+
+def test_two_level_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        two_level_scenario(0.0, 0.9, 1 * NS)
+
+
+def test_droop_event_dips_below_base():
+    w = droop_event(1.0, 0.08, 10 * NS)
+    assert w(5 * NS) == pytest.approx(1.0)
+    ts = np.linspace(10 * NS, 30 * NS, 400)
+    vals = np.array([w(t) for t in ts])
+    assert vals.min() < 0.95
+
+
+def test_band_limited_noise_rms_and_mean():
+    w = band_limited_noise(t_end=200 * NS, dt=0.05 * NS, rms=0.02,
+                           bandwidth=5e8, seed=1, mean=1.0)
+    ts = np.arange(0, 200 * NS, 0.05 * NS)
+    vals = w.sample(ts)
+    assert np.std(vals) == pytest.approx(0.02, rel=0.1)
+    assert np.mean(vals) == pytest.approx(1.0, abs=0.01)
+
+
+def test_band_limited_noise_deterministic():
+    a = band_limited_noise(t_end=10 * NS, dt=0.05 * NS, rms=0.01,
+                           bandwidth=5e8, seed=4)
+    b = band_limited_noise(t_end=10 * NS, dt=0.05 * NS, rms=0.01,
+                           bandwidth=5e8, seed=4)
+    assert a(3 * NS) == b(3 * NS)
+
+
+def test_band_limited_noise_rejects_nyquist_violation():
+    with pytest.raises(ConfigurationError):
+        band_limited_noise(t_end=10 * NS, dt=0.05 * NS, rms=0.01,
+                           bandwidth=2e10, seed=1)
+
+
+def test_scenario_default_clean_rails():
+    vdd, gnd = NoiseScenario().build()
+    assert vdd(0.0) == 1.0
+    assert gnd(0.0) == 0.0
+
+
+def test_scenario_ir_drop_and_ground_rise():
+    vdd, gnd = (NoiseScenario()
+                .with_ir_drop(0.03)
+                .with_ground_rise(0.02)
+                .build())
+    assert vdd(0.0) == pytest.approx(0.97)
+    assert gnd(0.0) == pytest.approx(0.02)
+
+
+def test_scenario_droop_event_applies():
+    vdd, _ = NoiseScenario().with_vdd_droop(0.1, 50 * NS).build()
+    ts = np.linspace(50 * NS, 70 * NS, 400)
+    assert min(vdd(t) for t in ts) < 0.93
+
+
+def test_scenario_gnd_bounce_applies():
+    _, gnd = NoiseScenario().with_gnd_bounce(0.05, 50 * NS).build()
+    ts = np.linspace(50 * NS, 70 * NS, 400)
+    assert max(gnd(t) for t in ts) > 0.03
+
+
+def test_scenario_random_noise_seeded():
+    s1 = NoiseScenario(seed=9).with_vdd_random_noise(0.01)
+    s2 = NoiseScenario(seed=9).with_vdd_random_noise(0.01)
+    v1, _ = s1.build()
+    v2, _ = s2.build()
+    assert v1(13 * NS) == v2(13 * NS)
+
+
+def test_scenario_validation():
+    with pytest.raises(ConfigurationError):
+        NoiseScenario().with_ir_drop(-0.1)

@@ -1,0 +1,135 @@
+"""PDN model tests: resonance, droop physics, ground bounce."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.psn.pdn import PDNModel, PDNParameters
+from repro.units import MOHM, NF, NS, PH
+
+
+@pytest.fixture()
+def params():
+    return PDNParameters()
+
+
+def test_resonant_frequency_formula(params):
+    f = params.resonant_frequency
+    assert f == pytest.approx(
+        1.0 / (2 * np.pi * np.sqrt(params.l_series * params.c_decap))
+    )
+    assert 5e7 < f < 5e8  # mid-frequency band
+
+
+def test_damping_ratio_underdamped(params):
+    assert 0 < params.damping_ratio < 1
+
+
+def test_impedance_peaks_near_resonance(params):
+    f_res = params.resonant_frequency
+    z_res = abs(params.impedance_at(f_res))
+    z_lo = abs(params.impedance_at(f_res / 30))
+    z_hi = abs(params.impedance_at(f_res * 30))
+    assert z_res > z_lo
+    assert z_res > z_hi
+
+
+def test_impedance_dc_is_series_r(params):
+    assert abs(params.impedance_at(0.0)) == pytest.approx(
+        params.r_series
+    )
+
+
+def test_impedance_rejects_negative_freq(params):
+    with pytest.raises(ConfigurationError):
+        params.impedance_at(-1.0)
+
+
+def test_quiet_rail_stays_nominal(params):
+    model = PDNModel(params)
+    v = model.simulate(lambda t: 0.0, t_end=100 * NS, dt=0.1 * NS)
+    assert v.min_over(0, 100 * NS) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_step_load_droops_then_rings(params):
+    model = PDNModel(params)
+    step = lambda t: 10.0 if t > 20 * NS else 0.0
+    v = model.simulate(step, t_end=200 * NS, dt=0.1 * NS)
+    v_min = v.min_over(20 * NS, 100 * NS)
+    assert v_min < 1.0 - 0.005  # real droop
+    # Ringing overshoots above nominal at some point.
+    assert v.max_over(20 * NS, 200 * NS) > 1.0
+
+
+def test_dc_droop_equals_ir_drop():
+    p = PDNParameters(r_series=5 * MOHM, r_esr=0.0)
+    model = PDNModel(p)
+    i_dc = 8.0
+    v = model.simulate(lambda t: i_dc, t_end=3000 * NS, dt=0.4 * NS)
+    # After the transient, the rail settles at vdd - R*I.
+    settled = v(3000 * NS)
+    assert settled == pytest.approx(1.0 - p.r_series * i_dc, abs=2e-3)
+
+
+def test_deeper_load_deeper_droop(params):
+    model = PDNModel(params)
+    def mk(i):
+        return lambda t: i if t > 10 * NS else 0.0
+    v1 = model.simulate(mk(5.0), t_end=150 * NS, dt=0.1 * NS)
+    v2 = model.simulate(mk(15.0), t_end=150 * NS, dt=0.1 * NS)
+    assert v2.min_over(0, 150 * NS) < v1.min_over(0, 150 * NS)
+
+
+def test_array_input_matches_callable(params):
+    model = PDNModel(params)
+    dt = 0.1 * NS
+    t_end = 50 * NS
+    n = int(round(t_end / dt))
+    times = np.arange(n + 1) * dt
+    arr = np.where(times > 10 * NS, 5.0, 0.0)
+    v_arr = model.simulate(arr, t_end=t_end, dt=dt)
+    v_fun = model.simulate(lambda t: 5.0 if t > 10 * NS else 0.0,
+                           t_end=t_end, dt=dt)
+    assert np.allclose(v_arr.sample(times), v_fun.sample(times),
+                       atol=1e-6)
+
+
+def test_array_length_mismatch_rejected(params):
+    model = PDNModel(params)
+    with pytest.raises(ConfigurationError):
+        model.simulate(np.zeros(10), t_end=50 * NS, dt=0.1 * NS)
+
+
+def test_coarse_dt_rejected(params):
+    model = PDNModel(params)
+    with pytest.raises(ConfigurationError):
+        model.simulate(lambda t: 0.0, t_end=100 * NS, dt=5 * NS)
+
+
+def test_ground_bounce_mirrors_droop(params):
+    model = PDNModel(params)
+    step = lambda t: 10.0 if t > 20 * NS else 0.0
+    v = model.simulate(step, t_end=100 * NS, dt=0.1 * NS)
+    g = model.ground_bounce(step, t_end=100 * NS, dt=0.1 * NS)
+    ts = np.linspace(0, 100 * NS, 200)
+    assert np.allclose(g.sample(ts), 1.0 - v.sample(ts), atol=1e-9)
+
+
+def test_ground_bounce_fraction(params):
+    model = PDNModel(params)
+    step = lambda t: 10.0 if t > 20 * NS else 0.0
+    g_half = model.ground_bounce(step, t_end=100 * NS, dt=0.1 * NS,
+                                 fraction=0.5)
+    g_full = model.ground_bounce(step, t_end=100 * NS, dt=0.1 * NS)
+    ts = np.linspace(0, 100 * NS, 50)
+    assert np.allclose(g_half.sample(ts), 0.5 * g_full.sample(ts),
+                       atol=1e-9)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        PDNParameters(vdd_nominal=0.0)
+    with pytest.raises(ConfigurationError):
+        PDNParameters(l_series=0.0)
+    with pytest.raises(ConfigurationError):
+        PDNParameters(r_series=-1.0)

@@ -1,0 +1,68 @@
+"""Structural-Razor tests: the event-driven stage matches the analytic
+model."""
+
+import pytest
+
+from repro.baselines.razor import RazorHarness, RazorOutcome, RazorStage
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def harness(design):
+    return RazorHarness(design.tech)
+
+
+@pytest.fixture(scope="module")
+def analytic(design, harness):
+    """Analytic stage parameterized from the measured structural path."""
+    ff = harness.netlist.instances["ff_main"].cell
+    return RazorStage(
+        design.tech,
+        path_delay_nominal=harness.path_delay_nominal(),
+        clock_period=harness.clock_period,
+        delta=harness.delta,
+        setup_time=ff.setup_time,
+    )
+
+
+def test_no_error_at_nominal(harness):
+    assert harness.observe(1.0).outcome is RazorOutcome.NO_ERROR
+
+
+def test_detects_deep_droop(harness):
+    assert harness.observe(0.80).outcome is RazorOutcome.DETECTED_ERROR
+
+
+def test_silent_failure_below_shadow(harness, analytic):
+    lo, _ = analytic.detection_window()
+    obs = harness.observe(lo - 0.03)
+    assert obs.outcome is RazorOutcome.UNDETECTED_FAILURE
+
+
+def test_path_delay_matches_analytic(harness, analytic):
+    for v in (1.0, 0.9, 0.8):
+        assert harness.observe(v).path_delay == pytest.approx(
+            analytic.path_delay(v), rel=1e-6
+        )
+
+
+def test_outcomes_match_analytic_across_sweep(harness, analytic):
+    """The two views classify every probed supply identically (away
+    from the metastable boundaries)."""
+    for v in (1.0, 0.9, 0.84, 0.80, 0.76, 0.70):
+        structural = harness.observe(v).outcome
+        model = analytic.observe(v).outcome
+        assert structural is model, f"at {v} V"
+
+
+def test_error_flag_is_xor_of_captures(harness, analytic):
+    t = analytic.error_threshold()
+    obs = harness.observe(t - 0.01)
+    assert obs.outcome is RazorOutcome.DETECTED_ERROR
+
+
+def test_harness_validation(design):
+    with pytest.raises(ConfigurationError):
+        RazorHarness(design.tech, n_stages=3)  # odd
+    with pytest.raises(ConfigurationError):
+        RazorHarness(design.tech, n_stages=0)

@@ -1,0 +1,166 @@
+"""Robustness and failure-injection tests.
+
+Determinism of the event engine, metastability propagating through the
+full stack, saturation behaviour, and misuse paths that must fail
+loudly rather than mis-measure.
+"""
+
+import pytest
+
+from repro.core.array import SensorArrayHarness
+from repro.core.sensor import SensorBit, SensorBitHarness
+from repro.core.system import SensorSystem
+from repro.devices.variation import VariationModel
+from repro.errors import NetlistError, ReproError
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+from repro.sim.waveform import ConstantWaveform, StepWaveform
+from repro.units import NS
+
+
+# -- determinism --------------------------------------------------------------
+
+def test_engine_runs_are_reproducible(design):
+    """Identical stimulus -> identical trace, across fresh engines."""
+    h = SensorArrayHarness(design)
+
+    def run():
+        measures = h.run_measures(3, [4 * NS, 10 * NS],
+                                  vdd_n=StepWaveform(1.0, 0.9, 7 * NS))
+        return [(m.word.to_string(),
+                 tuple(b.outcome for b in m.bit_measures))
+                for m in measures]
+
+    assert run() == run()
+
+
+def test_system_runs_are_reproducible(design):
+    system = SensorSystem(design, include_ls=False)
+
+    def run():
+        r = system.run(2, vdd_n=StepWaveform(1.0, 0.93, 16 * NS))
+        return [(m.word.to_string(), m.encoded.oute, m.launch_time)
+                for m in r.hs]
+
+    assert run() == run()
+
+
+def test_harness_reuse_isolated(design):
+    """A harness reused across runs must not leak state between them
+    (regression for the stale-net-timestamp bug)."""
+    h = SensorBitHarness(design, 5)
+    first = h.measure_once(3, vdd_n=0.95)
+    second = h.measure_once(3, vdd_n=1.0)
+    third = h.measure_once(3, vdd_n=0.95)
+    assert not first.passed and third.passed is False
+    assert second.passed
+    assert first.outcome == third.outcome
+
+
+# -- metastability through the stack -------------------------------------------
+
+def test_metastable_bit_still_yields_decodable_word(design):
+    """A supply parked exactly on a bit threshold drives that FF into
+    its metastable window; the system word remains decodable."""
+    t_star = design.bit_threshold(4, 3)
+    system = SensorSystem(design, include_ls=False)
+    run = system.run(1, vdd_n=t_star)
+    m = run.hs[0]
+    assert m.any_metastable
+    assert m.decoded.lo < t_star <= m.decoded.hi + 1e-3
+
+
+def test_unresolved_sample_counts_as_fail(design):
+    """Deep metastability (UNKNOWN sample) maps to a failed stage, the
+    conservative choice for a droop detector."""
+    h = SensorBitHarness(design, 4)
+    ff = design.sense_flipflop()
+    t_star = SensorBit(design, 4).threshold(3)
+    # Walk the supply toward the exact boundary until unresolved.
+    found_unresolved = False
+    for dv in (1e-5, 1e-6, 1e-7, 1e-8, 0.0):
+        r = h.measure_once(3, vdd_n=t_star + dv)
+        if r.outcome == "unresolved":
+            found_unresolved = True
+            assert not r.passed
+            assert r.value is None
+            assert r.out_delay >= ff.resolution_cap * 0.99
+            break
+    assert found_unresolved
+
+
+def test_bubbled_word_flagged_and_corrected(design):
+    """Heavy mismatch can swap adjacent thresholds; the encoder flags
+    the bubble and ones-counting still decodes."""
+    heavy = VariationModel(sigma_vth_intra=0.03, sigma_drive_intra=0.1)
+    found_bubble = False
+    for seed in range(12):
+        sample = heavy.sample_die(design.n_bits, seed=seed)
+        h = SensorArrayHarness(design, variation=sample)
+        thresholds = sorted(
+            design.bit_threshold(b, 3)
+            for b in range(1, design.n_bits + 1)
+        )
+        probe_v = 0.5 * (thresholds[2] + thresholds[3])
+        m = h.measure_once(3, vdd_n=probe_v)
+        if not m.word.is_valid_thermometer:
+            found_bubble = True
+            corrected = m.word.corrected()
+            assert corrected.is_valid_thermometer
+            assert corrected.ones == m.word.ones
+            break
+    assert found_bubble, "no bubble produced in 12 heavy-mismatch dies"
+
+
+# -- saturation & misuse ---------------------------------------------------------
+
+def test_collapsed_rail_reads_all_fail(design):
+    """A rail at/below the device threshold: every stage fails (the
+    inverters never switch); no crash, no hang."""
+    h = SensorArrayHarness(design)
+    m = h.measure_once(3, vdd_n=design.tech.vth * 0.8)
+    assert m.word.to_string() == "0000000"
+
+
+def test_overvoltage_reads_all_pass(design):
+    h = SensorArrayHarness(design)
+    m = h.measure_once(3, vdd_n=1.4)
+    assert m.word.to_string() == "1111111"
+
+
+def test_every_public_error_is_catchable_as_reproerror(design):
+    with pytest.raises(ReproError):
+        design.effective_window(42)
+    with pytest.raises(ReproError):
+        SensorBit(design, 99)
+    with pytest.raises(ReproError):
+        Netlist().add_net("x", extra_cap=-1.0)
+
+
+def test_engine_rejects_netlist_with_floating_inputs():
+    from repro.cells.combinational import Inverter
+    from repro.devices.technology import TECH_90NM
+
+    nl = Netlist()
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl.add_net("a")
+    nl.add_net("y")
+    nl.add_instance("u", Inverter(TECH_90NM), {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    # 'a' has no driver and is not declared external.
+    with pytest.raises(NetlistError):
+        SimulationEngine(nl)
+
+
+def test_gnd_harness_ignores_vdd_noise(design):
+    """LS inverters are on the nominal supply: VDD-n noise must not
+    change the LS reading (the Fig. 6 isolation, negative test)."""
+    from repro.core.sensor import SenseRail
+
+    h = SensorArrayHarness(design, rail=SenseRail.GND)
+    clean = h.measure_once(3, gnd_n=0.0)
+    # VDDN noise present but GNDN quiet:
+    h.netlist.set_supply_waveform("VDDN", ConstantWaveform(0.85))
+    noisy_vdd = h.measure_once(3, gnd_n=0.0)
+    assert clean.word == noisy_vdd.word

@@ -1,0 +1,175 @@
+"""Tests: gate-level scan register, fault screening, S-curves."""
+
+import pytest
+
+from repro.analysis.repeatability import (
+    extract_ladder_via_s_curves,
+    measure_s_curve,
+    word_histogram,
+)
+from repro.core.faults import FaultInjector, FaultType, coverage_study
+from repro.core.scan_register import ScanRegisterHarness, build_scan_register
+from repro.errors import ConfigurationError
+
+
+# -- scan register ------------------------------------------------------------
+
+def test_scan_capture_and_shift_roundtrip(design):
+    h = ScanRegisterHarness(design, 7)
+    bits = [1, 1, 1, 1, 1, 0, 0]
+    assert h.capture_and_shift(bits) == list(reversed(bits))
+
+
+def test_scan_multi_word(design):
+    h = ScanRegisterHarness(design, 14)
+    bits = [1, 0, 1, 1, 0, 0, 1] * 2
+    assert h.capture_and_shift(bits) == list(reversed(bits))
+
+
+def test_scan_stream_matches_analytic_convention(design):
+    """The gate-level stream equals PSNScanChain.scan_out's model for
+    one word: MSB (last capture bit) first."""
+    from repro.analysis.thermometer import ThermometerWord
+
+    word = ThermometerWord.from_string("0011111")
+    h = ScanRegisterHarness(design, 7)
+    stream = h.capture_and_shift(list(word.bits))
+    assert "".join(str(b) for b in stream) == word.to_string()
+
+
+def test_scan_si_fills_behind(design):
+    """While shifting, SI streams into stage 0; a second readout of the
+    register would show the fill value."""
+    h = ScanRegisterHarness(design, 4)
+    out = h.capture_and_shift([1, 1, 1, 1], scan_in_value=0)
+    assert out == [1, 1, 1, 1]
+
+
+def test_scan_width_validated(design):
+    h = ScanRegisterHarness(design, 4)
+    with pytest.raises(ConfigurationError):
+        h.capture_and_shift([1, 0])
+    with pytest.raises(ConfigurationError):
+        build_scan_register(design, 0)
+
+
+# -- fault screening -------------------------------------------------------------
+
+def test_healthy_array_screens_clean(design):
+    injector = FaultInjector(design)
+    report = injector.screen(vdd_n=0.95, reference_level=0.95)
+    assert not report.detected
+    assert report.prepare_word == "0000000"
+
+
+def test_stuck_pass_caught_by_prepare_check(design):
+    injector = FaultInjector(design)
+    injector.inject(FaultType.OUT_STUCK_PASS, 6)
+    report = injector.screen(vdd_n=0.95)
+    assert report.prepare_check_failed
+    assert 6 in report.suspect_bits
+
+
+def test_stuck_fail_caught_by_bubble_check(design):
+    injector = FaultInjector(design)
+    injector.inject(FaultType.OUT_STUCK_FAIL, 1)
+    report = injector.screen(vdd_n=0.95)  # bit 1 should pass at 0.95
+    assert report.bubble_check_failed
+    assert 1 in report.suspect_bits
+
+
+def test_dead_inverter_caught(design):
+    injector = FaultInjector(design)
+    injector.inject(FaultType.DS_STUCK_PREPARE, 2)
+    report = injector.screen(vdd_n=0.95)
+    assert report.detected
+
+
+def test_top_bit_stuck_fail_needs_reference_check(design):
+    """The in-field checks miss a top stage stuck at fail (it reads as
+    a valid, lower word); the tester's expected-word check catches it."""
+    injector = FaultInjector(design)
+    injector.inject(FaultType.OUT_STUCK_FAIL, 7)
+    high = design.bit_threshold(7, 3) + 0.05
+    in_field = injector.screen(vdd_n=high)
+    assert not in_field.detected  # the blind spot
+    tester = injector.screen(vdd_n=high, reference_level=high)
+    assert tester.reference_check_failed
+    assert 7 in tester.suspect_bits
+
+
+def test_full_coverage_with_two_level_protocol(design):
+    cov = coverage_study(design)
+    assert cov["overall"] == 1.0
+    for fault in FaultType:
+        assert cov[fault.value] == 1.0
+
+
+def test_clear_removes_fault(design):
+    injector = FaultInjector(design)
+    injector.inject(FaultType.OUT_STUCK_PASS, 3)
+    injector.clear()
+    assert not injector.screen(vdd_n=0.95).detected
+
+
+def test_inject_validates_bit(design):
+    injector = FaultInjector(design)
+    with pytest.raises(ConfigurationError):
+        injector.inject(FaultType.OUT_STUCK_PASS, 0)
+
+
+# -- repeatability ------------------------------------------------------------------
+
+def test_histogram_no_noise_single_word(design):
+    h = word_histogram(design, level=0.975, noise_rms=0.0,
+                       n_measures=50)
+    assert len(h) == 1
+    assert h.popitem()[1] == 50
+
+
+def test_histogram_noise_spreads_words(design):
+    h = word_histogram(design, level=0.992, noise_rms=0.01,
+                       n_measures=300)
+    assert len(h) >= 2
+    assert sum(h.values()) == 300
+
+
+def test_histogram_deterministic(design):
+    a = word_histogram(design, level=0.95, noise_rms=0.005, seed=3)
+    b = word_histogram(design, level=0.95, noise_rms=0.005, seed=3)
+    assert a == b
+
+
+def test_s_curve_monotone_and_crossing(design):
+    sc = measure_s_curve(design, 4, noise_rms=0.006, n_per_level=100)
+    p = list(sc.pass_probability)
+    assert p[0] < 0.1 and p[-1] > 0.9
+    # Noisy but broadly increasing.
+    assert sum(1 for a, b in zip(p, p[1:]) if b >= a) >= len(p) // 2
+
+
+def test_s_curve_fit_recovers_threshold_and_sigma(design):
+    sc = measure_s_curve(design, 4, noise_rms=0.006, n_per_level=250,
+                         seed=21)
+    fit = sc.fit()
+    assert fit.threshold == pytest.approx(design.bit_threshold(4, 3),
+                                          abs=1.5e-3)
+    assert fit.noise_sigma == pytest.approx(0.006, rel=0.25)
+
+
+def test_ladder_extraction_all_bits(design):
+    ladder = extract_ladder_via_s_curves(design, n_per_level=100,
+                                         noise_rms=0.005)
+    assert len(ladder) == design.n_bits
+    for fit in ladder:
+        true = design.bit_threshold(fit.bit, 3)
+        assert fit.threshold == pytest.approx(true, abs=2e-3)
+
+
+def test_s_curve_validation(design):
+    with pytest.raises(ConfigurationError):
+        measure_s_curve(design, 0, noise_rms=0.005)
+    with pytest.raises(ConfigurationError):
+        measure_s_curve(design, 1, noise_rms=0.0)
+    with pytest.raises(ConfigurationError):
+        word_histogram(design, level=1.0, noise_rms=-0.1)

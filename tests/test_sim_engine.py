@@ -1,0 +1,238 @@
+"""Simulation-kernel tests: propagation, inertia, sampling, supply
+awareness."""
+
+import pytest
+
+from repro.cells.base import UNKNOWN
+from repro.cells.combinational import Inverter, Nand2
+from repro.cells.library import default_library
+from repro.devices.technology import TECH_90NM
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.netlist import Netlist
+from repro.sim.stimulus import schedule_clock, schedule_pulse
+from repro.sim.waveform import StepWaveform
+from repro.units import NS, PS
+
+
+def inv_chain(n, *, vdd="VDD"):
+    """n-inverter chain netlist; input 'a', output 'n{n-1}'."""
+    nl = Netlist("chain")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    if vdd != "VDD":
+        nl.add_supply(vdd, 1.0)
+    nl.add_net("a")
+    nl.mark_external_input("a")
+    prev = "a"
+    for i in range(n):
+        nl.add_net(f"n{i}")
+        nl.add_instance(f"inv{i}", Inverter(TECH_90NM),
+                        {"A": prev, "Y": f"n{i}"}, vdd=vdd, gnd="GND")
+        prev = f"n{i}"
+    return nl
+
+
+def test_propagation_through_chain():
+    nl = inv_chain(4)
+    eng = SimulationEngine(nl)
+    eng.set_initial("a", 0)
+    eng.settle()
+    assert nl.nets["n3"].value == 0  # even number of inversions
+    eng.schedule_stimulus("a", 1, 1 * NS)
+    eng.run(5 * NS)
+    assert nl.nets["n3"].value == 1
+    edge = eng.trace.edges("n3", rising=True)[0]
+    assert edge > 1 * NS  # took real gate delays
+
+
+def test_chain_delay_matches_cell_model():
+    nl = inv_chain(1)
+    eng = SimulationEngine(nl)
+    eng.set_initial("a", 0)
+    eng.settle()
+    eng.schedule_stimulus("a", 1, 1 * NS)
+    eng.run(3 * NS)
+    t_out = eng.trace.transitions("n0")[-1][0]
+    inv = Inverter(TECH_90NM)
+    expected = inv.propagation_delay("A", "Y", 1.0, 0.0)
+    assert t_out - 1 * NS == pytest.approx(expected, rel=1e-9)
+
+
+def test_settle_resolves_unknowns():
+    nl = inv_chain(3)
+    eng = SimulationEngine(nl)
+    eng.set_initial("a", 1)
+    passes = eng.settle()
+    assert passes >= 2
+    assert nl.nets["n0"].value == 0
+    assert nl.nets["n1"].value == 1
+    assert nl.nets["n2"].value == 0
+
+
+def test_inertial_glitch_swallowed():
+    """A pulse shorter than the gate delay must not reach the output."""
+    nl = inv_chain(1)
+    eng = SimulationEngine(nl)
+    eng.set_initial("a", 0)
+    eng.settle()
+    inv_delay = Inverter(TECH_90NM).propagation_delay("A", "Y", 1.0, 0.0)
+    schedule_pulse(eng, "a", t_rise=1 * NS, width=inv_delay / 4)
+    eng.run(5 * NS)
+    # Output settled back without ever committing the glitch value.
+    transitions = [
+        (t, v) for t, v in eng.trace.transitions("n0") if t > 0.0
+    ]
+    assert transitions == []
+
+
+def test_wide_pulse_propagates():
+    nl = inv_chain(1)
+    eng = SimulationEngine(nl)
+    eng.set_initial("a", 0)
+    eng.settle()
+    schedule_pulse(eng, "a", t_rise=1 * NS, width=1 * NS)
+    eng.run(5 * NS)
+    values = [v for _, v in eng.trace.transitions("n0") if _ > 0]
+    assert values == [0, 1]  # fell then recovered
+
+
+def test_supply_waveform_modulates_delay():
+    nl = inv_chain(1, vdd="VDDN")
+    nl.set_supply_waveform("VDDN", StepWaveform(1.0, 0.85, 3 * NS))
+    eng = SimulationEngine(nl)
+    eng.set_initial("a", 0)
+    eng.settle()
+    eng.schedule_stimulus("a", 1, 1 * NS)
+    eng.schedule_stimulus("a", 0, 2 * NS)
+    eng.schedule_stimulus("a", 1, 4 * NS)
+    eng.run(6 * NS)
+    edges = eng.trace.transitions("n0")
+    d_nom = edges[1][0] - 1 * NS if edges[0][0] == 0.0 else None
+    falls = [t for t, v in edges if v == 0 and t > 0]
+    rises_late = [t for t, v in edges if v == 0 and t > 4 * NS]
+    d1 = falls[0] - 1 * NS
+    d2 = falls[1] - 4 * NS
+    assert d2 > d1  # drooped supply -> slower gate
+
+
+def test_ff_samples_on_rising_edge_only(lib):
+    nl = Netlist()
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    for net in ("d", "cp", "q"):
+        nl.add_net(net)
+    nl.mark_external_input("d")
+    nl.mark_external_input("cp")
+    ff = lib.make("DFF")
+    nl.add_instance("ff", ff, {"D": "d", "CP": "cp", "Q": "q"},
+                    vdd="VDD", gnd="GND")
+    eng = SimulationEngine(nl)
+    eng.set_initial("d", 0)
+    eng.set_initial("cp", 0)
+    eng.set_initial("q", 0)
+    eng.schedule_stimulus("d", 1, 1 * NS)
+    schedule_clock(eng, "cp", 2 * NS, start=2 * NS, n_cycles=2)
+    eng.run(10 * NS)
+    assert len(eng.trace.samples) == 2  # one per rising edge
+    assert eng.trace.value_at("q", 9 * NS) == 1
+
+
+def test_ff_miss_keeps_old_value(lib, design):
+    nl = Netlist()
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    for net in ("d", "cp", "q"):
+        nl.add_net(net)
+    nl.mark_external_input("d")
+    nl.mark_external_input("cp")
+    ff = lib.make("DFF")
+    nl.add_instance("ff", ff, {"D": "d", "CP": "cp", "Q": "q"},
+                    vdd="VDD", gnd="GND")
+    eng = SimulationEngine(nl)
+    eng.set_initial("d", 0)
+    eng.set_initial("cp", 0)
+    eng.set_initial("q", 0)
+    # Data arrives 1 ps before the clock edge: deep inside setup window.
+    eng.schedule_stimulus("d", 1, 2 * NS - 1 * PS)
+    eng.schedule_stimulus("cp", 1, 2 * NS)
+    eng.run(5 * NS)
+    rec = eng.trace.samples[0]
+    assert rec.value == 0
+    assert "miss" in rec.outcome
+
+
+def test_hold_violation_corrupts_sample(lib):
+    nl = Netlist()
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    for net in ("d", "cp", "q"):
+        nl.add_net(net)
+    nl.mark_external_input("d")
+    nl.mark_external_input("cp")
+    ff = lib.make("DFF")
+    nl.add_instance("ff", ff, {"D": "d", "CP": "cp", "Q": "q"},
+                    vdd="VDD", gnd="GND")
+    eng = SimulationEngine(nl)
+    eng.set_initial("d", 1)
+    eng.set_initial("cp", 0)
+    eng.set_initial("q", 0)
+    eng.schedule_stimulus("cp", 1, 2 * NS)
+    # D flips just after the edge, inside the hold window.
+    eng.schedule_stimulus("d", 0, 2 * NS + ff.hold_time / 4)
+    eng.run(5 * NS)
+    outcomes = [s.outcome for s in eng.trace.samples]
+    assert "hold_corrupted" in outcomes
+    assert eng.trace.value_at("q", 4.5 * NS) is UNKNOWN
+
+
+def test_runaway_oscillation_guard():
+    nl = Netlist("osc")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl.add_net("x")
+    nl.add_instance("u1", Inverter(TECH_90NM), {"A": "x", "Y": "x"},
+                    vdd="VDD", gnd="GND")
+    eng = SimulationEngine(nl, max_events=500)
+    eng.schedule_stimulus("x", 1, 1 * PS)
+    with pytest.raises(SimulationError):
+        eng.run(1)
+
+
+def test_stimulus_unknown_net_raises():
+    nl = inv_chain(1)
+    eng = SimulationEngine(nl)
+    with pytest.raises(SimulationError):
+        eng.schedule_stimulus("zz", 1, 1 * NS)
+
+
+def test_run_stops_at_until():
+    nl = inv_chain(1)
+    eng = SimulationEngine(nl)
+    eng.set_initial("a", 0)
+    eng.settle()
+    eng.schedule_stimulus("a", 1, 1 * NS)
+    eng.schedule_stimulus("a", 0, 8 * NS)
+    eng.run(2 * NS)
+    assert eng.now <= 2 * NS
+    assert nl.nets["a"].value == 1  # the 8 ns event is still pending
+    eng.run(10 * NS)
+    assert nl.nets["a"].value == 0
+
+
+def test_x_clears_after_driven(lib):
+    nl = Netlist()
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    for n in ("a", "b", "y"):
+        nl.add_net(n)
+    nl.mark_external_input("a")
+    nl.mark_external_input("b")
+    nl.add_instance("g", Nand2(TECH_90NM),
+                    {"A": "a", "B": "b", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    eng = SimulationEngine(nl)
+    # b unknown: NAND with a=0 is still 1.
+    eng.set_initial("a", 0)
+    eng.settle()
+    assert nl.nets["y"].value == 1

@@ -1,0 +1,197 @@
+"""Event-queue and netlist structural tests."""
+
+import pytest
+
+from repro.cells.combinational import Inverter, Nand2
+from repro.devices.technology import TECH_90NM
+from repro.errors import NetlistError, SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.netlist import Netlist
+from repro.units import FF
+
+
+# -- event queue ---------------------------------------------------------
+
+def test_queue_orders_by_time():
+    q = EventQueue()
+    q.schedule(2.0, "b", 1)
+    q.schedule(1.0, "a", 1)
+    assert q.pop().net == "a"
+    assert q.pop().net == "b"
+
+
+def test_queue_fifo_at_equal_time():
+    q = EventQueue()
+    q.schedule(1.0, "first", 1)
+    q.schedule(1.0, "second", 0)
+    assert q.pop().net == "first"
+    assert q.pop().net == "second"
+
+
+def test_queue_cancellation_skipped():
+    q = EventQueue()
+    ev = q.schedule(1.0, "a", 1)
+    q.schedule(2.0, "b", 1)
+    ev.cancel()
+    assert q.pop().net == "b"
+    assert q.pop() is None
+
+
+def test_queue_len_excludes_cancelled():
+    q = EventQueue()
+    ev = q.schedule(1.0, "a", 1)
+    q.schedule(2.0, "b", 1)
+    ev.cancel()
+    assert len(q) == 1
+
+
+def test_queue_rejects_past_scheduling():
+    q = EventQueue()
+    q.schedule(5.0, "a", 1)
+    q.pop()
+    with pytest.raises(SimulationError):
+        q.schedule(1.0, "b", 1)
+
+
+def test_queue_peek_time():
+    q = EventQueue()
+    assert q.peek_time() is None
+    ev = q.schedule(3.0, "a", 1)
+    assert q.peek_time() == 3.0
+    ev.cancel()
+    assert q.peek_time() is None
+
+
+def test_queue_clear():
+    q = EventQueue()
+    q.schedule(1.0, "a", 1)
+    q.clear()
+    assert q.pop() is None
+    assert q.now == 0.0
+
+
+# -- netlist ----------------------------------------------------------------
+
+@pytest.fixture()
+def nl():
+    n = Netlist()
+    n.add_supply("VDD", 1.0)
+    n.add_supply("GND", 0.0, is_ground=True)
+    return n
+
+
+def test_duplicate_net_rejected(nl):
+    nl.add_net("a")
+    with pytest.raises(NetlistError):
+        nl.add_net("a")
+
+
+def test_net_supply_name_collision(nl):
+    with pytest.raises(NetlistError):
+        nl.add_net("VDD")
+
+
+def test_instance_requires_known_nets(nl):
+    nl.add_net("a")
+    with pytest.raises(NetlistError):
+        nl.add_instance("u1", Inverter(TECH_90NM),
+                        {"A": "a", "Y": "nope"}, vdd="VDD", gnd="GND")
+
+
+def test_instance_requires_all_pins_connected(nl):
+    nl.add_net("a")
+    with pytest.raises(NetlistError):
+        nl.add_instance("u1", Nand2(TECH_90NM), {"A": "a"},
+                        vdd="VDD", gnd="GND")
+
+
+def test_instance_requires_known_rails(nl):
+    nl.add_net("a")
+    nl.add_net("y")
+    with pytest.raises(NetlistError):
+        nl.add_instance("u1", Inverter(TECH_90NM),
+                        {"A": "a", "Y": "y"}, vdd="VCC", gnd="GND")
+
+
+def test_multiple_drivers_rejected(nl):
+    for net in ("a", "b", "y"):
+        nl.add_net(net)
+    nl.add_instance("u1", Inverter(TECH_90NM), {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    with pytest.raises(NetlistError):
+        nl.add_instance("u2", Inverter(TECH_90NM), {"A": "b", "Y": "y"},
+                        vdd="VDD", gnd="GND")
+
+
+def test_external_input_cannot_be_driven(nl):
+    nl.add_net("a")
+    nl.add_net("y")
+    nl.mark_external_input("y")
+    with pytest.raises(NetlistError):
+        nl.add_instance("u1", Inverter(TECH_90NM), {"A": "a", "Y": "y"},
+                        vdd="VDD", gnd="GND")
+
+
+def test_duplicate_instance_rejected(nl):
+    for net in ("a", "y", "z"):
+        nl.add_net(net)
+    nl.add_instance("u1", Inverter(TECH_90NM), {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    with pytest.raises(NetlistError):
+        nl.add_instance("u1", Inverter(TECH_90NM), {"A": "y", "Y": "z"},
+                        vdd="VDD", gnd="GND")
+
+
+def test_load_sums_pins_and_extra_cap(nl):
+    nl.add_net("a", extra_cap=5 * FF)
+    nl.add_net("y")
+    nl.mark_external_input("a")
+    inv = Inverter(TECH_90NM, strength=2)
+    nl.add_instance("u1", inv, {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    assert nl.load_of("a") == pytest.approx(5 * FF + inv.pin("A").cap)
+    assert nl.load_of("y") == pytest.approx(0.0)
+
+
+def test_validate_flags_undriven_input(nl):
+    nl.add_net("a")
+    nl.add_net("y")
+    nl.add_instance("u1", Inverter(TECH_90NM), {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    with pytest.raises(NetlistError):
+        nl.validate()
+    nl.mark_external_input("a")
+    nl.validate()  # now clean
+
+
+def test_supply_of_uses_both_rails(nl):
+    nl.add_net("a")
+    nl.add_net("y")
+    nl.mark_external_input("a")
+    inst = nl.add_instance("u1", Inverter(TECH_90NM),
+                           {"A": "a", "Y": "y"}, vdd="VDD", gnd="GND")
+    nl.set_supply_waveform("GND", 0.05)
+    assert nl.supply_of(inst, 0.0) == pytest.approx(0.95)
+
+
+def test_set_supply_waveform_unknown_rail(nl):
+    with pytest.raises(NetlistError):
+        nl.set_supply_waveform("VCC", 1.0)
+
+
+def test_stats_counts_cells(nl):
+    for net in ("a", "y", "z"):
+        nl.add_net(net)
+    nl.mark_external_input("a")
+    nl.add_instance("u1", Inverter(TECH_90NM), {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    nl.add_instance("u2", Inverter(TECH_90NM), {"A": "y", "Y": "z"},
+                    vdd="VDD", gnd="GND")
+    stats = nl.stats()
+    assert stats["Inverter"] == 2
+    assert stats["#instances"] == 2
+
+
+def test_negative_extra_cap_rejected(nl):
+    with pytest.raises(NetlistError):
+        nl.add_net("bad", extra_cap=-1 * FF)

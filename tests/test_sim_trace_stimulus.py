@@ -1,0 +1,100 @@
+"""Trace queries and stimulus helpers."""
+
+import pytest
+
+from repro.cells.base import UNKNOWN
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.stimulus import clock_edges
+from repro.sim.trace import SampleRecord, Trace
+
+
+@pytest.fixture()
+def trace():
+    t = Trace()
+    t.record("a", 0.0, 0)
+    t.record("a", 1.0, 1)
+    t.record("a", 2.0, 0)
+    t.record("b", 0.5, 1)
+    return t
+
+
+def test_value_at_between_transitions(trace):
+    assert trace.value_at("a", 0.5) == 0
+    assert trace.value_at("a", 1.5) == 1
+    assert trace.value_at("a", 2.5) == 0
+
+
+def test_value_at_exact_transition_time(trace):
+    assert trace.value_at("a", 1.0) == 1
+
+
+def test_value_before_first_record(trace):
+    assert trace.value_at("b", 0.0) is UNKNOWN
+    assert trace.value_at("missing", 1.0) is UNKNOWN
+
+
+def test_edges_rising_falling(trace):
+    assert trace.edges("a", rising=True) == [1.0]
+    assert trace.edges("a", rising=False) == [2.0]
+    assert trace.edges("a") == [1.0, 2.0]
+
+
+def test_nets_listing(trace):
+    assert trace.nets() == ["a", "b"]
+
+
+def test_last_transition_at_or_before(trace):
+    assert trace.last_transition_at_or_before("a", 1.5) == (1.0, 1)
+    assert trace.last_transition_at_or_before("a", -1.0) is None
+
+
+def test_nonmonotonic_record_rejected(trace):
+    with pytest.raises(SimulationError):
+        trace.record("a", 0.5, 1)
+
+
+def test_sample_records(trace):
+    rec = SampleRecord(time=1.0, instance="ff1", outcome="clean_capture",
+                       value=1, clk_to_q=5e-11, setup_margin=1e-11)
+    trace.record_sample(rec)
+    assert trace.samples_for("ff1") == [rec]
+    assert trace.samples_for("ff2") == []
+
+
+def test_format_table_contains_all_events(trace):
+    table = trace.format_table(["a", "b"])
+    lines = table.splitlines()
+    assert len(lines) == 2 + 4  # header + rule + 4 event times
+    assert "a" in lines[0] and "b" in lines[0]
+
+
+def test_format_table_unknown_rendered_as_x(trace):
+    table = trace.format_table(["b"])
+    assert "X" not in table.splitlines()[2]  # b known at its first event
+    t2 = Trace()
+    t2.record("c", 1.0, None)
+    assert "X" in t2.format_table(["c"])
+
+
+# -- stimulus helpers -------------------------------------------------------
+
+def test_clock_edges_count_and_polarity():
+    edges = clock_edges(2.0, start=1.0, n_cycles=3)
+    assert len(edges) == 6
+    assert edges[0] == (1.0, 1)
+    assert edges[1] == (2.0, 0)
+    assert edges[2] == (3.0, 1)
+
+
+def test_clock_edges_duty():
+    edges = clock_edges(10.0, n_cycles=1, duty=0.3)
+    assert edges[1][0] == pytest.approx(3.0)
+
+
+def test_clock_edges_validation():
+    with pytest.raises(ConfigurationError):
+        clock_edges(0.0)
+    with pytest.raises(ConfigurationError):
+        clock_edges(1.0, duty=1.5)
+    with pytest.raises(ConfigurationError):
+        clock_edges(1.0, n_cycles=-1)

@@ -1,0 +1,113 @@
+"""Waveform tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.waveform import (
+    ConstantWaveform,
+    DampedSineWaveform,
+    PiecewiseLinearWaveform,
+    ScaledWaveform,
+    StepWaveform,
+    SumWaveform,
+)
+
+
+def test_constant():
+    w = ConstantWaveform(0.95)
+    assert w(0.0) == 0.95
+    assert w(1e9) == 0.95
+
+
+def test_step_before_after():
+    w = StepWaveform(1.0, 0.9, 5e-9)
+    assert w(4.9e-9) == 1.0
+    assert w(5e-9) == 0.9
+    assert w(6e-9) == 0.9
+
+
+def test_pwl_interpolates():
+    w = PiecewiseLinearWaveform([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+    assert w(0.5) == pytest.approx(0.5)
+    assert w(1.5) == pytest.approx(0.5)
+
+
+def test_pwl_holds_ends():
+    w = PiecewiseLinearWaveform([1.0, 2.0], [0.5, 0.7])
+    assert w(0.0) == 0.5
+    assert w(3.0) == 0.7
+
+
+def test_pwl_single_point():
+    w = PiecewiseLinearWaveform([1.0], [0.9])
+    assert w(0.0) == 0.9
+    assert w(2.0) == 0.9
+
+
+def test_pwl_sample_vectorized():
+    w = PiecewiseLinearWaveform([0.0, 1.0], [0.0, 2.0])
+    out = w.sample([0.0, 0.25, 0.5, 1.0])
+    assert np.allclose(out, [0.0, 0.5, 1.0, 2.0])
+
+
+def test_pwl_min_max_over():
+    w = PiecewiseLinearWaveform([0.0, 1.0, 2.0], [1.0, 0.0, 1.0])
+    assert w.min_over(0.0, 2.0) == pytest.approx(0.0)
+    assert w.max_over(0.0, 2.0) == pytest.approx(1.0)
+    assert w.min_over(0.0, 0.5) == pytest.approx(0.5)
+
+
+def test_pwl_min_over_bad_interval():
+    w = PiecewiseLinearWaveform([0.0, 1.0], [0.0, 1.0])
+    with pytest.raises(ConfigurationError):
+        w.min_over(1.0, 0.0)
+
+
+def test_pwl_rejects_unsorted_times():
+    with pytest.raises(ConfigurationError):
+        PiecewiseLinearWaveform([1.0, 0.5], [0.0, 1.0])
+
+
+def test_pwl_rejects_length_mismatch():
+    with pytest.raises(ConfigurationError):
+        PiecewiseLinearWaveform([0.0, 1.0], [0.0])
+
+
+def test_pwl_rejects_nonfinite():
+    with pytest.raises(ConfigurationError):
+        PiecewiseLinearWaveform([0.0, 1.0], [0.0, float("nan")])
+
+
+def test_damped_sine_base_before_t0():
+    w = DampedSineWaveform(base=1.0, amplitude=-0.1, freq=1e8,
+                           decay=2e-8, t0=1e-8)
+    assert w(0.5e-8) == 1.0
+
+
+def test_damped_sine_droops_then_recovers():
+    w = DampedSineWaveform(base=1.0, amplitude=-0.1, freq=1e8,
+                           decay=2e-8, t0=0.0)
+    quarter = 0.25 / 1e8
+    assert w(quarter) < 1.0  # first droop
+    assert abs(w(100e-8) - 1.0) < 1e-3  # decayed back
+
+
+def test_damped_sine_rejects_bad_params():
+    with pytest.raises(ConfigurationError):
+        DampedSineWaveform(base=1.0, amplitude=0.1, freq=0.0, decay=1e-8)
+
+
+def test_sum_adds_components():
+    w = SumWaveform([ConstantWaveform(1.0), ConstantWaveform(-0.1)])
+    assert w(0.0) == pytest.approx(0.9)
+
+
+def test_sum_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        SumWaveform([])
+
+
+def test_scaled():
+    w = ScaledWaveform(ConstantWaveform(0.5), scale=-1.0, offset=1.0)
+    assert w(0.0) == pytest.approx(0.5)

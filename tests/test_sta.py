@@ -1,0 +1,171 @@
+"""STA tests: graph construction, propagation, supply awareness, the
+1.22 ns claim."""
+
+import pytest
+
+from repro.cells.combinational import Inverter
+from repro.cells.sequential import DFlipFlop
+from repro.core.control import build_control_netlist
+from repro.devices.technology import TECH_90NM
+from repro.errors import ConfigurationError, NetlistError, TimingViolationError
+from repro.sim.netlist import Netlist
+from repro.sta.analysis import analyze, critical_path, min_clock_period
+from repro.sta.delay_calc import DelayCalculator
+from repro.sta.graph import TimingGraph
+from repro.units import NS
+
+
+def ff_pipeline(n_inv, *, vdd="VDD"):
+    """launch FF -> n_inv inverters -> capture FF."""
+    nl = Netlist("pipe")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    if vdd != "VDD":
+        nl.add_supply(vdd, 1.0)
+    nl.add_net("clk")
+    nl.add_net("d_in")
+    nl.mark_external_input("clk")
+    nl.mark_external_input("d_in")
+    nl.add_net("q0")
+    nl.add_instance("ff_launch", DFlipFlop(TECH_90NM),
+                    {"D": "d_in", "CP": "clk", "Q": "q0"},
+                    vdd=vdd, gnd="GND")
+    prev = "q0"
+    for i in range(n_inv):
+        nl.add_net(f"n{i}")
+        nl.add_instance(f"inv{i}", Inverter(TECH_90NM),
+                        {"A": prev, "Y": f"n{i}"}, vdd=vdd, gnd="GND")
+        prev = f"n{i}"
+    nl.add_net("q1")
+    nl.add_instance("ff_capture", DFlipFlop(TECH_90NM),
+                    {"D": prev, "CP": "clk", "Q": "q1"},
+                    vdd=vdd, gnd="GND")
+    return nl
+
+
+def test_min_period_is_clkq_plus_path_plus_setup():
+    nl = ff_pipeline(3)
+    report = analyze(nl)
+    ff = DFlipFlop(TECH_90NM)
+    # Reconstruct by hand: clk->q + 3 inverter arcs + setup.
+    inv = Inverter(TECH_90NM)
+    d_arc1 = inv.propagation_delay("A", "Y", 1.0, inv.pin("A").cap)
+    d_arc_last = inv.propagation_delay("A", "Y", 1.0, ff.pin("D").cap)
+    expected = (ff.clk_to_q + 2 * d_arc1 + d_arc_last + ff.setup_time)
+    assert report.min_period == pytest.approx(expected, rel=1e-9)
+
+
+def test_longer_path_longer_period():
+    p2 = analyze(ff_pipeline(2)).min_period
+    p6 = analyze(ff_pipeline(6)).min_period
+    assert p6 > p2
+
+
+def test_slack_positive_when_period_generous():
+    report = analyze(ff_pipeline(3), clock_period=5 * NS)
+    assert report.wns > 0
+    report.require_closure()  # must not raise
+
+
+def test_slack_negative_when_period_tight():
+    nl = ff_pipeline(3)
+    tight = analyze(nl).min_period * 0.5
+    report = analyze(nl, clock_period=tight)
+    assert report.wns < 0
+    with pytest.raises(TimingViolationError):
+        report.require_closure()
+
+
+def test_critical_path_walks_the_chain():
+    path = critical_path(ff_pipeline(4))
+    instances = [seg.instance for seg in path]
+    assert instances == ["inv0", "inv1", "inv2", "inv3"]
+    cums = [seg.cumulative for seg in path]
+    assert all(b > a for a, b in zip(cums, cums[1:]))
+
+
+def test_supply_droop_slows_path():
+    nl = ff_pipeline(4, vdd="VDDN")
+    nl.set_supply_waveform("VDDN", 0.9)
+    slow = analyze(nl).min_period
+    nl2 = ff_pipeline(4)
+    nominal = analyze(nl2).min_period
+    assert slow > nominal
+
+
+def test_supply_override_per_instance():
+    nl = ff_pipeline(4)
+    calc = DelayCalculator(nl, supply_overrides={"inv1": 0.85})
+    slowed = analyze(nl, calculator=calc).min_period
+    assert slowed > analyze(nl).min_period
+
+
+def test_nldm_mode_close_to_analytic():
+    nl = ff_pipeline(4)
+    analytic = analyze(nl).min_period
+    nldm = analyze(
+        nl, calculator=DelayCalculator(nl, mode="nldm")
+    ).min_period
+    assert nldm == pytest.approx(analytic, rel=0.05)
+
+
+def test_combinational_cycle_detected():
+    nl = Netlist("loop")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl.add_net("a")
+    nl.add_net("b")
+    nl.add_instance("i1", Inverter(TECH_90NM), {"A": "a", "Y": "b"},
+                    vdd="VDD", gnd="GND")
+    nl.add_instance("i2", Inverter(TECH_90NM), {"A": "b", "Y": "a"},
+                    vdd="VDD", gnd="GND")
+    with pytest.raises(NetlistError):
+        TimingGraph.build(nl)
+
+
+def test_no_endpoints_rejected():
+    nl = Netlist("comb")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl.add_net("a")
+    nl.add_net("y")
+    nl.mark_external_input("a")
+    nl.add_instance("i1", Inverter(TECH_90NM), {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    with pytest.raises(ConfigurationError):
+        analyze(nl)
+
+
+def test_bad_mode_rejected():
+    nl = ff_pipeline(1)
+    with pytest.raises(ConfigurationError):
+        DelayCalculator(nl, mode="spice")
+
+
+def test_nonpositive_period_rejected():
+    with pytest.raises(ConfigurationError):
+        analyze(ff_pipeline(1), clock_period=0.0)
+
+
+# -- the paper's claim ---------------------------------------------------------
+
+def test_control_system_critical_path_1p22ns(design):
+    """§III-B: 'The critical path of the whole control system at 90nm
+    is 1.22ns'."""
+    nl, _ = build_control_netlist(design)
+    assert min_clock_period(nl) == pytest.approx(1.22 * NS, rel=0.02)
+
+
+def test_control_system_closes_at_2ns_cut_clock(design):
+    """'...it can work with most of the typical CUTs system clock.'"""
+    nl, _ = build_control_netlist(design)
+    analyze(nl, clock_period=2 * NS).require_closure()
+
+
+def test_control_critical_path_through_counter(design):
+    """The long path runs counter carry chain -> FSM next-state."""
+    nl, _ = build_control_netlist(design)
+    path = critical_path(nl)
+    instances = [seg.instance for seg in path]
+    assert any("cnt" in i for i in instances)
+    assert any(i.startswith("ctl_n") for i in instances)

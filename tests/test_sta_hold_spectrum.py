@@ -1,0 +1,174 @@
+"""Hold-analysis and PDN-spectrum tests."""
+
+import pytest
+
+from repro.cells.combinational import Inverter
+from repro.cells.sequential import DFlipFlop
+from repro.core.control import build_control_netlist
+from repro.devices.technology import TECH_90NM
+from repro.errors import ConfigurationError
+from repro.psn.pdn import PDNModel, PDNParameters
+from repro.psn.spectrum import (
+    decap_for_target_impedance,
+    impedance_profile,
+    resonant_droop_bound,
+    step_droop_estimate,
+)
+from repro.sim.netlist import Netlist
+from repro.sta.hold import analyze_hold
+from repro.units import NS
+
+
+def shift_register(n_stages):
+    """FF -> FF -> ... with direct Q->D wiring: the classic hold risk."""
+    nl = Netlist("shift")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl.add_net("clk")
+    nl.add_net("d_in")
+    nl.mark_external_input("clk")
+    nl.mark_external_input("d_in")
+    prev = "d_in"
+    for i in range(n_stages):
+        nl.add_net(f"q{i}")
+        nl.add_instance(f"ff{i}", DFlipFlop(TECH_90NM),
+                        {"D": prev, "CP": "clk", "Q": f"q{i}"},
+                        vdd="VDD", gnd="GND")
+        prev = f"q{i}"
+    return nl
+
+
+def test_direct_ff_to_ff_hold():
+    """Back-to-back FFs: min arrival = clk_to_q; hold slack =
+    clk_to_q - t_hold (positive for this library)."""
+    nl = shift_register(2)
+    rep = analyze_hold(nl)
+    ff = DFlipFlop(TECH_90NM)
+    assert rep.hold_slacks["q0"] == pytest.approx(
+        ff.clk_to_q - ff.hold_time
+    )
+    assert rep.clean
+
+
+def test_buffered_path_increases_hold_slack():
+    nl = shift_register(2)
+    # Insert two inverters between the FFs in a second netlist.
+    nl2 = Netlist("buffered")
+    nl2.add_supply("VDD", 1.0)
+    nl2.add_supply("GND", 0.0, is_ground=True)
+    for net in ("clk", "d_in", "q0", "n0", "n1", "q1"):
+        nl2.add_net(net)
+    nl2.mark_external_input("clk")
+    nl2.mark_external_input("d_in")
+    nl2.add_instance("ff0", DFlipFlop(TECH_90NM),
+                     {"D": "d_in", "CP": "clk", "Q": "q0"},
+                     vdd="VDD", gnd="GND")
+    nl2.add_instance("i0", Inverter(TECH_90NM),
+                     {"A": "q0", "Y": "n0"}, vdd="VDD", gnd="GND")
+    nl2.add_instance("i1", Inverter(TECH_90NM),
+                     {"A": "n0", "Y": "n1"}, vdd="VDD", gnd="GND")
+    nl2.add_instance("ff1", DFlipFlop(TECH_90NM),
+                     {"D": "n1", "CP": "clk", "Q": "q1"},
+                     vdd="VDD", gnd="GND")
+    direct = analyze_hold(nl).whs
+    buffered = analyze_hold(nl2).whs
+    assert buffered > direct
+
+
+def test_hold_shortest_path_reported():
+    nl = shift_register(3)
+    rep = analyze_hold(nl)
+    # Direct FF-to-FF: no combinational segments on the worst path.
+    assert rep.shortest_path == ()
+
+
+def test_control_netlist_hold_clean(design):
+    nl, _ = build_control_netlist(design)
+    rep = analyze_hold(nl)
+    assert rep.clean
+    assert rep.whs > 0
+
+
+def test_hold_requires_endpoints():
+    nl = Netlist("empty")
+    nl.add_supply("VDD", 1.0)
+    nl.add_supply("GND", 0.0, is_ground=True)
+    nl.add_net("a")
+    nl.add_net("y")
+    nl.mark_external_input("a")
+    nl.add_instance("i", Inverter(TECH_90NM), {"A": "a", "Y": "y"},
+                    vdd="VDD", gnd="GND")
+    with pytest.raises(ConfigurationError):
+        analyze_hold(nl)
+
+
+# -- spectrum ------------------------------------------------------------------
+
+@pytest.fixture()
+def params():
+    return PDNParameters()
+
+
+def test_profile_peak_at_lc_resonance(params):
+    prof = impedance_profile(params)
+    f_pk, z_pk = prof.peak
+    assert f_pk == pytest.approx(params.resonant_frequency, rel=0.1)
+    assert z_pk > abs(params.impedance_at(1e6))
+
+
+def test_profile_interpolation(params):
+    prof = impedance_profile(params)
+    f = params.resonant_frequency
+    assert prof.at(f) == pytest.approx(abs(params.impedance_at(f)),
+                                       rel=0.05)
+    with pytest.raises(ConfigurationError):
+        prof.at(0.0)
+
+
+def test_profile_validation(params):
+    with pytest.raises(ConfigurationError):
+        impedance_profile(params, f_min=0.0)
+    with pytest.raises(ConfigurationError):
+        impedance_profile(params, n_points=2)
+
+
+def test_step_estimate_matches_time_domain(params):
+    """The analytic first-droop estimate lands within 20 % of the
+    trapezoidal PDN integration."""
+    model = PDNModel(params)
+    i_step = 5.0
+    v = model.simulate(lambda t: i_step if t > 20 * NS else 0.0,
+                       t_end=200 * NS, dt=0.1 * NS)
+    droop_td = params.vdd_nominal - v.min_over(20 * NS, 200 * NS)
+    est = step_droop_estimate(params, i_step)
+    assert est == pytest.approx(droop_td, rel=0.2)
+
+
+def test_resonant_bound_exceeds_step_estimate(params):
+    assert resonant_droop_bound(params, 5.0) > \
+        step_droop_estimate(params, 5.0)
+
+
+def test_droop_estimates_validate(params):
+    with pytest.raises(ConfigurationError):
+        step_droop_estimate(params, -1.0)
+    with pytest.raises(ConfigurationError):
+        resonant_droop_bound(params, -1.0)
+
+
+def test_decap_sizing_meets_target(params):
+    prof = impedance_profile(params)
+    target = prof.peak[1] / 4
+    sized = decap_for_target_impedance(params, target)
+    assert sized.c_decap > params.c_decap
+    assert impedance_profile(sized).peak[1] <= target * 1.01
+
+
+def test_decap_sizing_noop_when_already_met(params):
+    generous = impedance_profile(params).peak[1] * 2
+    assert decap_for_target_impedance(params, generous) is params
+
+
+def test_decap_sizing_unreachable_raises(params):
+    with pytest.raises(ConfigurationError):
+        decap_for_target_impedance(params, 1e-9, c_max=100e-9)

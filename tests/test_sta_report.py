@@ -1,0 +1,80 @@
+"""STA report-formatting tests."""
+
+import pytest
+
+from repro.core.control import build_control_netlist
+from repro.errors import ConfigurationError
+from repro.sta.analysis import analyze
+from repro.sta.hold import analyze_hold
+from repro.sta.report import format_hold_report, format_setup_report
+from repro.units import NS
+
+
+@pytest.fixture(scope="module")
+def reports(design):
+    nl, _ = build_control_netlist(design)
+    return analyze(nl, clock_period=2 * NS), analyze_hold(nl)
+
+
+def test_setup_report_headline(reports):
+    setup, _ = reports
+    text = format_setup_report(setup)
+    assert "Setup (max-delay) report" in text
+    assert "min clock period  : 1220.0 ps" in text
+    assert "WNS +780.0 ps" in text
+
+
+def test_setup_report_lists_path_segments(reports):
+    setup, _ = reports
+    text = format_setup_report(setup)
+    for seg in setup.critical_path:
+        assert seg.instance in text
+
+
+def test_setup_report_endpoint_ranking(reports):
+    setup, _ = reports
+    text = format_setup_report(setup, max_endpoints=3)
+    # Exactly 3 endpoint rows after the ranking header.
+    tail = text.split("endpoints by slack:")[1].splitlines()
+    rows = [ln for ln in tail if ln and not ln.startswith(("-", "e"))]
+    assert len(rows) == 3
+
+
+def test_setup_report_marks_violations(design):
+    nl, _ = build_control_netlist(design)
+    tight = analyze(nl, clock_period=0.8 * NS)
+    text = format_setup_report(tight)
+    assert "(VIOLATED)" in text
+    assert "WNS -" in text
+
+
+def test_setup_report_unconstrained(design):
+    nl, _ = build_control_netlist(design)
+    text = format_setup_report(analyze(nl))
+    assert "constraint" not in text
+
+
+def test_hold_report_headline(reports):
+    _, hold = reports
+    text = format_hold_report(hold)
+    assert "Hold (min-delay) report" in text
+    assert "clean" in text
+    assert hold.worst_endpoint in text
+
+
+def test_hold_report_direct_path_note():
+    """Back-to-back FFs have no combinational segments; the report says
+    so instead of printing an empty table."""
+    from tests.test_sta_hold_spectrum import shift_register
+
+    hold = analyze_hold(shift_register(2))
+    text = format_hold_report(hold)
+    assert "direct FF-to-FF" in text
+
+
+def test_report_validation(reports):
+    setup, hold = reports
+    with pytest.raises(ConfigurationError):
+        format_setup_report(setup, max_endpoints=0)
+    with pytest.raises(ConfigurationError):
+        format_hold_report(hold, max_endpoints=0)

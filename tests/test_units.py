@@ -1,0 +1,72 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants_ratio():
+    assert units.NS / units.PS == pytest.approx(1000.0)
+    assert units.US / units.NS == pytest.approx(1000.0)
+    assert units.MS / units.US == pytest.approx(1000.0)
+
+
+def test_cap_constants_ratio():
+    assert units.PF / units.FF == pytest.approx(1000.0)
+    assert units.NF / units.PF == pytest.approx(1000.0)
+
+
+def test_to_ps_roundtrip():
+    assert units.to_ps(65 * units.PS) == pytest.approx(65.0)
+
+
+def test_to_ns_roundtrip():
+    assert units.to_ns(1.22 * units.NS) == pytest.approx(1.22)
+
+
+def test_to_ff_roundtrip():
+    assert units.to_ff(3.5 * units.FF) == pytest.approx(3.5)
+
+
+def test_to_pf_roundtrip():
+    assert units.to_pf(2 * units.PF) == pytest.approx(2.0)
+
+
+def test_to_mv_roundtrip():
+    assert units.to_mv(0.936) == pytest.approx(936.0)
+
+
+def test_fmt_time_picoseconds():
+    assert units.fmt_time(65e-12) == "65.000 ps"
+
+
+def test_fmt_time_nanoseconds():
+    assert units.fmt_time(1.22e-9) == "1.220 ns"
+
+
+def test_fmt_time_microseconds():
+    assert units.fmt_time(3.5e-6) == "3.500 us"
+
+
+def test_fmt_time_zero():
+    assert units.fmt_time(0.0) == "0 s"
+
+
+def test_fmt_time_femtoseconds():
+    assert "fs" in units.fmt_time(500e-15) or "ps" in units.fmt_time(500e-15)
+
+
+def test_fmt_cap_picofarads():
+    assert units.fmt_cap(2e-12) == "2.000 pF"
+
+
+def test_fmt_cap_femtofarads():
+    assert units.fmt_cap(3.5e-15) == "3.500 fF"
+
+
+def test_fmt_cap_nanofarads():
+    assert units.fmt_cap(40e-9) == "40.000 nF"
+
+
+def test_fmt_volt_paper_style():
+    assert units.fmt_volt(0.936) == "0.9360 V"

@@ -1,0 +1,108 @@
+"""VCD write -> read round-trip tests."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+from repro.sim.vcd import write_vcd
+from repro.sim.vcd_reader import read_vcd
+from repro.units import NS
+
+
+def roundtrip(trace, **kw):
+    buf = io.StringIO()
+    write_vcd(trace, buf, **kw)
+    buf.seek(0)
+    return read_vcd(buf)
+
+
+def sample_trace():
+    t = Trace()
+    t.record("clk", 0.0, 0)
+    t.record("data", 0.0, None)
+    t.record("clk", 2 * NS, 1)
+    t.record("data", 2.3 * NS, 1)
+    t.record("clk", 4 * NS, 0)
+    t.record("data", 5.5 * NS, 0)
+    return t
+
+
+def test_roundtrip_preserves_transitions():
+    dump = roundtrip(sample_trace())
+    assert dump.nets() == ["clk", "data"]
+    clk = dump.transitions["clk"]
+    assert clk == [(0.0, 0), (2 * NS, 1), (4 * NS, 0)]
+
+
+def test_roundtrip_preserves_unknowns():
+    dump = roundtrip(sample_trace())
+    assert dump.transitions["data"][0] == (0.0, None)
+    assert dump.value_at("data", 1 * NS) is None
+    assert dump.value_at("data", 3 * NS) == 1
+
+
+def test_roundtrip_value_queries_match_trace():
+    trace = sample_trace()
+    dump = roundtrip(trace)
+    for t_query in (0.5 * NS, 2.1 * NS, 4.5 * NS, 6 * NS):
+        for net in ("clk", "data"):
+            assert dump.value_at(net, t_query) == \
+                trace.value_at(net, t_query), (net, t_query)
+
+
+def test_roundtrip_timescale():
+    dump = roundtrip(sample_trace())
+    assert dump.timescale == pytest.approx(1e-15)
+
+
+def test_roundtrip_net_selection():
+    dump = roundtrip(sample_trace(), nets=["clk"])
+    assert dump.nets() == ["clk"]
+
+
+def test_roundtrip_real_simulation(design):
+    from repro.sim.engine import SimulationEngine
+    from repro.core.sensor import SensorBitHarness
+
+    h = SensorBitHarness(design, 3)
+    h.bind_rails(vdd_n=0.95)
+    engine = SimulationEngine(h.netlist)
+    engine.set_initial("P", 1)
+    engine.set_initial("CP", 0)
+    engine.settle()
+    engine.set_initial("OUT", 0)
+    engine.schedule_stimulus("P", 0, 4 * NS)
+    engine.schedule_stimulus("CP", 1, 4 * NS + 65e-12)
+    engine.run(6 * NS)
+    dump = roundtrip(engine.trace)
+    # DS edge time is preserved to the femtosecond tick.
+    ds_sim = [t for t, v in engine.trace.transitions("DS") if v == 1
+              and t > 0]
+    ds_vcd = [t for t, v in dump.transitions["DS"] if v == 1 and t > 0]
+    assert ds_vcd[0] == pytest.approx(ds_sim[0], abs=1e-15)
+
+
+def test_reader_rejects_malformed():
+    with pytest.raises(ConfigurationError):
+        read_vcd(io.StringIO("not a vcd"))
+    with pytest.raises(ConfigurationError):
+        read_vcd(io.StringIO(
+            "$timescale 1 ps $end\n$enddefinitions $end\n"
+        ))
+
+
+def test_reader_rejects_undeclared_identifier():
+    text = ("$timescale 1 ps $end\n"
+            "$var wire 1 ! a $end\n"
+            "$enddefinitions $end\n"
+            "#1\n1?\n")
+    with pytest.raises(ConfigurationError):
+        read_vcd(io.StringIO(text))
+
+
+def test_reader_unknown_net_query():
+    dump = roundtrip(sample_trace())
+    with pytest.raises(ConfigurationError):
+        dump.value_at("nope", 0.0)
