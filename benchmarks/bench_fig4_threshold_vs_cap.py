@@ -13,12 +13,26 @@ from repro.core.characterization import (
     linearity_report,
     threshold_vs_capacitance,
 )
+from repro.runtime import env_workers
 from repro.units import PF, to_pf
+
+SIM_CAPS = (1.85 * PF, 2.0 * PF, 2.15 * PF)
 
 
 def run_fig4(design):
     caps = [(1.75 + 0.05 * i) * PF for i in range(11)]
     return threshold_vs_capacitance(design, caps)
+
+
+def run_fig4_sim(design, *, workers=None, cache=None):
+    """The bisection-backed crosscheck sweep (the slow part of this
+    bench): parallel/cached via repro.runtime, ``$REPRO_WORKERS``
+    honored when ``workers`` is not given."""
+    return threshold_vs_capacitance(
+        design, SIM_CAPS, method="sim", tol=0.25e-3,
+        workers=env_workers(workers) if workers is None else workers,
+        cache=cache,
+    )
 
 
 def test_fig4_threshold_vs_capacitance(benchmark, design):
@@ -43,14 +57,9 @@ def test_fig4_threshold_vs_capacitance(benchmark, design):
 def test_fig4_sim_crosscheck(benchmark, design):
     """Event-simulated bisection at three caps must land on the
     analytic curve (the ELDO-equivalence check)."""
-    caps = [1.85 * PF, 2.0 * PF, 2.15 * PF]
-
-    def run():
-        return threshold_vs_capacitance(design, caps, method="sim",
-                                        tol=0.25e-3)
-
-    sim_pts = benchmark.pedantic(run, rounds=1, iterations=1)
-    ana_pts = threshold_vs_capacitance(design, caps)
+    sim_pts = benchmark.pedantic(lambda: run_fig4_sim(design),
+                                 rounds=1, iterations=1)
+    ana_pts = threshold_vs_capacitance(design, list(SIM_CAPS))
     rows = [
         [f"{to_pf(c):.2f}", f"{vs:.4f}", f"{va:.4f}",
          f"{(vs - va) * 1e3:+.2f}"]

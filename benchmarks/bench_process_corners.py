@@ -23,14 +23,29 @@ either direction; the bench reports the measured shifts.
 from benchmarks._report import emit, fmt_rows
 from repro.core.trimming import retrim_for_corner
 from repro.devices.corners import CORNERS
+from repro.runtime import env_workers, map_tasks
 
 
-def run_corners(design, pg_tracks):
-    return {
-        name: retrim_for_corner(design, corner,
-                                pg_tracks_corner=pg_tracks)
-        for name, corner in CORNERS.items() if name != "TT"
-    }
+def _retrim_task(spec):
+    """Picklable adapter: retrim one (corner, reference mode) pair."""
+    design, corner, pg_tracks = spec
+    return retrim_for_corner(design, corner, pg_tracks_corner=pg_tracks)
+
+
+def run_corners(design, pg_tracks, *, workers=None):
+    """Per-corner retrims, fanned across the corner set.
+
+    Corners are independent characterize-and-pick problems, so this is
+    the bench-level analogue of the yield study's per-die fan-out;
+    ``$REPRO_WORKERS`` sets the default pool size.
+    """
+    names = [name for name in CORNERS if name != "TT"]
+    results = map_tasks(
+        _retrim_task,
+        [(design, CORNERS[name], pg_tracks) for name in names],
+        workers=env_workers(workers) if workers is None else workers,
+    )
+    return dict(zip(names, results))
 
 
 def test_corner_retrimming(benchmark, design):

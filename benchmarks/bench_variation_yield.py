@@ -11,6 +11,7 @@ the paper's "careful characterization of the sensor" must go.
 from benchmarks._report import emit, fmt_rows
 from repro.analysis.yield_study import run_yield_study
 from repro.devices.variation import VariationModel
+from repro.runtime import env_workers
 
 
 LEVELS = (
@@ -23,9 +24,12 @@ LEVELS = (
 )
 
 
-def run_lots(design):
+def run_lots(design, *, workers=None, cache=None):
+    if workers is None:
+        workers = env_workers()
     return {
-        name: run_yield_study(design, model, n_dies=60, seed=11)
+        name: run_yield_study(design, model, n_dies=60, seed=11,
+                              workers=workers, cache=cache)
         for name, model in LEVELS
     }
 

@@ -12,7 +12,12 @@ directly to the thermometer:
   50 % point is the threshold and whose width is the noise sigma —
   letting a tester extract both from purely digital pass/fail data.
 
-Everything is seeded and deterministic.
+Everything is seeded and deterministic.  Ladder extraction sweeps one
+S-curve per stage with a per-bit derived seed, so the stages are
+independent tasks: :func:`extract_ladder_via_s_curves` takes
+``workers=`` (process-pool fan-out across bits, bit-identical to the
+serial loop) and ``cache=`` (per-stage memoization) — see
+:mod:`repro.runtime`.
 """
 
 from __future__ import annotations
@@ -25,6 +30,13 @@ import numpy as np
 from scipy import optimize, special
 
 from repro.errors import ConfigurationError
+from repro.runtime import (
+    ResultCache,
+    cached_map,
+    design_fingerprint,
+    resolve_cache,
+    task_key,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.calibration import SensorDesign
@@ -175,11 +187,20 @@ def measure_s_curve(design: "SensorDesign", bit: int, *,
     )
 
 
+def _s_curve_fit_task(spec: tuple) -> SCurveFit:
+    """Picklable adapter: sweep and fit one stage's S-curve."""
+    design, bit, noise_rms, code, seed, n_per_level = spec
+    return measure_s_curve(design, bit, noise_rms=noise_rms, code=code,
+                           seed=seed, n_per_level=n_per_level).fit()
+
+
 def extract_ladder_via_s_curves(design: "SensorDesign", *,
                                 noise_rms: float = 5e-3,
                                 code: int = 3,
                                 seed: int = 13,
-                                n_per_level: int = 150
+                                n_per_level: int = 150,
+                                workers: int | None = None,
+                                cache: "ResultCache | str | None" = None
                                 ) -> list[SCurveFit]:
     """Tester-style ladder extraction: S-curve fit per stage.
 
@@ -187,10 +208,25 @@ def extract_ladder_via_s_curves(design: "SensorDesign", *,
     of a fabricated die (the paper's "careful characterization of the
     sensor"): purely digital pass/fail statistics under known applied
     levels, no analog probing.
+
+    Each stage's measures are seeded ``seed + bit`` — a pure function
+    of the task payload — so fanning the stages across a process pool
+    (``workers=``) returns the same fits in the same order, and
+    per-stage memoization (``cache=``) keys on the design fingerprint
+    plus every sweep parameter.
     """
-    return [
-        measure_s_curve(design, bit, noise_rms=noise_rms, code=code,
-                        seed=seed + bit,
-                        n_per_level=n_per_level).fit()
+    specs = [
+        (design, bit, noise_rms, code, seed + bit, n_per_level)
         for bit in range(1, design.n_bits + 1)
     ]
+    store = resolve_cache(cache)
+    keys = None
+    if store is not None:
+        fp = design_fingerprint(design)
+        keys = [
+            task_key("s-curve-fit", fp, bit, noise_rms, code,
+                     seed + bit, n_per_level)
+            for bit in range(1, design.n_bits + 1)
+        ]
+    return cached_map(_s_curve_fit_task, specs, keys=keys,
+                      cache=store, workers=workers)

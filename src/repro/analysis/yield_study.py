@@ -9,6 +9,14 @@ This module quantifies it: sample a lot of dies from a
 per-bit thresholds (sensor inverters take the per-instance technology;
 the shared window blocks take the die technology), and report threshold
 spread, monotonicity violations, bubble rates and decode accuracy.
+
+Dies are independent, and every die's randomness comes from its
+:class:`~repro.devices.variation.VariationSample` (seeded at lot
+creation, never from scheduling), so :func:`run_yield_study` takes
+``workers=`` (process-pool fan-out across dies, bit-identical to the
+serial loop) and ``cache=`` (per-die memoization keyed by the design
+fingerprint, the sample, the code and the supply grid) — see
+:mod:`repro.runtime`.  Both default to serial, uncached behavior.
 """
 
 from __future__ import annotations
@@ -22,6 +30,13 @@ from typing import TYPE_CHECKING
 from repro.analysis.thermometer import ThermometerWord, decode_word
 from repro.devices.variation import VariationModel, VariationSample
 from repro.errors import ConfigurationError
+from repro.runtime import (
+    ResultCache,
+    cached_map,
+    design_fingerprint,
+    resolve_cache,
+    task_key,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # Imported lazily at call sites: repro.core imports repro.analysis
@@ -116,13 +131,68 @@ def die_characteristic(design: "SensorDesign", sample: VariationSample, *,
     return DieCharacteristic(thresholds=thresholds)
 
 
+@dataclass(frozen=True)
+class _DieScore:
+    """One die's contribution to the lot reduction (cache payload)."""
+
+    thresholds: tuple[float, ...]
+    monotone: bool
+    bubbled: int
+    bracketed: int
+    bracketed_cal: int
+    errors: tuple[float, ...]
+
+
+def _score_die(design: "SensorDesign", sample: VariationSample,
+               code: int, supplies: tuple[float, ...],
+               nominal_ladder: tuple[float, ...]) -> _DieScore:
+    """Characterize one die and evaluate it across the supply grid."""
+    die = die_characteristic(design, sample, code=code)
+    die_ladder = tuple(sorted(die.thresholds))
+    bubbled = bracketed = bracketed_cal = 0
+    errors: list[float] = []
+    for v in supplies:
+        word = die.word_at(v)
+        if not word.is_valid_thermometer:
+            bubbled += 1
+        rng = decode_word(word, nominal_ladder, strict=False)
+        if rng.contains(v):
+            bracketed += 1
+        if rng.bounded:
+            errors.append(abs(rng.midpoint - v))
+        rng_cal = decode_word(word, die_ladder, strict=False)
+        if rng_cal.contains(v):
+            bracketed_cal += 1
+    return _DieScore(
+        thresholds=die.thresholds,
+        monotone=die.monotone,
+        bubbled=bubbled,
+        bracketed=bracketed,
+        bracketed_cal=bracketed_cal,
+        errors=tuple(errors),
+    )
+
+
+def _score_die_task(spec: tuple) -> _DieScore:
+    """Picklable adapter: one die score from a task payload tuple."""
+    return _score_die(*spec)
+
+
 def run_yield_study(design: "SensorDesign",
                     variation: VariationModel, *,
                     n_dies: int = 100,
                     code: int = 3,
                     supplies: np.ndarray | None = None,
-                    seed: int = 2024) -> YieldReport:
+                    seed: int = 2024,
+                    workers: int | None = None,
+                    cache: "ResultCache | str | None" = None
+                    ) -> YieldReport:
     """Sample a lot and score the array under mismatch.
+
+    Each die's randomness is fixed by its
+    :class:`~repro.devices.variation.VariationSample` (derived from
+    ``seed`` at lot creation), so the per-die scores are pure functions
+    of their payload and the parallel path is bit-identical to serial.
 
     Args:
         design: Calibrated design.
@@ -132,6 +202,11 @@ def run_yield_study(design: "SensorDesign",
         supplies: Evaluation supply grid, volts; defaults to 17 points
             across the code's nominal range.
         seed: Lot seed (deterministic studies).
+        workers: Process-pool size for the per-die fan-out
+            (<= 1: serial).
+        cache: On-disk memoization of per-die scores — a
+            :class:`~repro.runtime.ResultCache` or a cache directory;
+            ``None`` disables caching.
     """
     if n_dies < 1:
         raise ConfigurationError("n_dies must be positive")
@@ -139,45 +214,39 @@ def run_yield_study(design: "SensorDesign",
         lo = design.bit_threshold(1, code)
         hi = design.bit_threshold(design.n_bits, code)
         supplies = np.linspace(lo + 0.005, hi - 0.005, 17)
+    supply_grid = tuple(float(v) for v in supplies)
     nominal_ladder = tuple(
         design.bit_threshold(b, code)
         for b in range(1, design.n_bits + 1)
     )
 
     lot = variation.sample_lot(n_dies, design.n_bits, seed=seed)
-    per_bit = np.empty((n_dies, design.n_bits))
-    monotone = 0
-    bubbled = 0
-    bracketed = 0
-    bracketed_cal = 0
-    errors: list[float] = []
-    total_evals = 0
-    for k, sample in enumerate(lot):
-        die = die_characteristic(design, sample, code=code)
-        per_bit[k] = die.thresholds
-        if die.monotone:
-            monotone += 1
-        die_ladder = tuple(sorted(die.thresholds))
-        for v in supplies:
-            v = float(v)
-            word = die.word_at(v)
-            total_evals += 1
-            if not word.is_valid_thermometer:
-                bubbled += 1
-            rng = decode_word(word, nominal_ladder, strict=False)
-            if rng.contains(v):
-                bracketed += 1
-            if rng.bounded:
-                errors.append(abs(rng.midpoint - v))
-            rng_cal = decode_word(word, die_ladder, strict=False)
-            if rng_cal.contains(v):
-                bracketed_cal += 1
+    store = resolve_cache(cache)
+    keys = None
+    if store is not None:
+        fp = design_fingerprint(design)
+        keys = [
+            task_key("die-score", fp, sample, code, supply_grid)
+            for sample in lot
+        ]
+    scores: list[_DieScore] = cached_map(
+        _score_die_task,
+        [(design, sample, code, supply_grid, nominal_ladder)
+         for sample in lot],
+        keys=keys, cache=store, workers=workers,
+    )
+
+    per_bit = np.array([s.thresholds for s in scores])
+    total_evals = n_dies * len(supply_grid)
+    errors = [e for s in scores for e in s.errors]
     return YieldReport(
         n_dies=n_dies,
         threshold_sigma=tuple(float(s) for s in np.std(per_bit, axis=0)),
-        monotone_fraction=monotone / n_dies,
-        bubble_rate=bubbled / total_evals,
-        bracket_rate=bracketed / total_evals,
-        bracket_rate_calibrated=bracketed_cal / total_evals,
+        monotone_fraction=sum(s.monotone for s in scores) / n_dies,
+        bubble_rate=sum(s.bubbled for s in scores) / total_evals,
+        bracket_rate=sum(s.bracketed for s in scores) / total_evals,
+        bracket_rate_calibrated=(
+            sum(s.bracketed_cal for s in scores) / total_evals
+        ),
         mean_abs_error=float(np.mean(errors)) if errors else 0.0,
     )

@@ -9,7 +9,13 @@ without writing any Python:
 * ``fig5`` — the multibit characteristic per delay code;
 * ``fig9`` — the full-system two-measure sequence;
 * ``critical-path`` — STA over the control netlist;
-* ``measure`` — decode an arbitrary static rail level.
+* ``measure`` — decode an arbitrary static rail level;
+* ``cache`` — inspect/clear the characterization result cache.
+
+Characterization sweeps (``fig4``, ``fig5``, ``yield``) accept
+``--workers N`` (process-pool fan-out, bit-identical to serial) and
+``--cache-dir PATH`` (on-disk memoization) via :mod:`repro.runtime`;
+``$REPRO_WORKERS`` sets the default pool size.
 """
 
 from __future__ import annotations
@@ -20,6 +26,23 @@ from typing import Sequence
 
 from repro.core.calibration import paper_design
 from repro.units import to_ns, to_pf, to_ps
+
+
+def _add_runtime_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size for the sweep "
+                        "(default: $REPRO_WORKERS or serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="memoize sweep results in this directory")
+
+
+def _runtime_kwargs(args: argparse.Namespace) -> dict:
+    """``workers=``/``cache=`` keywords from parsed runtime flags."""
+    from repro.runtime import ResultCache, env_workers
+
+    workers = args.workers if args.workers is not None else env_workers()
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    return {"workers": workers, "cache": cache}
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -66,8 +89,13 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     d = paper_design()
     caps = [(args.cap_min + k * args.cap_step) * PF
             for k in range(args.points)]
+    points = threshold_vs_capacitance(
+        d, caps, code=args.code,
+        method="sim" if args.sim else "analytic",
+        **_runtime_kwargs(args),
+    )
     print("C [pF]   threshold [V]")
-    for c, v in threshold_vs_capacitance(d, caps, code=args.code):
+    for c, v in points:
         print(f"{to_pf(c):>6.2f}   {v:.4f}")
     return 0
 
@@ -76,7 +104,11 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.core.characterization import characterize_array
 
     d = paper_design()
-    chars = characterize_array(d, codes=tuple(args.codes))
+    chars = characterize_array(
+        d, codes=tuple(args.codes),
+        method="sim" if args.sim else "analytic",
+        **_runtime_kwargs(args),
+    )
     for code, ch in chars.items():
         print(f"delay code {code:03b}: dynamic {ch.v_min:.3f} .. "
               f"{ch.v_max:.3f} V")
@@ -186,7 +218,8 @@ def _cmd_yield(args: argparse.Namespace) -> int:
         sigma_vth_inter=args.sigma_inter * 1e-3,
         sigma_vth_intra=args.sigma_intra * 1e-3,
     )
-    rep = run_yield_study(d, model, n_dies=args.dies)
+    rep = run_yield_study(d, model, n_dies=args.dies,
+                          **_runtime_kwargs(args))
     print(f"{args.dies} dies, mismatch sigma inter/intra = "
           f"{args.sigma_inter:.1f}/{args.sigma_intra:.1f} mV")
     print(f"  worst per-bit threshold sigma : "
@@ -197,6 +230,21 @@ def _cmd_yield(args: argparse.Namespace) -> int:
     print(f"  bracket rate, nominal ladder  : {rep.bracket_rate:.0%}")
     print(f"  bracket rate, per-die ladder  : "
           f"{rep.bracket_rate_calibrated:.0%}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(args.dir)
+    if args.action == "stats":
+        s = cache.stats()
+        print(f"cache dir : {s['dir']}")
+        print(f"entries   : {s['entries']}")
+        print(f"size      : {s['bytes']} bytes")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
     return 0
 
 
@@ -231,10 +279,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="first capacitance, pF")
     p.add_argument("--cap-step", type=float, default=0.05)
     p.add_argument("--points", type=int, default=9)
+    p.add_argument("--sim", action="store_true",
+                   help="bisect the event simulation instead of the "
+                        "analytic law")
+    _add_runtime_args(p)
     p.set_defaults(func=_cmd_fig4)
 
     p = sub.add_parser("fig5", help="multibit characteristic")
     p.add_argument("--codes", type=int, nargs="+", default=[1, 2, 3])
+    p.add_argument("--sim", action="store_true",
+                   help="bisect the event simulation instead of the "
+                        "analytic law")
+    _add_runtime_args(p)
     p.set_defaults(func=_cmd_fig5)
 
     p = sub.add_parser("fig9", help="full-system two-measure run")
@@ -263,7 +319,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inter-die Vth sigma, mV")
     p.add_argument("--sigma-intra", type=float, default=6.0,
                    help="per-stage Vth mismatch sigma, mV")
+    _add_runtime_args(p)
     p.set_defaults(func=_cmd_yield)
+
+    p = sub.add_parser("cache",
+                       help="characterization result cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-psn)")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("faults",
                        help="stuck-at screening coverage study")

@@ -9,6 +9,13 @@ Two extraction methods are offered everywhere:
   that the full simulation stack realizes the analytic design).
 
 The test suite asserts the two agree to sub-millivolt precision.
+
+The slow ``"sim"`` path is embarrassingly parallel across (bit, delay
+code) pairs and deterministic (bisection, no RNG), so every sim-method
+entry point takes ``workers=`` (process-pool fan-out, bit-identical to
+serial) and ``cache=`` (on-disk memoization keyed by the design
+fingerprint + corner + code + brackets + tolerance) — see
+:mod:`repro.runtime`.  Both default to the serial, uncached behavior.
 """
 
 from __future__ import annotations
@@ -23,6 +30,14 @@ from repro.core.calibration import SensorDesign
 from repro.core.sensor import SenseRail, SensorBitHarness
 from repro.devices.technology import Technology
 from repro.errors import CharacterizationError, ConfigurationError
+from repro.runtime import (
+    ResultCache,
+    cached_map,
+    design_fingerprint,
+    resolve_cache,
+    stable_hash,
+    task_key,
+)
 
 Method = Literal["analytic", "sim"]
 
@@ -88,13 +103,66 @@ def _sim_threshold(design: SensorDesign, bit: int, code: int, *,
     return 0.5 * (lo + hi)
 
 
+def _sim_threshold_task(spec: tuple) -> float:
+    """Picklable adapter: one bisection from a task payload tuple."""
+    design, bit, code, rail, tech, v_lo, v_hi, tol = spec
+    return _sim_threshold(design, bit, code, rail=rail, tech=tech,
+                          v_lo=v_lo, v_hi=v_hi, tol=tol)
+
+
+def _solve_sim_thresholds(
+        tasks: Sequence[tuple[SensorDesign, int, int, float, float]], *,
+        rail: SenseRail,
+        tech: Technology | None,
+        tol: float,
+        workers: int | None,
+        cache: ResultCache | str | None) -> list[float]:
+    """Bisect many (design, bit, code, v_lo, v_hi) tasks, in order.
+
+    The shared fan-out/memoization engine behind every sim-method
+    sweep: cache lookups happen here in the parent process (so hit and
+    miss counters are authoritative), only the misses are dispatched —
+    serially or across a process pool — and results return in task
+    order, making the parallel path bit-identical to the serial one.
+    """
+    store = resolve_cache(cache)
+    keys = None
+    if store is not None:
+        tech_fp = None if tech is None else stable_hash(tech)
+        design_fps: dict[int, str] = {}
+        keys = []
+        for design, bit, code, v_lo, v_hi in tasks:
+            fp = design_fps.get(id(design))
+            if fp is None:
+                fp = design_fps[id(design)] = design_fingerprint(design)
+            keys.append(task_key("sim-threshold", fp, bit, code, rail,
+                                 tech_fp, v_lo, v_hi, tol))
+    specs = [
+        (design, bit, code, rail, tech, v_lo, v_hi, tol)
+        for design, bit, code, v_lo, v_hi in tasks
+    ]
+    return cached_map(_sim_threshold_task, specs, keys=keys,
+                      cache=store, workers=workers)
+
+
+def _sim_bracket(est: float, rail: SenseRail,
+                 bracket_pad: float) -> tuple[float, float]:
+    """Bisection bracket around one analytic estimate."""
+    v_lo = est - bracket_pad
+    if rail is SenseRail.GND:
+        v_lo = max(v_lo, 0.0)
+    return v_lo, est + bracket_pad
+
+
 def characterize_bit_thresholds(
         design: SensorDesign, code: int, *,
         rail: SenseRail = SenseRail.VDD,
         tech: Technology | None = None,
         method: Method = "analytic",
         tol: float = 0.5e-3,
-        bracket_pad: float = 0.15) -> tuple[float, ...]:
+        bracket_pad: float = 0.15,
+        workers: int | None = None,
+        cache: ResultCache | str | None = None) -> tuple[float, ...]:
     """Per-bit thresholds of an array under one delay code.
 
     Returns effective-supply thresholds for the VDD rail and rail
@@ -109,6 +177,10 @@ def characterize_bit_thresholds(
         tol: Bisection tolerance, volts (sim method).
         bracket_pad: Bisection bracket margin around the analytic
             estimate, volts (sim method).
+        workers: Process-pool size for the sim method (<= 1: serial).
+        cache: On-disk memoization for the sim method — a
+            :class:`~repro.runtime.ResultCache` or a cache directory;
+            ``None`` disables caching.
     """
     analytic = tuple(
         design.bit_threshold(b, code, tech)
@@ -121,30 +193,59 @@ def characterize_bit_thresholds(
         return analytic
     if method != "sim":
         raise ConfigurationError(f"unknown method {method!r}")
-    out = []
+    tasks = []
     for b, est in zip(range(1, design.n_bits + 1), analytic):
-        v_lo = est - bracket_pad
-        v_hi = est + bracket_pad
-        if rail is SenseRail.GND:
-            v_lo = max(v_lo, 0.0)
-        out.append(_sim_threshold(
-            design, b, code, rail=rail, tech=tech,
-            v_lo=v_lo, v_hi=v_hi, tol=tol,
-        ))
-    return tuple(out)
+        v_lo, v_hi = _sim_bracket(est, rail, bracket_pad)
+        tasks.append((design, b, code, v_lo, v_hi))
+    return tuple(_solve_sim_thresholds(
+        tasks, rail=rail, tech=tech, tol=tol,
+        workers=workers, cache=cache,
+    ))
 
 
 def characterize_array(design: SensorDesign,
                        codes: Sequence[int] = (1, 2, 3), *,
                        tech: Technology | None = None,
                        method: Method = "analytic",
+                       tol: float = 0.5e-3,
+                       bracket_pad: float = 0.15,
+                       workers: int | None = None,
+                       cache: ResultCache | str | None = None,
                        ) -> dict[int, ArrayCharacteristic]:
-    """Fig. 5: the multibit characteristic for several delay codes."""
-    out: dict[int, ArrayCharacteristic] = {}
-    for code in codes:
-        thresholds = characterize_bit_thresholds(
-            design, code, tech=tech, method=method,
+    """Fig. 5: the multibit characteristic for several delay codes.
+
+    With the sim method, the (bit, code) grid is characterized as one
+    flat task batch, so a process pool keeps every worker busy across
+    code boundaries instead of re-synchronizing per code.
+    """
+    per_code: dict[int, tuple[float, ...]] = {}
+    if method == "sim":
+        analytic = {
+            code: characterize_bit_thresholds(design, code, tech=tech)
+            for code in codes
+        }
+        tasks = []
+        for code in codes:
+            for b, est in zip(range(1, design.n_bits + 1),
+                              analytic[code]):
+                v_lo, v_hi = _sim_bracket(est, SenseRail.VDD,
+                                          bracket_pad)
+                tasks.append((design, b, code, v_lo, v_hi))
+        flat = _solve_sim_thresholds(
+            tasks, rail=SenseRail.VDD, tech=tech, tol=tol,
+            workers=workers, cache=cache,
         )
+        for k, code in enumerate(codes):
+            start = k * design.n_bits
+            per_code[code] = tuple(flat[start:start + design.n_bits])
+    else:
+        for code in codes:
+            per_code[code] = characterize_bit_thresholds(
+                design, code, tech=tech, method=method,
+                tol=tol, bracket_pad=bracket_pad,
+            )
+    out: dict[int, ArrayCharacteristic] = {}
+    for code, thresholds in per_code.items():
         table = tuple(decode_table(thresholds))
         out[code] = ArrayCharacteristic(
             code=code,
@@ -161,7 +262,10 @@ def threshold_vs_capacitance(
         code: int = 3,
         tech: Technology | None = None,
         method: Method = "analytic",
-        tol: float = 0.5e-3) -> list[tuple[float, float]]:
+        tol: float = 0.5e-3,
+        workers: int | None = None,
+        cache: ResultCache | str | None = None
+        ) -> list[tuple[float, float]]:
     """Fig. 4: failure threshold as a function of the DS trim cap.
 
     Args:
@@ -171,34 +275,40 @@ def threshold_vs_capacitance(
         tech: Corner technology.
         method: ``"analytic"`` or ``"sim"``.
         tol: Sim bisection tolerance, volts.
+        workers: Process-pool size for the sim method (<= 1: serial).
+        cache: On-disk memoization for the sim method (per probe cap).
 
     Returns:
         ``[(cap, threshold_v), ...]`` in the given cap order.
     """
     if not caps:
         raise ConfigurationError("caps must be non-empty")
-    results: list[tuple[float, float]] = []
+    if method not in ("analytic", "sim"):
+        raise ConfigurationError(f"unknown method {method!r}")
     inv = design.sensor_inverter(tech)
     ff = design.sense_flipflop(tech)
     window = design.effective_window(code, tech)
     d_pin = ff.pin("D").cap
+    analytic: list[float] = []
     for cap in caps:
         if cap <= 0:
             raise ConfigurationError("caps must be positive")
-        analytic = inv.model.supply_for_delay(window, cap + d_pin,
-                                              v_hi=3.0)
-        if method == "analytic":
-            results.append((cap, float(analytic)))
-            continue
-        if method != "sim":
-            raise ConfigurationError(f"unknown method {method!r}")
-        probe = design.with_load_caps((cap,))
-        v = _sim_threshold(
-            probe, 1, code, rail=SenseRail.VDD, tech=tech,
-            v_lo=analytic - 0.15, v_hi=analytic + 0.15, tol=tol,
-        )
-        results.append((cap, v))
-    return results
+        analytic.append(float(inv.model.supply_for_delay(
+            window, cap + d_pin, v_hi=3.0,
+        )))
+    if method == "analytic":
+        return list(zip(caps, analytic))
+    # One single-bit probe design per cap: the probe's load_caps land
+    # in its fingerprint, so every cap gets its own cache identity.
+    tasks = [
+        (design.with_load_caps((cap,)), 1, code, est - 0.15, est + 0.15)
+        for cap, est in zip(caps, analytic)
+    ]
+    thresholds = _solve_sim_thresholds(
+        tasks, rail=SenseRail.VDD, tech=tech, tol=tol,
+        workers=workers, cache=cache,
+    )
+    return list(zip(caps, thresholds))
 
 
 def linearity_report(points: Sequence[tuple[float, float]]

@@ -1,0 +1,53 @@
+"""repro.runtime — parallel execution and on-disk memoization.
+
+Characterization is embarrassingly parallel: per-bit threshold
+bisections are independent across (bit, delay code) pairs, Monte-Carlo
+yield studies are independent across sampled dies, and tester-style
+S-curve extraction is independent across stages.  This package supplies
+the two pieces every such sweep needs:
+
+* :mod:`repro.runtime.executor` — a process-pool fan-out
+  (:func:`map_tasks`) that preserves submission order, so a parallel
+  sweep reduces to *bit-identical* results vs. the serial loop;
+* :mod:`repro.runtime.cache` — an on-disk memoization cache
+  (:class:`ResultCache`) keyed by a stable content hash of the inputs
+  (design, corner technology, delay code, bisection tolerances), with
+  hit/miss/error counters and graceful recovery from corrupt entries.
+
+Everything above it (``repro.core.characterization``,
+``repro.analysis.yield_study``, ``repro.analysis.repeatability``, the
+benches and the CLI) takes ``workers=`` / ``cache=`` keyword arguments
+that default to today's serial, uncached behavior.
+
+This module sits *below* ``repro.core``/``repro.analysis`` in the layer
+diagram: it may import only the error types and the standard library,
+so any layer can use it without cycles.
+"""
+
+from repro.runtime.cache import (
+    ResultCache,
+    default_cache_dir,
+    design_fingerprint,
+    resolve_cache,
+    stable_hash,
+    task_key,
+)
+from repro.runtime.executor import (
+    cached_map,
+    env_workers,
+    map_tasks,
+    resolve_workers,
+)
+
+__all__ = [
+    "ResultCache",
+    "cached_map",
+    "default_cache_dir",
+    "design_fingerprint",
+    "env_workers",
+    "map_tasks",
+    "resolve_cache",
+    "resolve_workers",
+    "stable_hash",
+    "task_key",
+]

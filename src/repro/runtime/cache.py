@@ -1,0 +1,253 @@
+"""On-disk memoization for characterization sweeps.
+
+Design goals, in order:
+
+1. **Correct keys.**  A cache entry must never be served for different
+   physics.  Keys are SHA-256 digests of a *canonical token tree* built
+   from the inputs: every float is rendered with ``float.hex()`` (exact,
+   locale-independent), dataclasses contribute their type name and every
+   field, enums their class and member name.  Two designs that differ in
+   any calibrated constant — or in the bisection tolerance — hash apart.
+2. **Graceful degradation.**  A corrupt or truncated entry (killed
+   process, disk hiccup, version skew) is treated as a miss: the value
+   is recomputed, the bad file replaced, and the ``errors`` counter
+   bumped.  The cache can only make a run faster, never wrong.
+3. **Observable.**  Hit/miss/error counters live on the
+   :class:`ResultCache` instance and are exposed through
+   :meth:`ResultCache.stats` and the ``repro cache`` CLI subcommand —
+   they are how the test suite proves a warm rerun did zero bisections.
+
+Entries are one pickle file per key under the cache root, written
+atomically (temp file + ``os.replace``) so concurrent writers at worst
+waste a compute, never tear an entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+#: Bump to invalidate every entry written by older layouts/semantics.
+CACHE_SCHEMA = "repro-cache/v1"
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# -- canonical hashing ---------------------------------------------------------
+
+
+def _tokens(obj: Any) -> Iterator[str]:
+    """Yield a canonical, order-stable token stream for ``obj``.
+
+    Supported: None/bool/int/str/bytes, floats (exact via ``hex()``),
+    enums, dataclasses, and mappings/sequences of the above.  Anything
+    else is rejected loudly — silently falling back to ``repr`` would
+    risk serving stale entries for objects whose repr elides state.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        yield f"{type(obj).__name__}:{obj!r}"
+    elif isinstance(obj, float):
+        yield f"float:{obj.hex()}"
+    elif isinstance(obj, bytes):
+        yield f"bytes:{obj.hex()}"
+    elif isinstance(obj, enum.Enum):
+        yield f"enum:{type(obj).__name__}.{obj.name}"
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        yield f"dataclass:{type(obj).__name__}("
+        for field in dataclasses.fields(obj):
+            yield f"{field.name}="
+            yield from _tokens(getattr(obj, field.name))
+        yield ")"
+    elif isinstance(obj, dict):
+        yield "dict("
+        for key in sorted(obj, key=repr):
+            yield from _tokens(key)
+            yield "->"
+            yield from _tokens(obj[key])
+        yield ")"
+    elif isinstance(obj, (tuple, list)):
+        yield f"{type(obj).__name__}("
+        for item in obj:
+            yield from _tokens(item)
+        yield ")"
+    else:
+        raise ConfigurationError(
+            f"cannot build a stable cache key from {type(obj).__name__!r}"
+        )
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical token stream of ``obj``."""
+    digest = hashlib.sha256()
+    for token in _tokens(obj):
+        digest.update(token.encode())
+        digest.update(b"\x1f")  # unit separator: no token-boundary aliasing
+    return digest.hexdigest()
+
+
+def design_fingerprint(design: Any) -> str:
+    """Stable fingerprint of a :class:`~repro.core.calibration.SensorDesign`.
+
+    Covers every calibrated constant (the nested
+    :class:`~repro.devices.technology.Technology` included), so any
+    refit, corner, or ablation (``with_load_caps``) changes the
+    fingerprint and misses the cache.
+    """
+    return stable_hash(design)
+
+
+def task_key(kind: str, *parts: Any) -> str:
+    """Cache key for one memoized task.
+
+    Args:
+        kind: Task family tag, e.g. ``"sim-threshold"``; versioned
+            alongside :data:`CACHE_SCHEMA` so semantics changes can
+            invalidate one family at a time.
+        parts: Hashable-by-:func:`stable_hash` inputs of the task.
+    """
+    return stable_hash((CACHE_SCHEMA, kind, parts))
+
+
+# -- the cache -----------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk location: ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro-psn``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-psn"
+
+
+class ResultCache:
+    """A directory of pickled results, one file per key.
+
+    Attributes:
+        root: Cache directory (created on first use).
+        hits: Lookups served from disk by this instance.
+        misses: Lookups that fell through to compute.
+        errors: Entries found corrupt and discarded.
+    """
+
+    def __init__(self, root: str | os.PathLike[str] | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None \
+            else default_cache_dir()
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigurationError(
+                f"cache dir {str(self.root)!r} exists and is not a "
+                f"directory"
+            )
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+
+    # -- storage ----------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit; ``(False, None)`` otherwise.
+
+        A corrupt entry counts as a miss (plus ``errors``) and is
+        deleted so the follow-up :meth:`put` starts clean.
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Truncated pickle, wrong protocol, unreadable file, a
+            # class that no longer unpickles: recompute, don't crash.
+            self.errors += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Serve ``key`` from disk, or compute, store, and return."""
+        hit, value = self.get(key)
+        if hit:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    # -- maintenance ------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Entry files currently on disk (may be empty)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Counters plus on-disk footprint, for tests and the CLI."""
+        entries = self.entries()
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": self.errors,
+        }
+
+
+def resolve_cache(cache: "ResultCache | str | os.PathLike[str] | None"
+                  ) -> ResultCache | None:
+    """Normalize a ``cache=`` argument.
+
+    ``None`` stays ``None`` (caching off — the serial-era default);
+    a path-like opens a :class:`ResultCache` there; an existing
+    :class:`ResultCache` passes through so callers can share counters
+    across calls.
+    """
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -1,0 +1,140 @@
+"""Process-pool fan-out with serial-identical semantics.
+
+:func:`map_tasks` is the single primitive every sweep builds on.  Its
+contract is deliberately stronger than "run these concurrently":
+
+* **Order preservation** — results come back in submission order
+  (``ProcessPoolExecutor.map``), so a reducer that folds them in a
+  loop sees *exactly* the operand sequence of the serial code path,
+  and floating-point reductions stay bit-identical.
+* **Determinism** — tasks must be pure functions of their argument
+  tuple.  Anything seeded derives its seed from the task payload
+  (die index, bit number), never from pool scheduling.
+* **Serial fallback** — ``workers=None``/``0``/``1`` runs the plain
+  list comprehension in-process: no pool, no pickling, no behavior
+  change for existing callers.
+
+Worker callables must be module-level (picklable).  The wired sweeps
+each define a tiny ``_*_task`` adapter next to the physics they call.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache, resolve_cache
+
+#: Environment variable for sweeps without an explicit ``workers=``
+#: (benches, examples): unset/empty means serial.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers=`` argument to a concrete pool size.
+
+    ``None``, ``0`` and ``1`` mean serial; a negative count means "all
+    cores" (``os.cpu_count()``); anything else is taken literally.
+    """
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return max(os.cpu_count() or 1, 1)
+    return int(workers)
+
+
+def env_workers(default: int | None = None) -> int | None:
+    """Worker count requested via ``$REPRO_WORKERS``, else ``default``.
+
+    Benches and examples use this so ``REPRO_WORKERS=8 pytest
+    benchmarks`` parallelizes without touching call sites.  Invalid
+    values raise rather than silently running serial.
+    """
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"${WORKERS_ENV}={raw!r} is not an integer worker count"
+        ) from None
+
+
+def map_tasks(fn: Callable[[_T], _R], items: Iterable[_T], *,
+              workers: int | None = None,
+              chunksize: int = 1) -> list[_R]:
+    """``[fn(x) for x in items]``, optionally across a process pool.
+
+    Results are returned in input order regardless of completion
+    order, which is what keeps parallel sweeps bit-identical to their
+    serial counterparts (see module docstring).
+
+    Args:
+        fn: Module-level pure function of one task payload.
+        items: Task payloads (materialized once, in order).
+        workers: Pool size per :func:`resolve_workers`; <= 1 runs
+            serial in-process.
+        chunksize: Payload batching for the pool (latency knob only).
+    """
+    payloads: Sequence[_T] = list(items)
+    n = min(resolve_workers(workers), len(payloads))
+    if n <= 1:
+        return [fn(item) for item in payloads]
+    with ProcessPoolExecutor(max_workers=n) as pool:
+        return list(pool.map(fn, payloads, chunksize=max(1, chunksize)))
+
+
+def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
+               keys: Sequence[str] | None = None,
+               cache: "ResultCache | str | os.PathLike[str] | None" = None,
+               workers: int | None = None,
+               chunksize: int = 1) -> list[_R]:
+    """:func:`map_tasks` with per-item on-disk memoization.
+
+    Every memoized sweep in the repo reduces to this: look each item's
+    key up in the parent process (so the cache's hit/miss counters are
+    authoritative), fan only the misses out to the pool, then stitch
+    hits and fresh results back together in submission order — which
+    keeps the cached/parallel result bit-identical to the direct serial
+    one.
+
+    Args:
+        fn: Module-level pure function of one task payload.
+        items: Task payloads.
+        keys: One stable cache key per item (see
+            :func:`repro.runtime.cache.task_key`); ``None`` disables
+            memoization even when ``cache`` is given.
+        cache: A :class:`ResultCache`, a cache directory, or ``None``
+            (no memoization).
+        workers: Pool size for the misses (<= 1: serial in-process).
+        chunksize: Payload batching for the pool.
+    """
+    store = resolve_cache(cache)
+    payloads: Sequence[_T] = list(items)
+    if store is None or keys is None:
+        return map_tasks(fn, payloads, workers=workers,
+                         chunksize=chunksize)
+    if len(keys) != len(payloads):
+        raise ConfigurationError(
+            f"got {len(keys)} cache keys for {len(payloads)} items"
+        )
+    results: list[Any] = [None] * len(payloads)
+    pending: list[tuple[int, _T]] = []
+    for i, (item, key) in enumerate(zip(payloads, keys)):
+        hit, value = store.get(key)
+        if hit:
+            results[i] = value
+        else:
+            pending.append((i, item))
+    computed = map_tasks(fn, [item for _, item in pending],
+                         workers=workers, chunksize=chunksize)
+    for (i, _), value in zip(pending, computed):
+        results[i] = value
+        store.put(keys[i], value)
+    return results

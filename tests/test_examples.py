@@ -1,14 +1,30 @@
 """Example scripts must run clean — they are the living documentation."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+REPO = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def _env_with_repro():
+    """The subprocess env, with ``src/`` importable.
+
+    The examples import ``repro`` like any user script; when the test
+    run itself resolves the package from the source tree (no installed
+    dist), the child process must inherit that path explicitly.
+    """
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join(
+        (src, existing)
+    )
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
@@ -19,6 +35,7 @@ def test_example_runs_clean(script, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,  # examples must not depend on the repo cwd
+        env=_env_with_repro(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "example produced no output"

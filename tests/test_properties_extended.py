@@ -1,5 +1,8 @@
 """Property-based tests over the newer subsystems."""
 
+import functools
+import tempfile
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -8,8 +11,10 @@ from repro.analysis.converter_metrics import linearity
 from repro.analysis.thermometer import ThermometerWord
 from repro.core.autorange import AutoRangingMeter
 from repro.core.calibration import paper_design
+from repro.core.characterization import characterize_bit_thresholds
 from repro.core.scan_register import ScanRegisterHarness
 from repro.psn.grid import IRDropGrid
+from repro.runtime import ResultCache
 
 
 # -- scan register: capture/shift is exact reversal ---------------------------
@@ -106,6 +111,55 @@ def test_shift_invariance_of_metrics(ladder, shift):
     b = linearity([x + shift for x in ladder])
     assert a.max_dnl == pytest.approx(b.max_dnl, abs=1e-9)
     assert a.max_inl == pytest.approx(b.max_inl, abs=1e-9)
+
+
+# -- runtime paths preserve the characterization invariants -------------------
+
+@functools.lru_cache(maxsize=None)
+def _runtime_ladder(code):
+    """One code's sim ladder via every runtime path, checked equal.
+
+    Computes the sim-method thresholds directly, through a process
+    pool, and through a cold-then-warm cache; asserts all four are
+    bit-identical and returns the ladder for the property tests below.
+    """
+    design = paper_design()
+    direct = characterize_bit_thresholds(design, code, method="sim")
+    parallel = characterize_bit_thresholds(design, code, method="sim",
+                                           workers=2)
+    with tempfile.TemporaryDirectory() as td:
+        cache = ResultCache(td)
+        cold = characterize_bit_thresholds(design, code, method="sim",
+                                           cache=cache)
+        warm = characterize_bit_thresholds(design, code, method="sim",
+                                           workers=2, cache=cache)
+        assert cache.hits == design.n_bits  # warm pass was all hits
+    assert direct == parallel == cold == warm
+    return direct
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=7))
+def test_threshold_ordering_holds_on_runtime_paths(code):
+    """Strictly increasing per-bit thresholds — the property the
+    thermometer's decode rests on — survives pooling and caching."""
+    ladder = _runtime_ladder(code)
+    assert all(b > a for a, b in zip(ladder, ladder[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=7),
+       st.floats(min_value=0.6, max_value=1.3),
+       st.floats(min_value=0.6, max_value=1.3))
+def test_thermometer_words_monotone_on_runtime_paths(code, va, vb):
+    """Words read off a pooled/cached ladder are valid thermometer
+    codes whose ones-count is monotone in the applied supply."""
+    ladder = _runtime_ladder(code)
+    lo, hi = sorted((va, vb))
+    w_lo = ThermometerWord(tuple(1 if lo > t else 0 for t in ladder))
+    w_hi = ThermometerWord(tuple(1 if hi > t else 0 for t in ladder))
+    assert w_lo.is_valid_thermometer and w_hi.is_valid_thermometer
+    assert w_lo.ones <= w_hi.ones
 
 
 # -- thermometer/encoder duality ---------------------------------------------------
