@@ -1,0 +1,184 @@
+"""A12 — chaos campaign: the sweep runtime under injected faults.
+
+The resilience claim is end-to-end: a characterization sweep should
+survive *worker kills* (OOM/segfault), *vandalized cache entries*
+(killed writer, disk hiccup) and a *stuck-at sensor stage* — and
+still produce results bit-identical to a clean serial run on every
+surviving bit.  This bench stages exactly that drill, seeded and
+reproducible:
+
+1. a serial, cached sim-threshold sweep seeds the on-disk cache and
+   fixes the clean reference values;
+2. :class:`~repro.runtime.chaos.ChaosMonkey` corrupts a subset of the
+   cache entries (truncate / garble / zero);
+3. the sweep reruns with ``workers=2, retries=2,
+   failure_policy="partial"`` while a
+   :class:`~repro.runtime.chaos.KillOnceTask` SIGKILLs the worker of
+   one recomputed task on its first attempt;
+4. separately, a stuck-at fault is injected into the event-driven
+   array, caught by the production screen, and the word is re-decoded
+   in degraded mode with the suspect stages masked.
+
+The acceptance bar: chaos results == clean results (bit-identical),
+every corrupted entry healed on disk, the crash recovered within the
+retry budget, and the degraded decode still brackets the clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from benchmarks._report import emit, fmt_rows
+from repro.core.array import SensorArray
+from repro.core.characterization import _sim_bracket, _sim_threshold_task
+from repro.core.degraded import DegradedArray
+from repro.core.faults import FaultInjector, FaultType, screen_suspects
+from repro.core.sensor import SenseRail
+from repro.runtime import (
+    ChaosMonkey,
+    KillOnceTask,
+    ResultCache,
+    RunStats,
+    design_fingerprint,
+    resilient_cached_map,
+    task_key,
+)
+from repro.runtime.chaos import enumerate_for
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Outcome of one chaos campaign.
+
+    Attributes:
+        n_tasks: Sweep size (one sim-threshold bisection per bit).
+        corrupted: Cache entries vandalized before the chaos run.
+        kill_index: Task whose first recompute attempt killed its
+            worker.
+        stats: Runtime counters of the chaos run.
+        identical: Chaos results == clean serial results, bitwise.
+        healed: Every corrupted entry reads back cleanly afterwards.
+        masked_bits: Stages the production screen implicated.
+        clean_range: Decoded range of the healthy array at the probe
+            level.
+        degraded_range: Masked-decode range at the same level.
+    """
+
+    n_tasks: int
+    corrupted: int
+    kill_index: int
+    stats: RunStats
+    identical: bool
+    healed: bool
+    masked_bits: tuple[int, ...]
+    clean_range: tuple[float, float]
+    degraded_range: tuple[float, float]
+
+
+def _threshold_specs(design, code: int, tol: float) -> list[tuple]:
+    """The (design, bit, code, rail, tech, v_lo, v_hi, tol) payloads a
+    sim-method sweep dispatches (mirrors ``_solve_sim_thresholds``)."""
+    specs = []
+    for b in range(1, design.n_bits + 1):
+        est = design.bit_threshold(b, code)
+        v_lo, v_hi = _sim_bracket(est, SenseRail.VDD, 0.15)
+        specs.append((design, b, code, SenseRail.VDD, None,
+                      v_lo, v_hi, tol))
+    return specs
+
+
+def run_campaign(design, work_dir, *, code: int = 3,
+                 tol: float = 5e-3, n_corrupt: int = 2,
+                 seed: int = 1337) -> CampaignReport:
+    """Stage the full drill; see the module docstring for the plot."""
+    work_dir = str(work_dir)
+    specs = _threshold_specs(design, code, tol)
+    fp = design_fingerprint(design)
+    keys = [task_key("chaos-threshold", fp, b, code, tol)
+            for b in range(1, design.n_bits + 1)]
+
+    # 1. Clean serial seed run: reference values + warm cache.
+    cache = ResultCache(f"{work_dir}/cache")
+    clean = resilient_cached_map(
+        _sim_threshold_task, specs, keys=keys, cache=cache,
+    ).results
+
+    # 2. Vandalize entries; map the victim files back to task indices
+    #    so the worker kill targets a task that will actually recompute
+    #    (cache hits never reach the pool).
+    monkey = ChaosMonkey(seed)
+    victims = monkey.corrupt_cache(cache, n_entries=n_corrupt)
+    by_path = {str(cache._path(k)): i for i, k in enumerate(keys)}
+    miss_indices = sorted(by_path[str(p)] for p in victims)
+    kill_index = miss_indices[0]
+
+    # 3. Chaos rerun: two workers, one kill, bounded retries.
+    killer = KillOnceTask(fn=_sim_threshold_task,
+                          kill_indices=frozenset({kill_index}),
+                          marker_dir=work_dir)
+    chaos_cache = ResultCache(cache.root)
+    outcome = resilient_cached_map(
+        killer, enumerate_for(specs), keys=keys, cache=chaos_cache,
+        workers=2, retries=2, failure_policy="partial",
+    )
+    identical = outcome.results == clean and not outcome.failures
+
+    # Healing: every victim entry must read back as a clean hit now.
+    probe = ResultCache(cache.root)
+    healed = all(probe.get(keys[i]) == (True, clean[i])
+                 for i in miss_indices)
+
+    # 4. Stuck-at stage -> screen -> masked decode.
+    injector = FaultInjector(design)
+    injector.inject(FaultType.OUT_STUCK_FAIL, 2)
+    masked = screen_suspects(injector, code=code)
+    array = SensorArray(design)
+    ladder = array.supply_thresholds(code)
+    level = 0.5 * (ladder[2] + ladder[3])
+    clean_rng = array.decode(array.measure(code, vdd_n=level).word,
+                             code, strict=False)
+    degraded = DegradedArray(design, masked).measure(code, vdd_n=level)
+
+    return CampaignReport(
+        n_tasks=len(specs),
+        corrupted=len(victims),
+        kill_index=kill_index,
+        stats=outcome.stats,
+        identical=identical,
+        healed=healed,
+        masked_bits=masked,
+        clean_range=(clean_rng.lo, clean_rng.hi),
+        degraded_range=(degraded.decoded.lo, degraded.decoded.hi),
+    )
+
+
+def test_chaos_campaign(design, tmp_path):
+    rep = run_campaign(design, tmp_path)
+    s = rep.stats
+    rows = [
+        ["tasks", str(rep.n_tasks)],
+        ["cache entries corrupted", str(rep.corrupted)],
+        ["worker killed on task", str(rep.kill_index)],
+        ["crashes / pool rebuilds", f"{s.crashes} / {s.pool_rebuilds}"],
+        ["retries spent", str(s.retries)],
+        ["cache hits / misses", f"{s.cache_hits} / {s.cache_misses}"],
+        ["bit-identical to clean run", str(rep.identical)],
+        ["corrupted entries healed", str(rep.healed)],
+        ["stages masked by screen", str(rep.masked_bits)],
+    ]
+    emit("chaos_campaign", fmt_rows(["drill", "outcome"], rows) + (
+        f"\nclean decode    ({rep.clean_range[0]:.4f}, "
+        f"{rep.clean_range[1]:.4f}] V"
+        f"\ndegraded decode ({rep.degraded_range[0]:.4f}, "
+        f"{rep.degraded_range[1]:.4f}] V"
+        "\nshape: kills + corrupt cache + stuck stage; the sweep "
+        "completes, heals, and stays bit-identical on surviving bits"
+    ))
+    assert rep.identical
+    assert rep.healed
+    assert s.crashes >= 1 and s.pool_rebuilds >= 1
+    assert 2 in rep.masked_bits
+    # The degraded range must still contain the clean one (correct,
+    # merely wider where masked rungs used to split it).
+    assert rep.degraded_range[0] <= rep.clean_range[0]
+    assert rep.degraded_range[1] >= rep.clean_range[1]

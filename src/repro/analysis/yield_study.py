@@ -185,7 +185,10 @@ def run_yield_study(design: "SensorDesign",
                     supplies: np.ndarray | None = None,
                     seed: int = 2024,
                     workers: int | None = None,
-                    cache: "ResultCache | str | None" = None
+                    cache: "ResultCache | str | None" = None,
+                    retries: int = 0,
+                    task_timeout: float | None = None,
+                    failure_policy: str = "raise"
                     ) -> YieldReport:
     """Sample a lot and score the array under mismatch.
 
@@ -207,6 +210,12 @@ def run_yield_study(design: "SensorDesign",
         cache: On-disk memoization of per-die scores — a
             :class:`~repro.runtime.ResultCache` or a cache directory;
             ``None`` disables caching.
+        retries / task_timeout / failure_policy: Resilience options
+            (see :func:`repro.runtime.map_tasks`).  Under ``"partial"``
+            dies whose scoring failed through the retry budget are
+            dropped from the lot statistics (``n_dies`` in the report
+            reflects the *scored* dies); every-die failure raises
+            :class:`ConfigurationError`.
     """
     if n_dies < 1:
         raise ConfigurationError("n_dies must be positive")
@@ -229,20 +238,30 @@ def run_yield_study(design: "SensorDesign",
             task_key("die-score", fp, sample, code, supply_grid)
             for sample in lot
         ]
-    scores: list[_DieScore] = cached_map(
+    out = cached_map(
         _score_die_task,
         [(design, sample, code, supply_grid, nominal_ladder)
          for sample in lot],
-        keys=keys, cache=store, workers=workers,
+        keys=keys, cache=store, workers=workers, retries=retries,
+        task_timeout=task_timeout, failure_policy=failure_policy,
     )
+    scores: list[_DieScore] = (
+        [s for s in out.results if s is not None]
+        if failure_policy == "partial" else out
+    )
+    if not scores:
+        raise ConfigurationError(
+            "every die failed scoring; nothing to report"
+        )
+    n_scored = len(scores)
 
     per_bit = np.array([s.thresholds for s in scores])
-    total_evals = n_dies * len(supply_grid)
+    total_evals = n_scored * len(supply_grid)
     errors = [e for s in scores for e in s.errors]
     return YieldReport(
-        n_dies=n_dies,
+        n_dies=n_scored,
         threshold_sigma=tuple(float(s) for s in np.std(per_bit, axis=0)),
-        monotone_fraction=sum(s.monotone for s in scores) / n_dies,
+        monotone_fraction=sum(s.monotone for s in scores) / n_scored,
         bubble_rate=sum(s.bubbled for s in scores) / total_evals,
         bracket_rate=sum(s.bracketed for s in scores) / total_evals,
         bracket_rate_calibrated=(

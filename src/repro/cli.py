@@ -15,7 +15,11 @@ without writing any Python:
 Characterization sweeps (``fig4``, ``fig5``, ``yield``) accept
 ``--workers N`` (process-pool fan-out, bit-identical to serial) and
 ``--cache-dir PATH`` (on-disk memoization) via :mod:`repro.runtime`;
-``$REPRO_WORKERS`` sets the default pool size.
+``$REPRO_WORKERS`` sets the default pool size.  The fault-tolerance
+flags ``--retries``, ``--task-timeout`` and ``--failure-policy``
+(see :mod:`repro.runtime.resilient`) let long sweeps survive worker
+crashes, stuck tasks and flaky failures; an unusable ``--cache-dir``
+degrades to an uncached run with a warning.
 """
 
 from __future__ import annotations
@@ -34,15 +38,39 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
                         "(default: $REPRO_WORKERS or serial)")
     p.add_argument("--cache-dir", default=None,
                    help="memoize sweep results in this directory")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts per failed task (exponential "
+                        "backoff with deterministic jitter)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task wall-clock budget; stuck workers "
+                        "are killed and the task retried")
+    p.add_argument("--failure-policy", choices=("raise", "partial"),
+                   default="raise",
+                   help="'raise' aborts on the first exhausted task "
+                        "(default); 'partial' completes the sweep and "
+                        "reports failed slots")
 
 
 def _runtime_kwargs(args: argparse.Namespace) -> dict:
-    """``workers=``/``cache=`` keywords from parsed runtime flags."""
-    from repro.runtime import ResultCache, env_workers
+    """Runtime keywords from parsed flags.
+
+    An unusable ``--cache-dir`` (not a directory, unwritable,
+    read-only filesystem) warns and runs the sweep uncached instead
+    of crashing — caching is an accelerator, never a requirement.
+    """
+    from repro.runtime import env_workers, resolve_cache
 
     workers = args.workers if args.workers is not None else env_workers()
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    return {"workers": workers, "cache": cache}
+    cache = resolve_cache(args.cache_dir, strict=False) \
+        if args.cache_dir else None
+    return {
+        "workers": workers,
+        "cache": cache,
+        "retries": args.retries,
+        "task_timeout": args.task_timeout,
+        "failure_policy": args.failure_policy,
+    }
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -96,7 +124,8 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     )
     print("C [pF]   threshold [V]")
     for c, v in points:
-        print(f"{to_pf(c):>6.2f}   {v:.4f}")
+        shown = "FAILED" if v is None else f"{v:.4f}"
+        print(f"{to_pf(c):>6.2f}   {shown}")
     return 0
 
 
@@ -112,6 +141,9 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     for code, ch in chars.items():
         print(f"delay code {code:03b}: dynamic {ch.v_min:.3f} .. "
               f"{ch.v_max:.3f} V")
+        if ch.masked_bits:
+            print(f"  DEGRADED: bits {ch.masked_bits} failed "
+                  f"characterization and are masked")
         for word, rng in ch.table:
             lo = "-inf " if rng.lo == float("-inf") else f"{rng.lo:.4f}"
             hi = "+inf " if rng.hi == float("inf") else f"{rng.hi:.4f}"

@@ -122,6 +122,22 @@ class SensorArray:
         """Convenience: the MSB-first word string at a rail level."""
         return self.measure(code, vdd_n=vdd_n, gnd_n=gnd_n).word.to_string()
 
+    def masked(self, masked_bits):
+        """A degraded-mode view of this array with stages excluded.
+
+        Args:
+            masked_bits: 1-based stages to drop (e.g. the suspects a
+                production screen implicated).
+
+        Returns:
+            A :class:`~repro.core.degraded.DegradedArray` sharing this
+            array's design, rail and corner.
+        """
+        from repro.core.degraded import DegradedArray
+
+        return DegradedArray(self.design, masked_bits, self.rail,
+                             self.tech)
+
 
 class SensorArrayHarness:
     """Event-driven N-bit array (shared P/CP, per-bit DS and OUT).

@@ -49,10 +49,16 @@ class ArrayCharacteristic:
     Attributes:
         code: Delay code 0..7.
         thresholds: Per-bit effective-supply thresholds, ascending, V.
+            Under ``failure_policy="partial"`` these are the
+            *surviving* rungs only (see ``masked_bits``).
         v_min: "All errors" endpoint (supply below which every stage
             fails) — the low end of the paper's Fig. 5 dynamic.
         v_max: "No errors" endpoint.
         table: (word, decoded range) rows from all-fail to all-pass.
+        masked_bits: 1-based bits whose characterization failed and
+            were excluded from the ladder (empty for a full sweep) —
+            the degraded-mode analogue of
+            :class:`~repro.core.degraded.DegradedArray` masking.
     """
 
     code: int
@@ -60,6 +66,7 @@ class ArrayCharacteristic:
     v_min: float
     v_max: float
     table: tuple[tuple[str, VoltageRange], ...]
+    masked_bits: tuple[int, ...] = ()
 
     def word_at(self, v: float) -> str:
         """The word the array outputs at an effective supply level."""
@@ -116,7 +123,10 @@ def _solve_sim_thresholds(
         tech: Technology | None,
         tol: float,
         workers: int | None,
-        cache: ResultCache | str | None) -> list[float]:
+        cache: ResultCache | str | None,
+        retries: int = 0,
+        task_timeout: float | None = None,
+        failure_policy: str = "raise") -> list[float | None]:
     """Bisect many (design, bit, code, v_lo, v_hi) tasks, in order.
 
     The shared fan-out/memoization engine behind every sim-method
@@ -124,6 +134,11 @@ def _solve_sim_thresholds(
     miss counters are authoritative), only the misses are dispatched —
     serially or across a process pool — and results return in task
     order, making the parallel path bit-identical to the serial one.
+
+    Resilience: ``retries``/``task_timeout``/``failure_policy`` go
+    straight to :func:`repro.runtime.cached_map`.  Under ``"partial"``
+    a task that exhausts its budget leaves ``None`` in its slot
+    instead of aborting the sweep.
     """
     store = resolve_cache(cache)
     keys = None
@@ -141,8 +156,13 @@ def _solve_sim_thresholds(
         (design, bit, code, rail, tech, v_lo, v_hi, tol)
         for design, bit, code, v_lo, v_hi in tasks
     ]
-    return cached_map(_sim_threshold_task, specs, keys=keys,
-                      cache=store, workers=workers)
+    out = cached_map(_sim_threshold_task, specs, keys=keys,
+                     cache=store, workers=workers, retries=retries,
+                     task_timeout=task_timeout,
+                     failure_policy=failure_policy)
+    # "partial" returns a MapOutcome; the sweeps only need the
+    # positional results (failed slots are None).
+    return out.results if failure_policy == "partial" else out
 
 
 def _sim_bracket(est: float, rail: SenseRail,
@@ -162,7 +182,10 @@ def characterize_bit_thresholds(
         tol: float = 0.5e-3,
         bracket_pad: float = 0.15,
         workers: int | None = None,
-        cache: ResultCache | str | None = None) -> tuple[float, ...]:
+        cache: ResultCache | str | None = None,
+        retries: int = 0,
+        task_timeout: float | None = None,
+        failure_policy: str = "raise") -> tuple[float | None, ...]:
     """Per-bit thresholds of an array under one delay code.
 
     Returns effective-supply thresholds for the VDD rail and rail
@@ -181,6 +204,10 @@ def characterize_bit_thresholds(
         cache: On-disk memoization for the sim method — a
             :class:`~repro.runtime.ResultCache` or a cache directory;
             ``None`` disables caching.
+        retries / task_timeout / failure_policy: Resilience options
+            for the sim method (see :func:`repro.runtime.map_tasks`);
+            under ``"partial"`` a bit whose bisection kept failing
+            reports ``None`` instead of aborting the sweep.
     """
     analytic = tuple(
         design.bit_threshold(b, code, tech)
@@ -199,7 +226,8 @@ def characterize_bit_thresholds(
         tasks.append((design, b, code, v_lo, v_hi))
     return tuple(_solve_sim_thresholds(
         tasks, rail=rail, tech=tech, tol=tol,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, retries=retries,
+        task_timeout=task_timeout, failure_policy=failure_policy,
     ))
 
 
@@ -211,14 +239,25 @@ def characterize_array(design: SensorDesign,
                        bracket_pad: float = 0.15,
                        workers: int | None = None,
                        cache: ResultCache | str | None = None,
+                       retries: int = 0,
+                       task_timeout: float | None = None,
+                       failure_policy: str = "raise",
                        ) -> dict[int, ArrayCharacteristic]:
     """Fig. 5: the multibit characteristic for several delay codes.
 
     With the sim method, the (bit, code) grid is characterized as one
     flat task batch, so a process pool keeps every worker busy across
     code boundaries instead of re-synchronizing per code.
+
+    Under ``failure_policy="partial"``, bits whose bisection failed
+    through the whole retry budget are *masked*: the characteristic is
+    built from the surviving rungs only (a shorter, still strictly
+    ascending ladder — the degraded-mode decode of
+    :mod:`repro.core.degraded`) and the dropped bits are listed in
+    :attr:`ArrayCharacteristic.masked_bits`.  A code whose every bit
+    failed raises :class:`CharacterizationError` even then.
     """
-    per_code: dict[int, tuple[float, ...]] = {}
+    per_code: dict[int, tuple[float | None, ...]] = {}
     if method == "sim":
         analytic = {
             code: characterize_bit_thresholds(design, code, tech=tech)
@@ -233,7 +272,8 @@ def characterize_array(design: SensorDesign,
                 tasks.append((design, b, code, v_lo, v_hi))
         flat = _solve_sim_thresholds(
             tasks, rail=SenseRail.VDD, tech=tech, tol=tol,
-            workers=workers, cache=cache,
+            workers=workers, cache=cache, retries=retries,
+            task_timeout=task_timeout, failure_policy=failure_policy,
         )
         for k, code in enumerate(codes):
             start = k * design.n_bits
@@ -245,7 +285,14 @@ def characterize_array(design: SensorDesign,
                 tol=tol, bracket_pad=bracket_pad,
             )
     out: dict[int, ArrayCharacteristic] = {}
-    for code, thresholds in per_code.items():
+    for code, raw in per_code.items():
+        masked = tuple(b for b, t in enumerate(raw, start=1)
+                       if t is None)
+        thresholds = tuple(t for t in raw if t is not None)
+        if not thresholds:
+            raise CharacterizationError(
+                f"code {code}: every bit failed characterization"
+            )
         table = tuple(decode_table(thresholds))
         out[code] = ArrayCharacteristic(
             code=code,
@@ -253,6 +300,7 @@ def characterize_array(design: SensorDesign,
             v_min=thresholds[0],
             v_max=thresholds[-1],
             table=table,
+            masked_bits=masked,
         )
     return out
 
@@ -264,8 +312,11 @@ def threshold_vs_capacitance(
         method: Method = "analytic",
         tol: float = 0.5e-3,
         workers: int | None = None,
-        cache: ResultCache | str | None = None
-        ) -> list[tuple[float, float]]:
+        cache: ResultCache | str | None = None,
+        retries: int = 0,
+        task_timeout: float | None = None,
+        failure_policy: str = "raise"
+        ) -> list[tuple[float, float | None]]:
     """Fig. 4: failure threshold as a function of the DS trim cap.
 
     Args:
@@ -277,6 +328,9 @@ def threshold_vs_capacitance(
         tol: Sim bisection tolerance, volts.
         workers: Process-pool size for the sim method (<= 1: serial).
         cache: On-disk memoization for the sim method (per probe cap).
+        retries / task_timeout / failure_policy: Resilience options
+            (see :func:`repro.runtime.map_tasks`); under ``"partial"``
+            a failed probe reports ``(cap, None)``.
 
     Returns:
         ``[(cap, threshold_v), ...]`` in the given cap order.
@@ -306,7 +360,8 @@ def threshold_vs_capacitance(
     ]
     thresholds = _solve_sim_thresholds(
         tasks, rail=SenseRail.VDD, tech=tech, tol=tol,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, retries=retries,
+        task_timeout=task_timeout, failure_policy=failure_policy,
     )
     return list(zip(caps, thresholds))
 

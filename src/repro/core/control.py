@@ -31,7 +31,7 @@ from repro.core.counter import build_counter_netlist
 from repro.core.encoder import build_encoder_netlist
 from repro.core.sensor import SenseRail
 from repro.devices.technology import Technology
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, ProtocolError, SimulationError
 from repro.sim.netlist import Netlist
 from repro.units import FF as FARAD_F
 
@@ -156,7 +156,8 @@ class ControlFSM:
         )
 
     def run_schedule(self, n_measures: int, *, clock_period: float,
-                     start_time: float, enable: bool = True
+                     start_time: float, enable: bool = True,
+                     max_ticks: int | None = None
                      ) -> "MeasurementSchedule":
         """Walk the FSM and emit the timed stimulus for a whole burst.
 
@@ -164,8 +165,18 @@ class ControlFSM:
         outputs) plus the SENSE launch instants, for the system harness
         to apply.
 
+        Args:
+            max_ticks: Watchdog budget on FSM ticks; ``None`` uses the
+                protocol bound ``16 * n_measures + 64`` (a healthy
+                burst takes ``4 * n_measures + O(1)``).  A schedule
+                that does not terminate within the budget raises
+                instead of hanging the caller — e.g. when the FSM is
+                never enabled, so the burst can never start.
+
         Raises:
-            ConfigurationError: non-positive count/period/start.
+            ConfigurationError: non-positive count/period/start/ticks.
+            SimulationError: the watchdog fired before the burst
+                completed (non-terminating schedule).
         """
         if n_measures < 1:
             raise ConfigurationError("n_measures must be positive")
@@ -173,6 +184,10 @@ class ControlFSM:
             raise ConfigurationError(
                 "clock_period and start_time must be positive"
             )
+        if max_ticks is None:
+            max_ticks = 16 * n_measures + 64
+        if max_ticks < 1:
+            raise ConfigurationError("max_ticks must be positive")
         self.reset()
         self.tick(enable=enable)  # IDLE -> READY
         self.request_measures(n_measures)
@@ -200,9 +215,11 @@ class ControlFSM:
             guard += 1
             if not out.measuring and len(sense_times) >= n_measures:
                 break
-            if guard > 16 * n_measures + 64:
-                raise ProtocolError(
-                    "FSM schedule did not terminate; protocol bug"
+            if guard > max_ticks:
+                raise SimulationError(
+                    f"FSM schedule did not terminate within "
+                    f"max_ticks={max_ticks} "
+                    f"({len(sense_times)}/{n_measures} measures taken)"
                 )
         return MeasurementSchedule(
             p_events=tuple(p_events),

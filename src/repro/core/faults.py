@@ -238,6 +238,42 @@ class FaultInjector:
         )
 
 
+def screen_suspects(injector: FaultInjector, *, code: int = 3,
+                    margin: float = 0.05) -> tuple[int, ...]:
+    """Two-level tester screen; returns every implicated stage.
+
+    Runs the same protocol :func:`coverage_study` uses for one
+    injector: one screen at a known reference level just *below* the
+    whole threshold ladder (every healthy stage must fail) and one
+    just *above* it (every healthy stage must pass), both with the
+    expected-word check enabled.  The union of the suspect bits is
+    exactly the stage set a degraded-mode decoder
+    (:class:`~repro.core.degraded.DegradedArray`) should mask.
+
+    Args:
+        injector: A :class:`FaultInjector` (with or without an armed
+            fault) wrapping the array under test.
+        code: Delay code for the screens.
+        margin: Reference-level clearance beyond the ladder ends,
+            volts.
+
+    Returns:
+        Sorted 1-based stage indices implicated by any failing check;
+        empty for a healthy array.
+    """
+    if margin <= 0:
+        raise ConfigurationError("margin must be positive")
+    design = injector.design
+    ts = [design.bit_threshold(b, code)
+          for b in range(1, design.n_bits + 1)]
+    suspects: set[int] = set()
+    for level in (ts[0] - margin, ts[-1] + margin):
+        report = injector.screen(code=code, vdd_n=level,
+                                 reference_level=level)
+        suspects.update(report.suspect_bits)
+    return tuple(sorted(suspects))
+
+
 def coverage_study(design: SensorDesign, *,
                    code: int = 3) -> dict[str, float]:
     """Inject every (fault, bit) pair; two-level tester screening.

@@ -173,7 +173,8 @@ class SensorSystem:
             code_ls: int = 3,
             vdd_n: Waveform | float | None = None,
             gnd_n: Waveform | float | None = None,
-            start_time: float | None = None) -> SystemRun:
+            start_time: float | None = None,
+            max_events: int | None = None) -> SystemRun:
         """Run a burst of PREPARE/SENSE measures through the system.
 
         Args:
@@ -184,6 +185,12 @@ class SensorSystem:
                 rails).
             start_time: First FSM tick, seconds; defaults to two clock
                 periods (leaves room for settling).
+            max_events: Watchdog budget on simulator events (forwarded
+                to :class:`~repro.sim.engine.SimulationEngine`); a run
+                that exceeds it raises
+                :class:`~repro.errors.SimulationError` instead of
+                spinning forever on an oscillating netlist.  ``None``
+                keeps the engine default.
 
         Returns:
             A :class:`SystemRun` with decoded HS and (if built) LS
@@ -201,7 +208,9 @@ class SensorSystem:
         if gnd_n is not None:
             self.netlist.set_supply_waveform("GNDN", gnd_n)
 
-        engine = SimulationEngine(self.netlist)
+        engine = (SimulationEngine(self.netlist) if max_events is None
+                  else SimulationEngine(self.netlist,
+                                        max_events=max_events))
         schedules: dict[str, MeasurementSchedule] = {}
         chains = [("h", SenseRail.VDD, code_hs)]
         if self.include_ls:

@@ -61,3 +61,33 @@ class ProtocolError(ReproError):
     Raised e.g. when a SENSE is requested before the PREPARE phase has
     completed, mirroring the sequencing constraints of the paper's Fig. 8.
     """
+
+
+class WorkerCrashError(ReproError):
+    """A process-pool worker died (killed, OOM, segfault) and the task
+    could not be recovered within the retry budget.
+
+    The resilient executor rebuilds the pool and resubmits unfinished
+    tasks on a crash; this error surfaces only when a task keeps
+    crashing the pool past its bounded retries (or under the default
+    ``failure_policy="raise"`` with no retries configured).
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A task exceeded its per-task wall-clock budget.
+
+    Raised by the resilient executor when a task's deadline passes
+    without a result and its retry budget is exhausted.  The worker
+    that was running the task is presumed stuck and its pool is
+    rebuilt before remaining tasks continue.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """A task kept failing (raising) through all configured retries.
+
+    Carries the final underlying exception as ``__cause__`` where
+    available; the per-attempt history lives in the executor's
+    :class:`~repro.runtime.resilient.TaskFailure` records.
+    """

@@ -14,10 +14,21 @@ the two pieces every such sweep needs:
   (design, corner technology, delay code, bisection tolerances), with
   hit/miss/error counters and graceful recovery from corrupt entries.
 
+* :mod:`repro.runtime.resilient` — the fault-tolerant execution
+  engine: bounded retries with deterministic backoff, per-task
+  timeouts, worker-crash recovery (pool rebuild + resubmission of
+  unfinished tasks), incremental result persistence and a
+  ``raise``/``partial`` failure policy with structured
+  :class:`~repro.runtime.resilient.TaskFailure` records;
+* :mod:`repro.runtime.chaos` — seeded fault injection (worker kills,
+  cache corruption, stuck tasks) for end-to-end resilience drills.
+
 Everything above it (``repro.core.characterization``,
 ``repro.analysis.yield_study``, ``repro.analysis.repeatability``, the
 benches and the CLI) takes ``workers=`` / ``cache=`` keyword arguments
-that default to today's serial, uncached behavior.
+that default to today's serial, uncached behavior, plus ``retries=`` /
+``task_timeout=`` / ``failure_policy=`` resilience options that
+default to the historic fail-fast semantics.
 
 This module sits *below* ``repro.core``/``repro.analysis`` in the layer
 diagram: it may import only the error types and the standard library,
@@ -32,20 +43,38 @@ from repro.runtime.cache import (
     stable_hash,
     task_key,
 )
+from repro.runtime.chaos import ChaosMonkey, KillOnceTask, SleepyTask
 from repro.runtime.executor import (
     cached_map,
     env_workers,
     map_tasks,
     resolve_workers,
 )
+from repro.runtime.resilient import (
+    MapOutcome,
+    RetryPolicy,
+    RunStats,
+    TaskFailure,
+    resilient_cached_map,
+    resilient_map,
+)
 
 __all__ = [
+    "ChaosMonkey",
+    "KillOnceTask",
+    "MapOutcome",
     "ResultCache",
+    "RetryPolicy",
+    "RunStats",
+    "SleepyTask",
+    "TaskFailure",
     "cached_map",
     "default_cache_dir",
     "design_fingerprint",
     "env_workers",
     "map_tasks",
+    "resilient_cached_map",
+    "resilient_map",
     "resolve_cache",
     "resolve_workers",
     "stable_hash",

@@ -30,6 +30,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
@@ -150,6 +151,23 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        #: set when a put hit an OSError: further puts become no-ops
+        #: (the sweep keeps running uncached rather than crashing).
+        self.disabled = False
+
+    def check_usable(self) -> None:
+        """Probe that the cache directory can be created, listed and
+        written.
+
+        Raises:
+            OSError: unwritable or unreadable cache directory.
+            ConfigurationError: the path exists and is not a directory.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        next(iter(self.root.iterdir()), None)  # readable?
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".probe")
+        os.close(fd)
+        os.unlink(tmp)
 
     # -- storage ----------------------------------------------------------
 
@@ -183,20 +201,46 @@ class ResultCache:
         return True, value
 
     def put(self, key: str, value: Any) -> None:
-        """Atomically persist ``value`` under ``key``."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        """Atomically persist ``value`` under ``key``.
+
+        A filesystem failure (unwritable directory, disk full) does
+        not crash the sweep: it warns once, bumps ``errors`` and
+        disables further puts — the run degrades to uncached
+        operation.  Non-filesystem failures (e.g. an unpicklable
+        value) still raise: those are caller bugs, not disk weather.
+        """
+        if self.disabled:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self._path(key)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        except OSError as exc:
+            self._disable_puts(exc)
+            return
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                self._disable_puts(exc)
+                return
             raise
+
+    def _disable_puts(self, exc: OSError) -> None:
+        self.errors += 1
+        self.disabled = True
+        warnings.warn(
+            f"result cache at {str(self.root)!r} is not writable "
+            f"({exc}); continuing uncached",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Serve ``key`` from disk, or compute, store, and return."""
@@ -236,18 +280,41 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "errors": self.errors,
+            "disabled": self.disabled,
         }
 
 
-def resolve_cache(cache: "ResultCache | str | os.PathLike[str] | None"
-                  ) -> ResultCache | None:
+def resolve_cache(cache: "ResultCache | str | os.PathLike[str] | None",
+                  *, strict: bool = True) -> ResultCache | None:
     """Normalize a ``cache=`` argument.
 
     ``None`` stays ``None`` (caching off — the serial-era default);
     a path-like opens a :class:`ResultCache` there; an existing
     :class:`ResultCache` passes through so callers can share counters
     across calls.
+
+    Args:
+        strict: When ``False``, a cache directory that cannot be
+            created, listed or written (not a directory, permission
+            denied, read-only filesystem) produces a
+            :class:`RuntimeWarning` and ``None`` — the sweep runs
+            uncached instead of crashing.  The CLI uses this for
+            ``--cache-dir``.
     """
     if cache is None or isinstance(cache, ResultCache):
         return cache
-    return ResultCache(cache)
+    try:
+        store = ResultCache(cache)
+        if not strict:
+            store.check_usable()
+        return store
+    except (ConfigurationError, OSError) as exc:
+        if strict:
+            raise
+        warnings.warn(
+            f"cache dir {str(cache)!r} is unusable ({exc}); "
+            f"running uncached",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None

@@ -1,0 +1,150 @@
+"""Seeded chaos injection for the resilient runtime.
+
+*Who tests the tester?* — :mod:`repro.core.faults` asks it of the
+sensor; this module asks it of the sweep runtime.  It supplies the
+three fault injectors the end-to-end chaos campaign
+(``benchmarks/bench_chaos_campaign.py``) composes:
+
+* :class:`KillOnceTask` — a picklable task wrapper that SIGKILLs its
+  own worker process the first time each selected task index runs
+  (a marker file arms each kill exactly once, so bounded retries can
+  prove recovery);
+* :meth:`ChaosMonkey.corrupt_cache` — seeded vandalism of on-disk
+  cache entries (truncation, garbling, zeroing — the disk-hiccup and
+  killed-writer failure modes);
+* :class:`SleepyTask` — a wrapper that makes selected tasks outsleep
+  any deadline, for exercising the per-task timeout path.
+
+Everything is deterministic given the seed: chaos runs are
+*reproducible* failure drills, not flaky tests.  This module sits in
+the runtime layer and imports only the standard library and
+:mod:`repro.runtime.cache`, so any layer above can stage a drill.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache
+
+
+@dataclass(frozen=True)
+class KillOnceTask:
+    """Picklable wrapper: kill the worker once per selected index.
+
+    Payloads must be ``(index, item)`` pairs (see :func:`enumerate_for`).
+    When ``index`` is in ``kill_indices`` and its marker file does not
+    exist yet, the marker is created *first* (so the retry survives)
+    and the worker then SIGKILLs itself — indistinguishable from an
+    OOM kill as far as the pool is concerned.
+
+    Attributes:
+        fn: The real task function (module-level, picklable).
+        kill_indices: Task indices whose first attempt dies.
+        marker_dir: Directory for the armed-once markers.
+    """
+
+    fn: Callable[[Any], Any]
+    kill_indices: frozenset
+    marker_dir: str
+
+    def __call__(self, pair: tuple[int, Any]) -> Any:
+        index, item = pair
+        if index in self.kill_indices:
+            marker = Path(self.marker_dir) / f"killed-{index}"
+            if not marker.exists():
+                marker.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+        return self.fn(item)
+
+
+@dataclass(frozen=True)
+class SleepyTask:
+    """Picklable wrapper: selected indices sleep past any deadline.
+
+    Like :class:`KillOnceTask`, the stall is armed once per index via
+    a marker file, so a retried task completes normally.
+    """
+
+    fn: Callable[[Any], Any]
+    stuck_indices: frozenset
+    marker_dir: str
+    sleep_s: float = 3600.0
+
+    def __call__(self, pair: tuple[int, Any]) -> Any:
+        index, item = pair
+        if index in self.stuck_indices:
+            marker = Path(self.marker_dir) / f"stalled-{index}"
+            if not marker.exists():
+                marker.touch()
+                time.sleep(self.sleep_s)
+        return self.fn(item)
+
+
+def enumerate_for(items: Sequence[Any]) -> list[tuple[int, Any]]:
+    """Wrap payloads as ``(index, item)`` pairs for the chaos tasks."""
+    return list(enumerate(items))
+
+
+class ChaosMonkey:
+    """Deterministic fault selection and cache vandalism.
+
+    Args:
+        seed: Drives every random choice; a campaign replays
+            identically under the same seed.
+    """
+
+    #: Supported cache-corruption modes.
+    CORRUPTION_MODES = ("truncate", "garble", "zero")
+
+    def __init__(self, seed: int = 1337) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick(self, n_tasks: int, n_faults: int) -> frozenset:
+        """Choose ``n_faults`` distinct task indices out of ``n_tasks``."""
+        if not 0 <= n_faults <= n_tasks:
+            raise ConfigurationError(
+                f"cannot pick {n_faults} faults from {n_tasks} tasks"
+            )
+        return frozenset(self._rng.sample(range(n_tasks), n_faults))
+
+    def corrupt_cache(self, cache: ResultCache, *, n_entries: int = 1,
+                      mode: str | None = None) -> list[Path]:
+        """Damage ``n_entries`` random on-disk entries; returns them.
+
+        Modes: ``"truncate"`` cuts the pickle mid-stream (killed
+        writer), ``"garble"`` overwrites the head with noise (disk
+        hiccup), ``"zero"`` empties the file.  ``None`` picks a mode
+        per entry.  A correct cache treats every one as a miss and
+        heals it.
+        """
+        if mode is not None and mode not in self.CORRUPTION_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {self.CORRUPTION_MODES}"
+            )
+        entries = cache.entries()
+        if n_entries > len(entries):
+            raise ConfigurationError(
+                f"cannot corrupt {n_entries} of {len(entries)} entries"
+            )
+        victims = self._rng.sample(entries, n_entries)
+        for path in victims:
+            pick = mode or self._rng.choice(self.CORRUPTION_MODES)
+            raw = path.read_bytes()
+            if pick == "truncate":
+                path.write_bytes(raw[: max(1, len(raw) // 2)])
+            elif pick == "garble":
+                noise = bytes(self._rng.randrange(256)
+                              for _ in range(min(16, max(1, len(raw)))))
+                path.write_bytes(noise + raw[len(noise):])
+            else:  # zero
+                path.write_bytes(b"")
+        return victims

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
 from repro.runtime.cache import ResultCache, resolve_cache
@@ -66,9 +66,36 @@ def env_workers(default: int | None = None) -> int | None:
         ) from None
 
 
+def _iter_map(fn: Callable[[_T], _R], payloads: Sequence[_T],
+              workers: int | None, chunksize: int) -> Iterator[_R]:
+    """Yield ``fn(x)`` per payload *in submission order, as computed*.
+
+    The streaming core of :func:`map_tasks` and :func:`cached_map`:
+    consumers that persist each result as it arrives (incremental
+    ``store.put()``) survive a crash mid-sweep with all completed work
+    intact, while the yielded order stays bit-identical to serial.
+    """
+    n = min(resolve_workers(workers), len(payloads))
+    if n <= 1:
+        for item in payloads:
+            yield fn(item)
+        return
+    with ProcessPoolExecutor(max_workers=n) as pool:
+        yield from pool.map(fn, payloads, chunksize=max(1, chunksize))
+
+
+def _wants_resilience(retries: int, task_timeout: float | None,
+                      failure_policy: str) -> bool:
+    return bool(retries) or task_timeout is not None \
+        or failure_policy != "raise"
+
+
 def map_tasks(fn: Callable[[_T], _R], items: Iterable[_T], *,
               workers: int | None = None,
-              chunksize: int = 1) -> list[_R]:
+              chunksize: int = 1,
+              retries: int = 0,
+              task_timeout: float | None = None,
+              failure_policy: str = "raise") -> Any:
     """``[fn(x) for x in items]``, optionally across a process pool.
 
     Results are returned in input order regardless of completion
@@ -80,21 +107,46 @@ def map_tasks(fn: Callable[[_T], _R], items: Iterable[_T], *,
         items: Task payloads (materialized once, in order).
         workers: Pool size per :func:`resolve_workers`; <= 1 runs
             serial in-process.
-        chunksize: Payload batching for the pool (latency knob only).
+        chunksize: Payload batching for the pool (latency knob only;
+            ignored when resilience options are active).
+        retries: Extra attempts per failed task (exponential backoff
+            with deterministic jitter — see
+            :class:`repro.runtime.resilient.RetryPolicy`).
+        task_timeout: Per-task wall-clock budget, seconds.
+        failure_policy: ``"raise"`` (default — a failure past its
+            budget aborts the sweep, bit-identical to the historic
+            behavior) or ``"partial"`` (the sweep completes; the
+            return value becomes a
+            :class:`~repro.runtime.resilient.MapOutcome` whose failed
+            slots are ``None`` plus structured ``TaskFailure``
+            records).
+
+    Returns:
+        ``list`` of results under ``failure_policy="raise"``;
+        a :class:`~repro.runtime.resilient.MapOutcome` under
+        ``"partial"``.
     """
     payloads: Sequence[_T] = list(items)
-    n = min(resolve_workers(workers), len(payloads))
-    if n <= 1:
-        return [fn(item) for item in payloads]
-    with ProcessPoolExecutor(max_workers=n) as pool:
-        return list(pool.map(fn, payloads, chunksize=max(1, chunksize)))
+    if _wants_resilience(retries, task_timeout, failure_policy):
+        from repro.runtime.resilient import resilient_map
+
+        outcome = resilient_map(
+            fn, payloads, workers=workers, retries=retries,
+            task_timeout=task_timeout, failure_policy=failure_policy,
+        )
+        return outcome if failure_policy == "partial" \
+            else outcome.results
+    return list(_iter_map(fn, payloads, workers, chunksize))
 
 
 def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
                keys: Sequence[str] | None = None,
                cache: "ResultCache | str | os.PathLike[str] | None" = None,
                workers: int | None = None,
-               chunksize: int = 1) -> list[_R]:
+               chunksize: int = 1,
+               retries: int = 0,
+               task_timeout: float | None = None,
+               failure_policy: str = "raise") -> Any:
     """:func:`map_tasks` with per-item on-disk memoization.
 
     Every memoized sweep in the repo reduces to this: look each item's
@@ -103,6 +155,10 @@ def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
     hits and fresh results back together in submission order — which
     keeps the cached/parallel result bit-identical to the direct serial
     one.
+
+    Persistence is *incremental*: each computed result is
+    ``store.put()`` as soon as it is available, so a crash mid-sweep
+    keeps all completed work for the next run.
 
     Args:
         fn: Module-level pure function of one task payload.
@@ -113,8 +169,22 @@ def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
         cache: A :class:`ResultCache`, a cache directory, or ``None``
             (no memoization).
         workers: Pool size for the misses (<= 1: serial in-process).
-        chunksize: Payload batching for the pool.
+        chunksize: Payload batching for the pool (ignored when
+            resilience options are active).
+        retries / task_timeout / failure_policy: Resilience options as
+            in :func:`map_tasks` — under ``"partial"`` the return
+            value is a :class:`~repro.runtime.resilient.MapOutcome`.
     """
+    if _wants_resilience(retries, task_timeout, failure_policy):
+        from repro.runtime.resilient import resilient_cached_map
+
+        outcome = resilient_cached_map(
+            fn, items, keys=keys, cache=cache, workers=workers,
+            retries=retries, task_timeout=task_timeout,
+            failure_policy=failure_policy,
+        )
+        return outcome if failure_policy == "partial" \
+            else outcome.results
     store = resolve_cache(cache)
     payloads: Sequence[_T] = list(items)
     if store is None or keys is None:
@@ -132,8 +202,8 @@ def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
             results[i] = value
         else:
             pending.append((i, item))
-    computed = map_tasks(fn, [item for _, item in pending],
-                         workers=workers, chunksize=chunksize)
+    computed = _iter_map(fn, [item for _, item in pending],
+                         workers, chunksize)
     for (i, _), value in zip(pending, computed):
         results[i] = value
         store.put(keys[i], value)

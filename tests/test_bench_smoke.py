@@ -26,6 +26,19 @@ def test_bench_suite_is_nonempty():
     assert len(BENCH_MODULES) >= 15
 
 
+def test_chaos_campaign_smoke(design, tmp_path):
+    """The end-to-end resilience drill stays green in tier-1: injected
+    worker kills, vandalized cache entries and a stuck-at stage must
+    not change the sweep's results on any surviving bit."""
+    from benchmarks.bench_chaos_campaign import run_campaign
+
+    rep = run_campaign(design, tmp_path)
+    assert rep.identical
+    assert rep.healed
+    assert rep.stats.crashes >= 1
+    assert rep.masked_bits  # the stuck stage was caught and masked
+
+
 @pytest.mark.parametrize("name", BENCH_MODULES)
 def test_bench_module_imports_and_collects(name):
     mod = importlib.import_module(f"benchmarks.{name}")

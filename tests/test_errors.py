@@ -14,6 +14,9 @@ ALL_ERRORS = [
     errors.CharacterizationError,
     errors.DecodingError,
     errors.ProtocolError,
+    errors.WorkerCrashError,
+    errors.TaskTimeoutError,
+    errors.RetryExhaustedError,
 ]
 
 

@@ -135,6 +135,14 @@ def test_every_public_error_is_catchable_as_reproerror(design):
         SensorBit(design, 99)
     with pytest.raises(ReproError):
         Netlist().add_net("x", extra_cap=-1.0)
+    # Resilience failures surface through the same hierarchy: a task
+    # that keeps raising through its retry budget must still be
+    # catchable as ReproError (here: RetryExhaustedError).
+    from repro.runtime import map_tasks
+    from tests.test_resilient import _always_fails
+
+    with pytest.raises(ReproError):
+        map_tasks(_always_fails, [1], retries=1)
 
 
 def test_engine_rejects_netlist_with_floating_inputs():
