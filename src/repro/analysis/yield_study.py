@@ -30,6 +30,15 @@ from typing import TYPE_CHECKING
 from repro.analysis.thermometer import ThermometerWord, decode_word
 from repro.devices.variation import VariationModel, VariationSample
 from repro.errors import ConfigurationError
+from repro.kernels import (
+    bracket_grid,
+    bubble_grid,
+    decode_bounds,
+    lot_threshold_grid,
+    ones_count_grid,
+    threshold_grid,
+    word_grid,
+)
 from repro.runtime import (
     ResultCache,
     cached_map,
@@ -59,8 +68,7 @@ class DieCharacteristic:
 
     @property
     def monotone(self) -> bool:
-        return all(b > a for a, b in
-                   zip(self.thresholds, self.thresholds[1:]))
+        return bool(np.all(np.diff(self.thresholds) > 0))
 
     def word_at(self, v: float) -> ThermometerWord:
         """The raw output word at a static supply (bubbles possible)."""
@@ -143,10 +151,51 @@ class _DieScore:
     errors: tuple[float, ...]
 
 
+def _score_from_thresholds(thresholds: np.ndarray,
+                           supplies: tuple[float, ...],
+                           nominal_ladder: tuple[float, ...]) -> _DieScore:
+    """Evaluate one die's solved thresholds across the supply grid.
+
+    All-kernel: word/bubble/decode/bracket evaluation is pure compare
+    arithmetic, bit-identical to the scalar loop it replaces.  Shared
+    by the per-die (pool/cache) path and the batched serial path, so
+    both produce identical :class:`_DieScore` payloads.
+    """
+    v = np.asarray(supplies, dtype=float)
+    words = word_grid(v, thresholds)
+    bubbled = int(np.count_nonzero(bubble_grid(words)))
+    k = ones_count_grid(words)
+    lo, hi = decode_bounds(nominal_ladder, k)
+    bracketed = int(np.count_nonzero(bracket_grid(v, lo, hi)))
+    bounded = np.isfinite(lo) & np.isfinite(hi)
+    mids = 0.5 * (lo[bounded] + hi[bounded])
+    errors = tuple(float(e) for e in np.abs(mids - v[bounded]))
+    die_ladder = np.sort(thresholds)
+    lo_c, hi_c = decode_bounds(die_ladder, k)
+    bracketed_cal = int(np.count_nonzero(bracket_grid(v, lo_c, hi_c)))
+    return _DieScore(
+        thresholds=tuple(float(t) for t in thresholds),
+        monotone=bool(np.all(np.diff(thresholds) > 0)),
+        bubbled=bubbled,
+        bracketed=bracketed,
+        bracketed_cal=bracketed_cal,
+        errors=errors,
+    )
+
+
 def _score_die(design: "SensorDesign", sample: VariationSample,
                code: int, supplies: tuple[float, ...],
                nominal_ladder: tuple[float, ...]) -> _DieScore:
     """Characterize one die and evaluate it across the supply grid."""
+    thresholds = lot_threshold_grid(design, (sample,), code)[0]
+    return _score_from_thresholds(thresholds, supplies, nominal_ladder)
+
+
+def _score_die_scalar(design: "SensorDesign", sample: VariationSample,
+                      code: int, supplies: tuple[float, ...],
+                      nominal_ladder: tuple[float, ...]) -> _DieScore:
+    """The pre-kernel scalar scoring loop, kept as the perf/property
+    oracle: one ``brentq`` per bit, one Python decode per supply."""
     die = die_characteristic(design, sample, code=code)
     die_ladder = tuple(sorted(die.thresholds))
     bubbled = bracketed = bracketed_cal = 0
@@ -219,36 +268,47 @@ def run_yield_study(design: "SensorDesign",
     """
     if n_dies < 1:
         raise ConfigurationError("n_dies must be positive")
+    nominal_grid = threshold_grid(design, (code,))[:, 0]
     if supplies is None:
-        lo = design.bit_threshold(1, code)
-        hi = design.bit_threshold(design.n_bits, code)
+        lo = float(nominal_grid[0])
+        hi = float(nominal_grid[-1])
         supplies = np.linspace(lo + 0.005, hi - 0.005, 17)
     supply_grid = tuple(float(v) for v in supplies)
-    nominal_ladder = tuple(
-        design.bit_threshold(b, code)
-        for b in range(1, design.n_bits + 1)
-    )
+    nominal_ladder = tuple(float(v) for v in nominal_grid)
 
     lot = variation.sample_lot(n_dies, design.n_bits, seed=seed)
     store = resolve_cache(cache)
-    keys = None
-    if store is not None:
-        fp = design_fingerprint(design)
-        keys = [
-            task_key("die-score", fp, sample, code, supply_grid)
-            for sample in lot
+    if (store is None and (workers is None or workers <= 1)
+            and failure_policy == "raise"):
+        # Batched kernel path: one lot-wide root solve instead of a
+        # per-die fan-out.  Solver batch invariance makes each row
+        # bit-identical to the per-die path used by the pool/cache
+        # branch below, so the two branches stay interchangeable.
+        lot_grid = lot_threshold_grid(design, lot, code)
+        scores: list[_DieScore] = [
+            _score_from_thresholds(lot_grid[i], supply_grid,
+                                   nominal_ladder)
+            for i in range(len(lot))
         ]
-    out = cached_map(
-        _score_die_task,
-        [(design, sample, code, supply_grid, nominal_ladder)
-         for sample in lot],
-        keys=keys, cache=store, workers=workers, retries=retries,
-        task_timeout=task_timeout, failure_policy=failure_policy,
-    )
-    scores: list[_DieScore] = (
-        [s for s in out.results if s is not None]
-        if failure_policy == "partial" else out
-    )
+    else:
+        keys = None
+        if store is not None:
+            fp = design_fingerprint(design)
+            keys = [
+                task_key("die-score", fp, sample, code, supply_grid)
+                for sample in lot
+            ]
+        out = cached_map(
+            _score_die_task,
+            [(design, sample, code, supply_grid, nominal_ladder)
+             for sample in lot],
+            keys=keys, cache=store, workers=workers, retries=retries,
+            task_timeout=task_timeout, failure_policy=failure_policy,
+        )
+        scores = (
+            [s for s in out.results if s is not None]
+            if failure_policy == "partial" else out
+        )
     if not scores:
         raise ConfigurationError(
             "every die failed scoring; nothing to report"

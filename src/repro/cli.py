@@ -10,7 +10,8 @@ without writing any Python:
 * ``fig9`` — the full-system two-measure sequence;
 * ``critical-path`` — STA over the control netlist;
 * ``measure`` — decode an arbitrary static rail level;
-* ``cache`` — inspect/clear the characterization result cache.
+* ``cache`` — inspect/clear the characterization result cache;
+* ``bench`` — run a perf bench from ``benchmarks/`` by name.
 
 Characterization sweeps (``fig4``, ``fig5``, ``yield``) accept
 ``--workers N`` (process-pool fan-out, bit-identical to serial) and
@@ -19,7 +20,9 @@ Characterization sweeps (``fig4``, ``fig5``, ``yield``) accept
 flags ``--retries``, ``--task-timeout`` and ``--failure-policy``
 (see :mod:`repro.runtime.resilient`) let long sweeps survive worker
 crashes, stuck tasks and flaky failures; an unusable ``--cache-dir``
-degrades to an uncached run with a warning.
+degrades to an uncached run with a warning.  ``--profile`` prints a
+per-phase wall-time breakdown (kernel solve/decode, pool dispatch,
+cache IO — see :mod:`repro.runtime.profiling`) after the sweep.
 """
 
 from __future__ import annotations
@@ -50,6 +53,10 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
                    help="'raise' aborts on the first exhausted task "
                         "(default); 'partial' completes the sweep and "
                         "reports failed slots")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-phase wall-time breakdown "
+                        "(kernel solves/decodes, pool dispatch, cache "
+                        "IO) after the sweep")
 
 
 def _runtime_kwargs(args: argparse.Namespace) -> dict:
@@ -265,6 +272,34 @@ def _cmd_yield(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run one perf bench by name: ``repro bench kernels --smoke``.
+
+    Resolves ``benchmarks/bench_<name>.py`` (the ``benchmarks``
+    package must be importable, i.e. run from a repo checkout).  A
+    bench exposing ``main(argv)`` (the perf-regression benches) gets
+    the remaining arguments; older figure benches without one are run
+    through pytest.
+    """
+    import importlib
+
+    try:
+        module = importlib.import_module(f"benchmarks.bench_{args.name}")
+    except ModuleNotFoundError as exc:
+        print(f"bench {args.name!r} not found ({exc}); run from the "
+              f"repository root, e.g. "
+              f"PYTHONPATH=src python -m repro bench kernels --smoke")
+        return 2
+    extra = list(args.bench_args)
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+    if hasattr(module, "main"):
+        return int(module.main(extra))
+    import pytest as _pytest
+
+    return int(_pytest.main(["-q", module.__file__, *extra]))
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runtime import ResultCache
 
@@ -354,6 +389,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_args(p)
     p.set_defaults(func=_cmd_yield)
 
+    p = sub.add_parser("bench",
+                       help="run a perf bench from benchmarks/ by name")
+    p.add_argument("name",
+                   help="bench name, e.g. 'kernels' for "
+                        "benchmarks/bench_kernels.py")
+    p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                   help="arguments passed through to the bench "
+                        "(e.g. --smoke --assert-speedup 3)")
+    p.set_defaults(func=_cmd_bench)
+
     p = sub.add_parser("cache",
                        help="characterization result cache")
     p.add_argument("action", choices=("stats", "clear"))
@@ -382,6 +427,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "profile", False):
+        import time as _time
+
+        from repro.runtime import PROFILER
+
+        PROFILER.reset()
+        PROFILER.enable()
+        t0 = _time.perf_counter()
+        try:
+            code = args.func(args)
+        finally:
+            wall = _time.perf_counter() - t0
+            PROFILER.disable()
+            print(f"\n--profile ({wall * 1e3:.1f}ms wall)")
+            print(PROFILER.report(total=wall))
+        return code
     return args.func(args)
 
 

@@ -70,9 +70,11 @@ class SensorArray:
 
     def supply_thresholds(self, code: int) -> tuple[float, ...]:
         """Per-bit thresholds in *effective supply* terms, ascending."""
+        from repro.kernels import threshold_grid
+
         return tuple(
-            self.design.bit_threshold(b, code, self.tech)
-            for b in range(1, self.n_bits + 1)
+            float(v)
+            for v in threshold_grid(self.design, (code,), self.tech)[:, 0]
         )
 
     def rail_thresholds(self, code: int) -> tuple[float, ...]:

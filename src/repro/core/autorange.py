@@ -15,7 +15,9 @@ harness can be wrapped via :meth:`measure_with`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.analysis.thermometer import ThermometerWord, VoltageRange
 from repro.core.array import SensorArray
@@ -131,6 +133,86 @@ class AutoRangingMeter:
                                       gnd_n=gnd_n).word
 
         return self.measure_with(backend)
+
+    def scan_levels(self, levels: Sequence[float]
+                    ) -> list[AutoRangedMeasure]:
+        """Auto-range the analytic array at many static rail levels.
+
+        One delay-law evaluation covers every (code, level, bit) cell
+        up front — the per-level policy then just indexes words — so a
+        dense guardband/autorange sweep costs one kernel pass instead
+        of ``levels x attempts`` array measurements.  Per level the
+        result equals :meth:`measure_level` exactly: pass/fail is the
+        same ``window - delay > 0`` margin rule as
+        :meth:`~repro.core.sensor.SensorBit.measure`, and the code
+        walk replicates :meth:`measure_with` step for step.
+
+        Args:
+            levels: Static rail levels, volts — VDD-n for a VDD-rail
+                meter, GND-n bounce for a GND-rail meter.
+        """
+        from repro.kernels import delay_grid, window_grid
+
+        design = self.design
+        tech = self.array.tech
+        tech_eff = design.tech if tech is None else tech
+        v = np.asarray(levels, dtype=float)
+        if v.ndim != 1 or v.size == 0:
+            raise ConfigurationError("levels must be a non-empty 1-D "
+                                     "sequence of rail voltages")
+        v_eff = v if self.rail is SenseRail.VDD \
+            else design.tech.vdd_nominal - v
+
+        windows = window_grid(design, None, tech)          # (codes,)
+        d_pin_cap = design.sense_flipflop(tech).pin("D").cap
+        loads = np.asarray(design.load_caps, dtype=float) + d_pin_cap
+        c_total = tech_eff.intrinsic_cap_unit * design.sensor_strength \
+            + loads                                        # (bits,)
+        k_eff = tech_eff.drive_constant / design.sensor_strength
+        delays = delay_grid(v_eff[:, None], c_total[None, :], k_eff,
+                            tech_eff.vth, tech_eff.alpha)  # (levels, bits)
+        margins = windows[:, None, None] - delays[None, :, :]
+        words = (margins > 0.0).astype(np.uint8)   # (codes, levels, bits)
+        ones = np.sum(words, axis=-1)              # (codes, levels)
+
+        n_codes, n_levels = ones.shape
+        n_bits = design.n_bits
+        lanes = np.arange(n_levels)
+        codes = np.full(n_levels, self.initial_code, dtype=int)
+        meas_code = codes.copy()
+        attempts = np.zeros(n_levels, dtype=int)
+        active = np.ones(n_levels, dtype=bool)
+        for _ in range(self.max_attempts):
+            meas_code = np.where(active, codes, meas_code)
+            attempts += active
+            k = ones[meas_code, lanes]
+            step = np.where(k == n_bits, -1, np.where(k == 0, +1, 0))
+            nxt = meas_code + step
+            ok = active & (step != 0) & (nxt >= 0) & (nxt < n_codes)
+            # A lane whose budget survives steps its code; the scalar
+            # loop applies that step even when the next measure never
+            # happens, so the final code may trail the final word by
+            # one range.
+            codes = np.where(ok, nxt, codes)
+            active = ok
+            if not active.any():
+                break
+
+        out: list[AutoRangedMeasure] = []
+        for i in range(n_levels):
+            word = ThermometerWord(
+                tuple(int(b) for b in words[meas_code[i], i])
+            )
+            k = int(ones[meas_code[i], i])
+            out.append(AutoRangedMeasure(
+                word=word,
+                code=int(codes[i]),
+                decoded=self.array.decode(word, int(codes[i]),
+                                          strict=False),
+                attempts=int(attempts[i]),
+                saturated=not 0 < k < n_bits,
+            ))
+        return out
 
     def total_dynamic(self) -> tuple[float, float]:
         """The sensor's full measurable span across all codes, in

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.thermometer import (
     ThermometerWord,
     VoltageRange,
@@ -46,7 +48,7 @@ class MeasuredDecoder:
     def __post_init__(self) -> None:
         if len(self.ladder) < 2:
             raise ConfigurationError("ladder needs at least 2 rungs")
-        if any(b <= a for a, b in zip(self.ladder, self.ladder[1:])):
+        if np.any(np.diff(self.ladder) <= 0):
             raise ConfigurationError("ladder must be strictly ascending")
         if not 0 <= self.code < 8:
             raise ConfigurationError("code outside 0..7")

@@ -321,7 +321,7 @@ def _solve_load_caps(tech: Technology, t0: float, sensor_strength: float,
         caps[bit] = float(cap)
     caps[4] = 0.5 * (caps[3] + caps[5])
     ordered = tuple(caps[b] for b in range(1, paperdata.N_BITS + 1))
-    if any(c2 <= c1 for c1, c2 in zip(ordered, ordered[1:])):
+    if np.any(np.diff(ordered) <= 0):
         raise CalibrationError("fitted trim caps are not ascending")
     thresholds = tuple(
         model.supply_for_delay(window, c + d_pin_cap, v_hi=3.0)

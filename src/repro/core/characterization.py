@@ -30,6 +30,7 @@ from repro.core.calibration import SensorDesign
 from repro.core.sensor import SenseRail, SensorBitHarness
 from repro.devices.technology import Technology
 from repro.errors import CharacterizationError, ConfigurationError
+from repro.kernels import solve_supply_for_delay, threshold_grid
 from repro.runtime import (
     ResultCache,
     cached_map,
@@ -70,7 +71,7 @@ class ArrayCharacteristic:
 
     def word_at(self, v: float) -> str:
         """The word the array outputs at an effective supply level."""
-        ones = sum(1 for t in self.thresholds if v > t)
+        ones = int(np.searchsorted(self.thresholds, v, side="left"))
         n = len(self.thresholds)
         return "".join("1" if i >= n - ones else "0" for i in range(n))
 
@@ -210,8 +211,7 @@ def characterize_bit_thresholds(
             reports ``None`` instead of aborting the sweep.
     """
     analytic = tuple(
-        design.bit_threshold(b, code, tech)
-        for b in range(1, design.n_bits + 1)
+        float(v) for v in threshold_grid(design, (code,), tech)[:, 0]
     )
     if rail is SenseRail.GND:
         nominal = design.tech.vdd_nominal
@@ -278,12 +278,13 @@ def characterize_array(design: SensorDesign,
         for k, code in enumerate(codes):
             start = k * design.n_bits
             per_code[code] = tuple(flat[start:start + design.n_bits])
+    elif method == "analytic":
+        # One (bits x codes) kernel solve for the whole Fig. 5 grid.
+        grid = threshold_grid(design, tuple(codes), tech)
+        for j, code in enumerate(codes):
+            per_code[code] = tuple(float(v) for v in grid[:, j])
     else:
-        for code in codes:
-            per_code[code] = characterize_bit_thresholds(
-                design, code, tech=tech, method=method,
-                tol=tol, bracket_pad=bracket_pad,
-            )
+        raise ConfigurationError(f"unknown method {method!r}")
     out: dict[int, ArrayCharacteristic] = {}
     for code, raw in per_code.items():
         masked = tuple(b for b, t in enumerate(raw, start=1)
@@ -343,13 +344,15 @@ def threshold_vs_capacitance(
     ff = design.sense_flipflop(tech)
     window = design.effective_window(code, tech)
     d_pin = ff.pin("D").cap
-    analytic: list[float] = []
-    for cap in caps:
-        if cap <= 0:
-            raise ConfigurationError("caps must be positive")
-        analytic.append(float(inv.model.supply_for_delay(
-            window, cap + d_pin, v_hi=3.0,
-        )))
+    caps_arr = np.asarray(caps, dtype=float)
+    if np.any(caps_arr <= 0):
+        raise ConfigurationError("caps must be positive")
+    solved = solve_supply_for_delay(
+        window, inv.model.intrinsic_cap + (caps_arr + d_pin),
+        inv.model.tech.drive_constant / inv.model.strength,
+        inv.model.tech.vth, inv.model.tech.alpha, v_hi=3.0,
+    )
+    analytic = [float(v) for v in solved]
     if method == "analytic":
         return list(zip(caps, analytic))
     # One single-bit probe design per cap: the probe's load_caps land

@@ -138,11 +138,17 @@ class DegradedArray:
                      if b not in dead)
 
     def supply_thresholds(self, code: int) -> tuple[float, ...]:
-        """Surviving rungs of the effective-supply ladder, ascending."""
-        return tuple(
-            self.design.bit_threshold(b, code, self.tech)
-            for b in self.surviving_bits
-        )
+        """Surviving rungs of the effective-supply ladder, ascending.
+
+        Solved through the same kernel as the full array; solver batch
+        invariance keeps the surviving rungs bit-identical to the
+        matching rungs of :meth:`SensorArray.supply_thresholds`.
+        """
+        from repro.kernels import threshold_grid
+
+        grid = threshold_grid(self.design, (code,), self.tech,
+                              bits=self.surviving_bits)
+        return tuple(float(v) for v in grid[:, 0])
 
     def reduce_word(self, word: ThermometerWord) -> ThermometerWord:
         """Project a full-array word onto the surviving stages.

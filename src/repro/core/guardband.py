@@ -15,6 +15,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.analysis.thermometer import VoltageRange
 from repro.errors import ConfigurationError
@@ -85,6 +88,32 @@ class GuardbandController:
             worst_case = reading.lo
         self._epoch_worst = min(self._epoch_worst, worst_case)
         self._epoch_measures += 1
+
+    def observe_many(self,
+                     readings: "Sequence[VoltageRange] | np.ndarray"
+                     ) -> None:
+        """Feed a whole epoch's measurements at once.
+
+        Equivalent to calling :meth:`observe` per reading (same worst
+        tracker, same violation substitution for ``-inf`` edges) but as
+        one array reduction — the guardband leg of a kernel-evaluated
+        sweep hands its decoded lower edges straight in.
+
+        Args:
+            readings: Decoded :class:`VoltageRange` objects, or an
+                array of their *lower edges* in volts (``-inf`` for
+                below-range readings).
+        """
+        if len(readings) == 0:
+            return
+        if isinstance(readings[0], VoltageRange):
+            lo = np.array([r.lo for r in readings], dtype=float)
+        else:
+            lo = np.asarray(readings, dtype=float)
+        worst = np.where(np.isneginf(lo),
+                         self.vmin - self.margin - self.step, lo)
+        self._epoch_worst = min(self._epoch_worst, float(worst.min()))
+        self._epoch_measures += int(lo.size)
 
     @property
     def epoch_worst(self) -> float:

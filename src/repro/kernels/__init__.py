@@ -1,0 +1,73 @@
+"""repro.kernels — vectorized analytic kernels for sweep hot paths.
+
+Every analytic sweep in the repo reduces to three array-shaped
+operations over (samples x bits x codes x supplies) grids:
+
+* **delay-law evaluation / inversion** (:mod:`repro.kernels.delay_law`)
+  — ``d = (k/strength) * C_total * g(V)`` and its inverse
+  ``V* = g^{-1}(window / (k_eff * C_total))``, solved elementwise with
+  a safeguarded Newton-bisection iteration converged to a few ulps;
+* **threshold grids** (:mod:`repro.kernels.thresholds`) — per-bit
+  failure thresholds over (bit x code) and (die x bit) grids, replacing
+  per-point ``brentq`` loops;
+* **thermometer evaluation** (:mod:`repro.kernels.thermometer`) —
+  words, bubble flags, ones counts and decode bounds over
+  (sample x supply) grids, replacing per-word Python loops.
+
+Contract with the scalar layer: the scalar paths
+(:meth:`~repro.core.calibration.SensorDesign.bit_threshold`,
+:func:`~repro.analysis.thermometer.decode_word`, ...) stay in place as
+the *oracle*; the kernels must agree with them bit-identically where
+the arithmetic is the same elementwise computation, and within the
+oracle's own root-finding tolerance (``brentq`` ``xtol=1e-9``, so
+|kernel - oracle| <= 2e-9 V) where the kernels solve to higher
+precision.  ``tests/test_kernels.py`` enforces both on randomized
+designs.
+
+Kernels are also **batch-invariant**: evaluating one grid row at a time
+produces bit-identical floats to evaluating the whole grid in one call
+(elementwise ops only; converged lanes of the root solver are frozen by
+masking).  This is what lets the process-pool path (one die per task)
+and the batched serial path share results exactly.
+"""
+
+from repro.kernels.delay_law import (
+    delay_grid,
+    solve_supply_for_delay,
+    solve_voltage_factor,
+    voltage_factor_grid,
+)
+from repro.kernels.thermometer import (
+    bracket_grid,
+    bubble_grid,
+    decode_bounds,
+    ones_count_grid,
+    word_grid,
+)
+from repro.kernels.thresholds import (
+    lot_threshold_grid,
+    threshold_grid,
+    window_grid,
+)
+
+#: Bump whenever kernel numerics or grid layouts change meaning:
+#: participates in :func:`repro.runtime.cache.design_fingerprint`, so
+#: vectorized results can never alias cache entries written by a
+#: different kernel generation (or by the scalar-only era, which had no
+#: version token at all).
+KERNEL_LAYOUT_VERSION = "kernels/v1"
+
+__all__ = [
+    "KERNEL_LAYOUT_VERSION",
+    "bracket_grid",
+    "bubble_grid",
+    "decode_bounds",
+    "delay_grid",
+    "lot_threshold_grid",
+    "ones_count_grid",
+    "solve_supply_for_delay",
+    "solve_voltage_factor",
+    "threshold_grid",
+    "window_grid",
+    "word_grid",
+]

@@ -1,0 +1,98 @@
+"""Thermometer word evaluation over (samples x supplies) grids.
+
+The scalar oracle builds one :class:`~repro.analysis.thermometer.
+ThermometerWord` per (die, supply) point and decodes it with Python
+loops.  These kernels evaluate whole grids at once — raw words, bubble
+flags, ones counts, decode bounds and bracket tests are all pure
+integer/compare arithmetic, so kernel outputs are **bit-identical** to
+the scalar path (not merely close).
+
+Grid layout: thresholds/words put the *bit axis last* (bit 1 first
+along it, matching ``ThermometerWord.bits``); leading axes are free
+(dies, supplies, ...).  Ones-counting bubble correction preserves the
+ones count, so a corrected decode needs only :func:`ones_count_grid` —
+no corrected word grid is ever materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DecodingError
+from repro.runtime.profiling import phase
+
+
+def word_grid(v: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Raw output words: ``out[..., i] = 1`` iff ``v > T_{i+1}``.
+
+    Args:
+        v: Supplies, any shape; broadcast against the bit axis.
+        thresholds: Per-stage thresholds, bit 1 first, *physical* bit
+            order (need not be sorted — bubbles then appear, exactly as
+            in :meth:`DieCharacteristic.word_at`).
+
+    Returns:
+        uint8 array shaped ``v.shape + (n_bits,)``.
+    """
+    with phase("kernel.decode"):
+        v = np.asarray(v, dtype=float)
+        t = np.asarray(thresholds, dtype=float)
+        return (v[..., None] > t).astype(np.uint8)
+
+
+def ones_count_grid(words: np.ndarray) -> np.ndarray:
+    """Passing-stage count per word — the thermometer reading ``k``."""
+    return np.sum(words, axis=-1, dtype=np.int64)
+
+
+def bubble_grid(words: np.ndarray) -> np.ndarray:
+    """True where a word is *not* a valid thermometer code.
+
+    A valid code's pass bits form a prefix, i.e. the bit sequence is
+    nonincreasing — an ``np.diff`` check, replacing the scalar
+    ``is_valid_thermometer`` Python loop.
+    """
+    with phase("kernel.decode"):
+        w = np.asarray(words)
+        if w.shape[-1] < 2:
+            return np.zeros(w.shape[:-1], dtype=bool)
+        rising = np.diff(w.astype(np.int8), axis=-1) > 0
+        return np.any(rising, axis=-1)
+
+
+def decode_bounds(ladder: Sequence[float],
+                  k: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Decoded supply interval ``(T_k, T_{k+1}]`` per ones count.
+
+    The vectorized :func:`~repro.analysis.thermometer.decode_word`
+    after bubble correction: ``lo = T_k`` (``-inf`` for ``k == 0``),
+    ``hi = T_{k+1}`` (``+inf`` for ``k == n``).
+
+    Args:
+        ladder: Ascending thresholds, volts.
+        k: Ones counts, any shape (0..len(ladder)).
+
+    Raises:
+        DecodingError: non-ascending ladder or out-of-range counts.
+    """
+    with phase("kernel.decode"):
+        lad = np.asarray(ladder, dtype=float)
+        if lad.size > 1 and not np.all(np.diff(lad) > 0):
+            raise DecodingError("thresholds must be strictly ascending")
+        k = np.asarray(k, dtype=np.int64)
+        if k.size and (k.min() < 0 or k.max() > lad.size):
+            raise DecodingError(
+                f"ones count outside 0..{lad.size}"
+            )
+        padded = np.concatenate(([-np.inf], lad, [np.inf]))
+        return padded[k], padded[k + 1]
+
+
+def bracket_grid(v: np.ndarray, lo: np.ndarray,
+                 hi: np.ndarray) -> np.ndarray:
+    """True where the decoded interval brackets the truth:
+    ``lo < v <= hi`` (the half-open convention of ``VoltageRange``)."""
+    v = np.asarray(v, dtype=float)
+    return (lo < v) & (v <= hi)

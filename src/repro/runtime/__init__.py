@@ -44,6 +44,7 @@ from repro.runtime.cache import (
     task_key,
 )
 from repro.runtime.chaos import ChaosMonkey, KillOnceTask, SleepyTask
+from repro.runtime.profiling import PROFILER, PhaseProfiler, PhaseStat, phase
 from repro.runtime.executor import (
     cached_map,
     env_workers,
@@ -63,7 +64,11 @@ __all__ = [
     "ChaosMonkey",
     "KillOnceTask",
     "MapOutcome",
+    "PROFILER",
+    "PhaseProfiler",
+    "PhaseStat",
     "ResultCache",
+    "phase",
     "RetryPolicy",
     "RunStats",
     "SleepyTask",

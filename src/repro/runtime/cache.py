@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.runtime.profiling import phase
 
 #: Bump to invalidate every entry written by older layouts/semantics.
 CACHE_SCHEMA = "repro-cache/v1"
@@ -95,15 +96,35 @@ def stable_hash(obj: Any) -> str:
     return digest.hexdigest()
 
 
+def _numeric_environment() -> tuple[str, str]:
+    """(NumPy version, kernel layout version) baked into fingerprints.
+
+    Kernel-evaluated results depend on the NumPy build's elementwise
+    semantics and on the kernel layer's own numerics; folding both into
+    :func:`design_fingerprint` guarantees vectorized results never
+    alias entries written by a different kernel generation — or by the
+    scalar-only era, whose fingerprints carried no version tokens.
+    Imported lazily: the runtime layer must not depend on
+    :mod:`repro.kernels` at import time.
+    """
+    import numpy
+
+    from repro.kernels import KERNEL_LAYOUT_VERSION
+
+    return (f"numpy/{numpy.__version__}", KERNEL_LAYOUT_VERSION)
+
+
 def design_fingerprint(design: Any) -> str:
     """Stable fingerprint of a :class:`~repro.core.calibration.SensorDesign`.
 
     Covers every calibrated constant (the nested
     :class:`~repro.devices.technology.Technology` included), so any
     refit, corner, or ablation (``with_load_caps``) changes the
-    fingerprint and misses the cache.
+    fingerprint and misses the cache — plus the numeric environment
+    (NumPy version, kernel layout version), so results computed by a
+    different kernel generation miss it too.
     """
-    return stable_hash(design)
+    return stable_hash((design,) + _numeric_environment())
 
 
 def task_key(kind: str, *parts: Any) -> str:
@@ -182,7 +203,7 @@ class ResultCache:
         """
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
+            with phase("cache.get"), path.open("rb") as fh:
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
@@ -211,6 +232,10 @@ class ResultCache:
         """
         if self.disabled:
             return
+        with phase("cache.put"):
+            self._put(key, value)
+
+    def _put(self, key: str, value: Any) -> None:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             path = self._path(key)

@@ -26,6 +26,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
 from repro.runtime.cache import ResultCache, resolve_cache
+from repro.runtime.profiling import PROFILER
 
 #: Environment variable for sweeps without an explicit ``workers=``
 #: (benches, examples): unset/empty means serial.
@@ -80,7 +81,8 @@ def _iter_map(fn: Callable[[_T], _R], payloads: Sequence[_T],
         for item in payloads:
             yield fn(item)
         return
-    with ProcessPoolExecutor(max_workers=n) as pool:
+    with PROFILER.measure("runtime.pool"), \
+            ProcessPoolExecutor(max_workers=n) as pool:
         yield from pool.map(fn, payloads, chunksize=max(1, chunksize))
 
 

@@ -1,0 +1,119 @@
+"""Per-phase timing counters for sweep hot paths.
+
+The runtime already proves *what* a sweep computed (cache counters,
+``RunStats``); this module answers *where the wall-clock went*: kernel
+math vs. cache IO vs. process-pool dispatch.  A single process-global
+:class:`PhaseProfiler` accumulates ``(calls, seconds)`` per named phase;
+instrumented code brackets its hot sections with :func:`phase`, which
+costs two ``perf_counter()`` calls when profiling is enabled and almost
+nothing (one attribute check) when it is not — sweeps never pay for
+instrumentation they did not ask for.
+
+Phase names are dotted, coarse and stable — they are a CLI contract:
+
+* ``kernel.solve``  — vectorized delay-law root solves;
+* ``kernel.decode`` — vectorized word/decode grid evaluation;
+* ``runtime.pool``  — process-pool dispatch (workers > 1);
+* ``cache.get`` / ``cache.put`` — result-cache disk IO.
+
+The CLI's ``--profile`` flag enables the profiler around a sweep and
+prints :meth:`PhaseProfiler.report` afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated cost of one phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class PhaseProfiler:
+    """Named wall-time accumulators, disabled by default.
+
+    Attributes:
+        enabled: When False (default), :meth:`measure` is a no-op.
+        phases: Phase name -> :class:`PhaseStat`.
+    """
+
+    enabled: bool = False
+    phases: dict[str, PhaseStat] = field(default_factory=dict)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.phases.clear()
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` to a phase (one call)."""
+        stat = self.phases.setdefault(name, PhaseStat())
+        stat.calls += 1
+        stat.seconds += seconds
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Time a block under ``name`` when enabled; else no-op."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def snapshot(self) -> dict[str, tuple[int, float]]:
+        """``{phase: (calls, seconds)}`` — a picklable copy."""
+        return {k: (v.calls, v.seconds) for k, v in self.phases.items()}
+
+    def report(self, *, total: float | None = None) -> str:
+        """Human-readable breakdown, widest phase first.
+
+        Args:
+            total: Overall wall time to compute an "other" residual and
+                percentages against; omitted, percentages are of the
+                summed phase time.
+        """
+        if not self.phases:
+            return "profile: no instrumented phases ran"
+        items = sorted(self.phases.items(),
+                       key=lambda kv: kv[1].seconds, reverse=True)
+        denom = total if total and total > 0 \
+            else sum(s.seconds for _, s in items) or 1.0
+        width = max(len(name) for name, _ in items)
+        lines = ["phase".ljust(width) + "  calls      time     share"]
+        for name, stat in items:
+            lines.append(
+                f"{name.ljust(width)}  {stat.calls:>5}  "
+                f"{stat.seconds * 1e3:>7.1f}ms  {stat.seconds / denom:>7.1%}"
+            )
+        if total is not None and total > 0:
+            accounted = sum(s.seconds for _, s in items)
+            other = max(total - accounted, 0.0)
+            lines.append(
+                f"{'(other)'.ljust(width)}  {'':>5}  "
+                f"{other * 1e3:>7.1f}ms  {other / denom:>7.1%}"
+            )
+        return "\n".join(lines)
+
+
+#: The process-global profiler instrumented code reports into.
+PROFILER = PhaseProfiler()
+
+
+def phase(name: str):
+    """Module-level shortcut: ``with phase("kernel.solve"): ...``."""
+    return PROFILER.measure(name)
