@@ -1,0 +1,206 @@
+"""Streaming telemetry throughput: the tracked BENCH_telemetry.json.
+
+The workload is the full online-monitoring path — ring staging,
+chunked kernel decode, Welford/P²/histogram/EWMA aggregation and droop
+detection — over a synthetic million-sample PSN trace with injected
+droop events and rail noise.  Correctness gates the timing claim:
+
+* **chunked == batch** — before anything is timed, the pipeline's
+  chunk-at-a-time decode is compared elementwise (``==``, not
+  ``allclose``) against :func:`~repro.telemetry.pipeline.batch_decode`
+  of the same trace; any mismatch fails the bench regardless of
+  throughput;
+* **bounded memory** — the per-site ring's high watermark must stay at
+  or below the configured capacity;
+* **P² accuracy** — every tracked quantile must land within one
+  interior decode-interval width of exact ``np.quantile`` on the full
+  trace (the quantization bound documented in
+  :mod:`repro.telemetry.aggregate`).
+
+Run standalone (``python -m benchmarks.bench_telemetry`` or
+``repro bench telemetry``) with ``--smoke`` for the CI-sized trace and
+``--assert-throughput N`` (samples/s) to enforce a floor; the JSON
+lands in ``benchmarks/reports/BENCH_telemetry.json`` and, with
+``--out``, at a tracked path (the repo commits ``BENCH_telemetry.json``
+at the root).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any
+
+import numpy as np
+
+from benchmarks._perf import time_workload, write_bench_json
+from benchmarks._report import emit, fmt_rows
+
+CHUNK = 1024
+CAPACITY = 8192
+BLOCK = 4096
+
+
+def _make_pipeline(design, *, on_decoded=None):
+    from repro.telemetry import TelemetryPipeline
+
+    return TelemetryPipeline(
+        design, code=3, chunk=CHUNK, capacity=CAPACITY,
+        policy="drop_oldest", min_duration=2, refractory=8,
+        on_decoded=on_decoded,
+    )
+
+
+def _stream(design, times, volts, *, on_decoded=None):
+    from repro.telemetry import array_source
+
+    pipeline = _make_pipeline(design, on_decoded=on_decoded)
+    pipeline.ingest_all(
+        array_source("bench", times, volts, block=BLOCK)
+    )
+    pipeline.flush()
+    return pipeline
+
+
+def _verify(design, times, volts) -> dict[str, Any]:
+    """Agreement checks; raises AssertionError on any violation."""
+    from repro.telemetry import batch_decode
+
+    collected: list[np.ndarray] = []
+    pipeline = _stream(
+        design, times, volts,
+        on_decoded=lambda site, ts, ks, ms: collected.append(ms),
+    )
+    streamed = np.concatenate(collected)
+    _, _, batch_mids = batch_decode(pipeline.ladder, volts)
+    assert streamed.shape == batch_mids.shape, (
+        f"sample loss: streamed {streamed.shape}, batch "
+        f"{batch_mids.shape}"
+    )
+    assert np.array_equal(streamed, batch_mids), \
+        "chunked decode diverged from one-shot batch decode"
+
+    snap = pipeline.snapshot()
+    ring = snap["sites"]["bench"]["ring"]
+    assert ring["high_watermark"] <= CAPACITY, ring
+    assert ring["dropped"] == 0, ring
+
+    # P² vs exact quantiles: within one interior rung width.
+    ladder = pipeline.ladder
+    mid_levels = np.concatenate(
+        ([ladder[0]], 0.5 * (ladder[1:] + ladder[:-1]), [ladder[-1]])
+    )
+    bound = float(np.max(np.diff(mid_levels)))
+    q_err = {}
+    for q, est in snap["sites"]["bench"]["quantiles"].items():
+        exact = float(np.quantile(batch_mids, float(q)))
+        q_err[q] = abs(est - exact)
+        assert q_err[q] <= bound, (q, est, exact, bound)
+    return {
+        "chunked_equals_batch": True,
+        "high_watermark": ring["high_watermark"],
+        "capacity": CAPACITY,
+        "p2_bound_v": bound,
+        "p2_abs_err_v": q_err,
+        "events": snap["totals"]["events"],
+    }
+
+
+def run(*, smoke: bool = False, repeats: int = 3,
+        out: str | None = None) -> dict[str, Any]:
+    """Verify agreement, then time the streaming workload."""
+    from repro.core.calibration import paper_design
+    from repro.telemetry import synthetic_droop_trace
+
+    design = paper_design()
+    n_samples = 100_000 if smoke else 1_000_000
+    times, volts, onsets = synthetic_droop_trace(
+        n_samples=n_samples, dt=1e-9, n_droops=4, depth=0.15,
+        noise_rms=5e-3, seed=2024,
+    )
+
+    agreement = _verify(design, times, volts)
+
+    timing = time_workload(
+        lambda: _stream(design, times, volts),
+        repeats=repeats, points=n_samples,
+    )
+    # Decode-only timing isolates the kernel path from the Python-loop
+    # aggregators (P²/EWMA/detector are inherently sequential).
+    from repro.telemetry import batch_decode as _bd
+
+    decode_timing = time_workload(
+        lambda: _bd(_make_pipeline(design).ladder, volts),
+        repeats=repeats, points=n_samples,
+    )
+
+    payload: dict[str, Any] = {
+        "bench": "telemetry",
+        "mode": "smoke" if smoke else "full",
+        "trace": {
+            "n_samples": n_samples,
+            "dt_s": 1e-9,
+            "n_droops": len(onsets),
+            "noise_rms_v": 5e-3,
+        },
+        "pipeline": {
+            "chunk": CHUNK,
+            "capacity": CAPACITY,
+            "block": BLOCK,
+            "policy": "drop_oldest",
+        },
+        "agreement": agreement,
+        "streaming": timing,
+        "batch_decode_only": decode_timing,
+    }
+    write_bench_json("BENCH_telemetry", payload, out=out)
+
+    rows = [
+        ["streaming pipeline", f"{timing['best_s'] * 1e3:.1f}",
+         f"{timing['points_per_s']:.3g}"],
+        ["batch decode only", f"{decode_timing['best_s'] * 1e3:.1f}",
+         f"{decode_timing['points_per_s']:.3g}"],
+    ]
+    emit("telemetry_perf", fmt_rows(
+        ["workload", "best ms", "samples/s"], rows,
+    ))
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="streaming telemetry throughput bench"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized trace (1e5 samples)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--assert-throughput", type=float, default=None,
+                        metavar="SAMPLES_PER_S",
+                        help="fail below this streaming rate")
+    parser.add_argument("--out", default=None,
+                        help="extra path to mirror BENCH_telemetry.json "
+                             "to (e.g. the tracked repo-root copy)")
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke, repeats=args.repeats, out=args.out)
+    if args.assert_throughput is not None:
+        rate = payload["streaming"]["points_per_s"]
+        if rate < args.assert_throughput:
+            print(f"FAIL: {rate:.3g} samples/s below floor "
+                  f"{args.assert_throughput:.3g}")
+            return 1
+    return 0
+
+
+# -- pytest wrapper (runs with `pytest benchmarks`) -----------------------
+
+
+def test_telemetry_perf_bench(benchmark, design):
+    payload = benchmark.pedantic(
+        lambda: run(smoke=True, repeats=1), rounds=1, iterations=1,
+    )
+    assert payload["agreement"]["chunked_equals_batch"]
+    assert payload["agreement"]["high_watermark"] <= CAPACITY
+    assert payload["streaming"]["points_per_s"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

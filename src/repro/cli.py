@@ -10,8 +10,13 @@ without writing any Python:
 * ``fig9`` — the full-system two-measure sequence;
 * ``critical-path`` — STA over the control netlist;
 * ``measure`` — decode an arbitrary static rail level;
-* ``cache`` — inspect/clear the characterization result cache;
-* ``bench`` — run a perf bench from ``benchmarks/`` by name.
+* ``telemetry`` — stream a synthetic PSN scenario through the
+  bounded-memory online monitoring pipeline (droop events, quantiles,
+  occupancy; ``--events-out`` exports JSONL);
+* ``cache`` — inspect/clear the characterization result cache
+  (``stats`` reports hit/miss/error counters and the hit rate);
+* ``bench`` — run a perf bench from ``benchmarks/`` by name
+  (``--list`` enumerates what is available).
 
 Characterization sweeps (``fig4``, ``fig5``, ``yield``) accept
 ``--workers N`` (process-pool fan-out, bit-identical to serial) and
@@ -272,6 +277,22 @@ def _cmd_yield(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_names() -> list[str] | None:
+    """Available bench names (``benchmarks/bench_*.py`` stems), or
+    None when the ``benchmarks`` package is not importable (not run
+    from a repo checkout)."""
+    import importlib
+    import pathlib
+
+    try:
+        pkg = importlib.import_module("benchmarks")
+    except ModuleNotFoundError:
+        return None
+    bench_dir = pathlib.Path(pkg.__file__).parent
+    return sorted(p.stem[len("bench_"):]
+                  for p in bench_dir.glob("bench_*.py"))
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run one perf bench by name: ``repro bench kernels --smoke``.
 
@@ -279,16 +300,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     package must be importable, i.e. run from a repo checkout).  A
     bench exposing ``main(argv)`` (the perf-regression benches) gets
     the remaining arguments; older figure benches without one are run
-    through pytest.
+    through pytest.  ``repro bench --list`` enumerates what is
+    available instead of running anything.
     """
     import importlib
 
+    if args.list or args.name is None:
+        names = _bench_names()
+        if names is None:
+            print("benchmarks/ not importable; run from the repository "
+                  "root, e.g. PYTHONPATH=src python -m repro bench --list")
+            return 2
+        print("available benches (repro bench <name>):")
+        for name in names:
+            print(f"  {name}")
+        if args.name is None and not args.list:
+            return 2  # asked to run, named nothing
+        return 0
     try:
         module = importlib.import_module(f"benchmarks.bench_{args.name}")
     except ModuleNotFoundError as exc:
+        names = _bench_names()
         print(f"bench {args.name!r} not found ({exc}); run from the "
               f"repository root, e.g. "
               f"PYTHONPATH=src python -m repro bench kernels --smoke")
+        if names:
+            print("available: " + ", ".join(names))
         return 2
     extra = list(args.bench_args)
     if extra and extra[0] == "--":
@@ -306,13 +343,94 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.dir)
     if args.action == "stats":
         s = cache.stats()
+        rate = ("n/a (no lookups)" if s["hit_rate"] is None
+                else f"{s['hit_rate']:.1%}")
         print(f"cache dir : {s['dir']}")
         print(f"entries   : {s['entries']}")
         print(f"size      : {s['bytes']} bytes")
+        print(f"hits      : {s['hits']}")
+        print(f"misses    : {s['misses']}")
+        print(f"errors    : {s['errors']}")
+        print(f"hit rate  : {rate}")
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
     return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Stream a synthetic multi-site PSN scenario through the
+    telemetry pipeline and print the metrics snapshot.
+
+    Each site gets the same droop scenario with a per-site seed (so
+    noise differs) — the paper's "sensor arrays ... replicated in
+    different parts of the CUT" in miniature.  ``--events-out`` writes
+    detected droop episodes as JSONL; ``--json`` dumps the full
+    snapshot registry instead of the table.
+    """
+    import json
+
+    from repro.telemetry import (
+        TelemetryPipeline,
+        array_source,
+        synthetic_droop_trace,
+    )
+
+    d = paper_design()
+    pipeline = TelemetryPipeline(
+        d, code=args.code, chunk=args.chunk, capacity=args.capacity,
+        policy=args.policy, min_duration=args.min_duration,
+        refractory=args.refractory,
+        alert_depth_v=args.alert_depth,
+    )
+    for s in range(args.sites):
+        times, volts, _ = synthetic_droop_trace(
+            n_samples=args.samples, dt=args.dt_ns * 1e-9,
+            n_droops=args.droops, depth=args.depth,
+            noise_rms=args.noise_mv * 1e-3, seed=args.seed + s,
+        )
+        pipeline.ingest_all(
+            array_source(f"site{s}", times, volts, block=args.block)
+        )
+    pipeline.flush()
+    snap = pipeline.snapshot()
+
+    if args.events_out:
+        n_events = pipeline.export_events_jsonl(args.events_out)
+        print(f"wrote {n_events} event(s) to {args.events_out}")
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+
+    cfg = snap["config"]
+    print(f"telemetry: code {cfg['code']:03b}, chunk {cfg['chunk']}, "
+          f"capacity {cfg['capacity']}, policy {cfg['policy']}")
+    print(f"  ladder [V]: "
+          f"{[round(t, 4) for t in cfg['ladder_v']]}")
+    print(f"  droop rungs: enter <= {cfg['enter_rung']}, "
+          f"exit >= {cfg['exit_rung']}")
+    for site, s in snap["sites"].items():
+        st = s["stats"]
+        q = s["quantiles"]
+        print(f"site {site}: {s['decoded']} samples, "
+              f"mean {st['mean']:.4f} V, min {st['min']:.4f} V, "
+              f"p50 {q['0.5']:.4f} V, p99 {q['0.99']:.4f} V")
+        ring = s["ring"]
+        print(f"  buffer: peak {ring['high_watermark']}"
+              f"/{ring['capacity']}, dropped {ring['dropped']}, "
+              f"deferred {ring['deferred']}")
+        ev = s["events"]
+        depth = ("-" if ev["max_depth_v"] is None
+                 else f"{ev['max_depth_v']:.3f} V")
+        print(f"  events: {ev['count']} "
+              f"(max depth {depth}, discarded {ev['discarded']})")
+        if s["alerts"]:
+            print(f"  ALERTS: {', '.join(s['alerts'])}")
+    for e in pipeline.events:
+        print(f"  droop @{e.site}: {e.start * 1e9:.1f}..{e.end * 1e9:.1f}"
+              f" ns, depth {e.depth_v:.3f} V, worst word "
+              f"{e.worst_word} ({e.n_samples} samples)")
+    return 1 if snap["alerts"] and args.fail_on_alert else 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -391,13 +509,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench",
                        help="run a perf bench from benchmarks/ by name")
-    p.add_argument("name",
+    p.add_argument("name", nargs="?", default=None,
                    help="bench name, e.g. 'kernels' for "
                         "benchmarks/bench_kernels.py")
+    p.add_argument("--list", action="store_true",
+                   help="list available bench names and exit")
     p.add_argument("bench_args", nargs=argparse.REMAINDER,
                    help="arguments passed through to the bench "
                         "(e.g. --smoke --assert-speedup 3)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="stream a synthetic PSN scenario through the "
+             "bounded-memory telemetry pipeline",
+    )
+    p.add_argument("--samples", type=int, default=100_000,
+                   help="samples per site (default 100000)")
+    p.add_argument("--sites", type=int, default=1,
+                   help="replicated sensor sites")
+    p.add_argument("--dt-ns", type=float, default=1.0,
+                   help="sample spacing, ns")
+    p.add_argument("--droops", type=int, default=2,
+                   help="injected droop events per site")
+    p.add_argument("--depth", type=float, default=0.15,
+                   help="droop depth, volts")
+    p.add_argument("--noise-mv", type=float, default=5.0,
+                   help="rail noise RMS, millivolts")
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--code", type=int, default=3,
+                   help="delay code for the decode ladder")
+    p.add_argument("--chunk", type=int, default=1024,
+                   help="decode chunk size, samples")
+    p.add_argument("--capacity", type=int, default=8192,
+                   help="per-site ring capacity, samples")
+    p.add_argument("--policy", default="drop_oldest",
+                   choices=("drop_oldest", "block", "error"),
+                   help="ring overflow policy")
+    p.add_argument("--block", type=int, default=4096,
+                   help="source block size, samples")
+    p.add_argument("--min-duration", type=int, default=2,
+                   help="min in-episode samples for a droop event")
+    p.add_argument("--refractory", type=int, default=8,
+                   help="hold-off samples after an event closes")
+    p.add_argument("--alert-depth", type=float, default=None,
+                   metavar="VOLTS",
+                   help="fire the droop-depth alert at this depth")
+    p.add_argument("--fail-on-alert", action="store_true",
+                   help="exit 1 when any alert fires")
+    p.add_argument("--events-out", default=None, metavar="PATH",
+                   help="write detected droop events as JSONL")
+    p.add_argument("--json", action="store_true",
+                   help="print the full snapshot registry as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-phase wall-time breakdown "
+                        "(telemetry.ingest/decode/aggregate)")
+    p.set_defaults(func=_cmd_telemetry)
 
     p = sub.add_parser("cache",
                        help="characterization result cache")

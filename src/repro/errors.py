@@ -84,6 +84,17 @@ class TaskTimeoutError(ReproError):
     """
 
 
+class TelemetryOverflowError(ReproError):
+    """A telemetry ring buffer overflowed under the ``error`` policy.
+
+    The streaming pipeline's ring buffers are bounded by construction;
+    under ``OverflowPolicy.ERROR`` a producer that outruns the consumer
+    is a configuration problem and surfaces as this exception instead
+    of silently losing samples (``drop_oldest``) or exerting
+    backpressure (``block``).
+    """
+
+
 class RetryExhaustedError(ReproError):
     """A task kept failing (raising) through all configured retries.
 

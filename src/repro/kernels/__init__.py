@@ -41,6 +41,7 @@ from repro.kernels.thermometer import (
     bracket_grid,
     bubble_grid,
     decode_bounds,
+    midpoint_grid,
     ones_count_grid,
     word_grid,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "decode_bounds",
     "delay_grid",
     "lot_threshold_grid",
+    "midpoint_grid",
     "ones_count_grid",
     "solve_supply_for_delay",
     "solve_voltage_factor",

@@ -90,6 +90,27 @@ def decode_bounds(ladder: Sequence[float],
         return padded[k], padded[k + 1]
 
 
+def midpoint_grid(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Representative decoded voltage per bound pair — the vectorized
+    :attr:`~repro.analysis.thermometer.VoltageRange.midpoint`: the
+    interval midpoint where both ends are finite, else the finite
+    endpoint (saturated readings collapse to the ladder edge).
+
+    Raises:
+        DecodingError: a pair with no finite endpoint.
+    """
+    with phase("kernel.decode"):
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        lo_fin = np.isfinite(lo)
+        hi_fin = np.isfinite(hi)
+        if not np.all(lo_fin | hi_fin):
+            raise DecodingError("range has no finite endpoint")
+        mid = np.where(lo_fin & hi_fin, 0.5 * (lo + hi),
+                       np.where(lo_fin, lo, hi))
+        return mid
+
+
 def bracket_grid(v: np.ndarray, lo: np.ndarray,
                  hi: np.ndarray) -> np.ndarray:
     """True where the decoded interval brackets the truth:

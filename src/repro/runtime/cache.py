@@ -295,6 +295,14 @@ class ResultCache:
                 pass
         return removed
 
+    @property
+    def hit_rate(self) -> float | None:
+        """Fraction of lookups served from disk (None before any)."""
+        lookups = self.hits + self.misses
+        if lookups == 0:
+            return None
+        return self.hits / lookups
+
     def stats(self) -> dict[str, Any]:
         """Counters plus on-disk footprint, for tests and the CLI."""
         entries = self.entries()
@@ -305,6 +313,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "errors": self.errors,
+            "hit_rate": self.hit_rate,
             "disabled": self.disabled,
         }
 

@@ -1,0 +1,66 @@
+"""repro.telemetry — bounded-memory streaming PSN monitoring.
+
+The paper's deployment story is a live one: sensor arrays replicated
+across the CUT "like a scan chain", with measures "iterated so that
+noise values can be captured in different moments of the CUT transient
+behavior" — a continuous stream of thermometer words, not a one-shot
+sweep.  This package is that missing online layer:
+
+* :mod:`repro.telemetry.ring` — fixed-capacity staging buffers with an
+  explicit overflow policy (``drop_oldest`` / ``block`` / ``error``)
+  and drop counters;
+* :mod:`repro.telemetry.aggregate` — O(1) online aggregators: Welford
+  statistics, P² streaming quantiles, per-rung occupancy, EWMA
+  baseline;
+* :mod:`repro.telemetry.events` — hysteresis droop-episode detection
+  emitting :class:`~repro.telemetry.events.DroopEvent` records;
+* :mod:`repro.telemetry.sources` — adapters from
+  :class:`~repro.core.monitor.NoiseMonitor` captures, scan-chain
+  shift-outs, PDN transient grids and raw arrays to sample streams;
+* :mod:`repro.telemetry.pipeline` — the
+  :class:`~repro.telemetry.pipeline.TelemetryPipeline` orchestrator:
+  chunked kernel decode (bit-identical to batch), per-site aggregation,
+  alert rules, JSON snapshots and JSONL event export.
+
+The CLI front end is ``repro telemetry``; the tracked perf trajectory
+is ``BENCH_telemetry.json`` from ``benchmarks/bench_telemetry.py``.
+"""
+
+from repro.telemetry.aggregate import (
+    EwmaBaseline,
+    P2Quantile,
+    RungHistogram,
+    RunningStats,
+)
+from repro.telemetry.events import DroopDetector, DroopEvent
+from repro.telemetry.pipeline import TelemetryPipeline, batch_decode
+from repro.telemetry.ring import OverflowPolicy, RingBuffer
+from repro.telemetry.sources import (
+    SampleBlock,
+    array_source,
+    grid_transient_source,
+    monitor_source,
+    scan_chain_source,
+    synthetic_droop_trace,
+    waveform_source,
+)
+
+__all__ = [
+    "DroopDetector",
+    "DroopEvent",
+    "EwmaBaseline",
+    "OverflowPolicy",
+    "P2Quantile",
+    "RingBuffer",
+    "RungHistogram",
+    "RunningStats",
+    "SampleBlock",
+    "TelemetryPipeline",
+    "array_source",
+    "batch_decode",
+    "grid_transient_source",
+    "monitor_source",
+    "scan_chain_source",
+    "synthetic_droop_trace",
+    "waveform_source",
+]

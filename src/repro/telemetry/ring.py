@@ -1,0 +1,217 @@
+"""Fixed-capacity ring buffers with explicit overflow policy.
+
+The streaming pipeline's memory bound lives here: every sensor site
+stages its samples in one :class:`RingBuffer` of fixed capacity, so the
+pipeline's peak buffered-sample count is ``capacity`` per site *by
+construction*, independent of trace length.  What happens when a
+producer outruns the consumer is an explicit, observable choice:
+
+* ``drop_oldest`` — evict the oldest staged samples to make room
+  (telemetry semantics: the freshest data wins) and count every evicted
+  sample in :attr:`RingBuffer.dropped`;
+* ``block`` — accept only what fits and report how much was taken;
+  the caller must drain and re-offer the rest (backpressure).  Samples
+  deferred this way are counted in :attr:`RingBuffer.deferred`;
+* ``error`` — raise :class:`~repro.errors.TelemetryOverflowError`;
+  losing samples is a configuration bug for this stream.
+
+Storage is a preallocated ``(capacity, width)`` float64 array indexed
+by a moving head, so block pushes and pops are numpy slice copies, not
+per-sample Python work.  Payloads are whatever the stream carries —
+one column for raw rail voltages, ``n_bits`` columns for 0/1 word bits
+(exact in float64) — with the sample time in a parallel column.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TelemetryOverflowError
+
+
+class OverflowPolicy(enum.Enum):
+    """What a full ring does with an incoming sample."""
+
+    DROP_OLDEST = "drop_oldest"
+    BLOCK = "block"
+    ERROR = "error"
+
+    @classmethod
+    def parse(cls, value: "OverflowPolicy | str") -> "OverflowPolicy":
+        """Accept an enum member or its string value (CLI-friendly)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown overflow policy {value!r}; expected one of "
+                f"{[p.value for p in cls]}"
+            ) from None
+
+
+class RingBuffer:
+    """Bounded staging buffer for (time, payload) sample blocks.
+
+    Args:
+        capacity: Maximum staged samples; the hard memory bound.
+        width: Payload columns per sample (1 for a voltage stream,
+            ``n_bits`` for a word stream).
+        policy: Overflow behavior; see the module docstring.
+
+    Attributes:
+        pushed: Samples ever accepted into the ring.
+        popped: Samples ever drained out.
+        dropped: Samples evicted unread (``drop_oldest`` only).
+        deferred: Samples refused for lack of space (``block`` only) —
+            the producer re-offers them after draining.
+        high_watermark: Peak occupancy ever observed (<= capacity).
+    """
+
+    def __init__(self, capacity: int, width: int = 1, *,
+                 policy: OverflowPolicy | str =
+                 OverflowPolicy.DROP_OLDEST) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be at least 1")
+        if width < 1:
+            raise ConfigurationError("width must be at least 1")
+        self.capacity = int(capacity)
+        self.width = int(width)
+        self.policy = OverflowPolicy.parse(policy)
+        self._times = np.empty(self.capacity, dtype=np.float64)
+        self._payload = np.empty((self.capacity, self.width),
+                                 dtype=np.float64)
+        self._head = 0  # index of the oldest staged sample
+        self._size = 0
+        self.pushed = 0
+        self.popped = 0
+        self.dropped = 0
+        self.deferred = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def free(self) -> int:
+        """Samples the ring can accept without overflowing."""
+        return self.capacity - self._size
+
+    # -- internals -------------------------------------------------------
+
+    def _write(self, times: np.ndarray, payload: np.ndarray) -> None:
+        """Copy ``len(times)`` samples in at the tail (space exists)."""
+        n = times.shape[0]
+        tail = (self._head + self._size) % self.capacity
+        first = min(n, self.capacity - tail)
+        self._times[tail:tail + first] = times[:first]
+        self._payload[tail:tail + first] = payload[:first]
+        if first < n:
+            self._times[:n - first] = times[first:]
+            self._payload[:n - first] = payload[first:]
+        self._size += n
+        self.pushed += n
+        if self._size > self.high_watermark:
+            self.high_watermark = self._size
+
+    def _evict(self, n: int) -> None:
+        self._head = (self._head + n) % self.capacity
+        self._size -= n
+        self.dropped += n
+
+    # -- producer side ---------------------------------------------------
+
+    def push_block(self, times: np.ndarray,
+                   payload: np.ndarray) -> int:
+        """Stage a block of samples; returns how many were accepted.
+
+        ``times`` is shape ``(n,)``; ``payload`` is ``(n,)`` (width 1)
+        or ``(n, width)``.  Under ``drop_oldest`` and ``error`` the
+        return value is always ``n`` (or the call raises); under
+        ``block`` it may be less — drain and re-offer the remainder.
+
+        Raises:
+            ConfigurationError: mis-shaped block.
+            TelemetryOverflowError: overflow under the ``error`` policy.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        payload = np.asarray(payload, dtype=np.float64)
+        if payload.ndim == 1:
+            payload = payload[:, None]
+        if times.ndim != 1 or payload.shape != (times.shape[0],
+                                                self.width):
+            raise ConfigurationError(
+                f"block shape mismatch: times {times.shape}, payload "
+                f"{payload.shape}, width {self.width}"
+            )
+        n = times.shape[0]
+        if n == 0:
+            return 0
+        if n <= self.free:
+            self._write(times, payload)
+            return n
+        if self.policy is OverflowPolicy.ERROR:
+            raise TelemetryOverflowError(
+                f"ring overflow: {n} samples offered, {self.free} free "
+                f"of {self.capacity}"
+            )
+        if self.policy is OverflowPolicy.BLOCK:
+            take = self.free
+            if take:
+                self._write(times[:take], payload[:take])
+            self.deferred += n - take
+            return take
+        # drop_oldest: keep only the freshest `capacity` of the offered
+        # block, evicting staged samples as needed.
+        if n >= self.capacity:
+            skip = n - self.capacity
+            self._evict(self._size)
+            self.dropped += skip  # offered samples that never staged
+            self._head = 0
+            self._write(times[skip:], payload[skip:])
+            return n
+        need = n - self.free
+        self._evict(need)
+        self._write(times, payload)
+        return n
+
+    # -- consumer side ---------------------------------------------------
+
+    def pop_block(self, max_n: int | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Drain up to ``max_n`` oldest samples as ``(times, payload)``.
+
+        Returns freshly-allocated contiguous copies (safe to hold);
+        payload keeps its ``(n, width)`` shape.  An empty ring returns
+        zero-length arrays.
+        """
+        n = self._size if max_n is None else min(max_n, self._size)
+        if n <= 0:
+            return (np.empty(0), np.empty((0, self.width)))
+        head = self._head
+        first = min(n, self.capacity - head)
+        times = np.empty(n, dtype=np.float64)
+        payload = np.empty((n, self.width), dtype=np.float64)
+        times[:first] = self._times[head:head + first]
+        payload[:first] = self._payload[head:head + first]
+        if first < n:
+            times[first:] = self._times[:n - first]
+            payload[first:] = self._payload[:n - first]
+        self._head = (head + n) % self.capacity
+        self._size -= n
+        self.popped += n
+        return times, payload
+
+    def counters(self) -> dict[str, int]:
+        """Observable state for snapshots."""
+        return {
+            "capacity": self.capacity,
+            "staged": self._size,
+            "pushed": self.pushed,
+            "popped": self.popped,
+            "dropped": self.dropped,
+            "deferred": self.deferred,
+            "high_watermark": self.high_watermark,
+        }

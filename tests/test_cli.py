@@ -115,3 +115,69 @@ def test_requires_subcommand(capsys):
 def test_measure_requires_one_rail(capsys):
     with pytest.raises(SystemExit):
         main(["measure"])
+
+
+def test_bench_list(capsys):
+    code, out = run(capsys, "bench", "--list")
+    assert code == 0
+    assert "available benches" in out
+    for name in ("kernels", "telemetry"):
+        assert f"  {name}" in out
+
+
+def test_bench_without_name_lists_and_fails(capsys):
+    code, out = run(capsys, "bench")
+    assert code == 2
+    assert "available benches" in out
+
+
+def test_bench_unknown_name(capsys):
+    code, out = run(capsys, "bench", "no-such-bench")
+    assert code == 2
+    assert "not found" in out
+
+
+def test_cache_stats_hit_rate(capsys, tmp_path):
+    code, out = run(capsys, "cache", "stats", "--dir", str(tmp_path))
+    assert code == 0
+    assert "hit rate  : n/a (no lookups)" in out
+
+
+def test_telemetry(capsys):
+    code, out = run(capsys, "telemetry", "--samples", "20000",
+                    "--sites", "2", "--droops", "1")
+    assert code == 0
+    assert "telemetry: code 011, chunk 1024" in out
+    assert "site site0:" in out and "site site1:" in out
+    assert "20000 samples" in out
+    assert "droop @site0:" in out
+
+
+def test_telemetry_json_and_events_out(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "events.jsonl"
+    code, out = run(capsys, "telemetry", "--samples", "20000",
+                    "--droops", "2", "--events-out", str(path),
+                    "--json")
+    assert code == 0
+    assert f"wrote 2 event(s) to {path}" in out
+    events = [json.loads(line) for line in
+              path.read_text().splitlines()]
+    assert len(events) == 2
+    snap = json.loads(out[out.index("{"):])
+    assert snap["totals"]["events"] == 2
+    assert snap["sites"]["site0"]["decoded"] == 20000
+
+
+def test_telemetry_fail_on_alert(capsys):
+    code, out = run(capsys, "telemetry", "--samples", "20000",
+                    "--droops", "1", "--alert-depth", "0.05",
+                    "--fail-on-alert")
+    assert code == 1
+    assert "ALERTS: droop-depth" in out
+
+
+def test_telemetry_policy_choices(capsys):
+    with pytest.raises(SystemExit):
+        main(["telemetry", "--policy", "bogus"])

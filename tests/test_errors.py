@@ -16,6 +16,7 @@ ALL_ERRORS = [
     errors.ProtocolError,
     errors.WorkerCrashError,
     errors.TaskTimeoutError,
+    errors.TelemetryOverflowError,
     errors.RetryExhaustedError,
 ]
 

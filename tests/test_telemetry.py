@@ -1,0 +1,357 @@
+"""Unit tests for the telemetry building blocks.
+
+Ring-buffer policies, online aggregators against their exact numpy
+references, and the hysteresis droop detector on crafted rung
+sequences.  The pipeline-level integration (bounded memory, chunked
+vs. batch bit-identity, end-to-end droop recovery) lives in
+``test_telemetry_pipeline.py``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TelemetryOverflowError
+from repro.telemetry import (
+    DroopDetector,
+    EwmaBaseline,
+    OverflowPolicy,
+    P2Quantile,
+    RingBuffer,
+    RungHistogram,
+    RunningStats,
+)
+
+
+# -- ring buffer ---------------------------------------------------------
+
+
+def _fill(n, start=0):
+    t = np.arange(start, start + n, dtype=float)
+    return t, t * 10.0
+
+
+def test_ring_fifo_order_and_wraparound():
+    ring = RingBuffer(8, 1)
+    for k in range(5):  # repeated push/pop cycles force wraparound
+        t, v = _fill(6, start=6 * k)
+        assert ring.push_block(t, v) == 6
+        got_t, got_v = ring.pop_block()
+        assert np.array_equal(got_t, t)
+        assert np.array_equal(got_v[:, 0], v)
+    assert len(ring) == 0
+    assert ring.pushed == 30 and ring.popped == 30
+
+
+def test_ring_partial_pop():
+    ring = RingBuffer(10, 1)
+    t, v = _fill(7)
+    ring.push_block(t, v)
+    t1, _ = ring.pop_block(3)
+    t2, _ = ring.pop_block(100)
+    assert np.array_equal(np.concatenate([t1, t2]), t)
+    empty_t, empty_v = ring.pop_block()
+    assert empty_t.size == 0 and empty_v.shape == (0, 1)
+
+
+def test_ring_drop_oldest_evicts_and_counts():
+    ring = RingBuffer(4, 1, policy="drop_oldest")
+    ring.push_block(*_fill(4))
+    assert ring.push_block(*_fill(2, start=4)) == 2
+    assert ring.dropped == 2
+    got_t, _ = ring.pop_block()
+    assert np.array_equal(got_t, np.arange(2.0, 6.0))
+
+
+def test_ring_drop_oldest_oversized_block_keeps_freshest():
+    ring = RingBuffer(4, 1)
+    ring.push_block(*_fill(3))
+    t, v = _fill(10, start=3)
+    assert ring.push_block(t, v) == 10
+    got_t, _ = ring.pop_block()
+    assert np.array_equal(got_t, t[-4:])
+    assert ring.dropped == 3 + 6  # 3 staged evicted + 6 never staged
+
+
+def test_ring_block_policy_defers():
+    ring = RingBuffer(4, 1, policy=OverflowPolicy.BLOCK)
+    t, v = _fill(6)
+    assert ring.push_block(t, v) == 4
+    assert ring.deferred == 2
+    assert ring.dropped == 0
+    ring.pop_block(2)
+    assert ring.push_block(t[4:], v[4:]) == 2
+
+
+def test_ring_error_policy_raises():
+    ring = RingBuffer(4, 1, policy="error")
+    ring.push_block(*_fill(3))
+    with pytest.raises(TelemetryOverflowError):
+        ring.push_block(*_fill(2, start=3))
+    assert len(ring) == 3  # nothing was partially staged
+
+
+def test_ring_high_watermark_tracks_peak():
+    ring = RingBuffer(8, 1)
+    ring.push_block(*_fill(5))
+    ring.pop_block(5)
+    ring.push_block(*_fill(3))
+    assert ring.high_watermark == 5
+    assert ring.counters()["staged"] == 3
+
+
+def test_ring_word_payload_roundtrip():
+    ring = RingBuffer(16, 7)
+    bits = np.asarray([[1, 1, 0, 1, 0, 0, 0], [1] * 7], dtype=float)
+    ring.push_block(np.array([0.0, 1.0]), bits)
+    _, got = ring.pop_block()
+    assert np.array_equal(got, bits)
+
+
+def test_ring_validation():
+    with pytest.raises(ConfigurationError):
+        RingBuffer(0, 1)
+    with pytest.raises(ConfigurationError):
+        RingBuffer(4, 0)
+    with pytest.raises(ConfigurationError):
+        OverflowPolicy.parse("bogus")
+    ring = RingBuffer(4, 2)
+    with pytest.raises(ConfigurationError):
+        ring.push_block(np.zeros(3), np.zeros((3, 1)))
+
+
+# -- running stats -------------------------------------------------------
+
+
+def test_running_stats_matches_numpy():
+    rng = np.random.default_rng(11)
+    xs = rng.normal(1.0, 0.2, size=5000)
+    stats = RunningStats()
+    stats.update_block(xs[:1700])
+    for x in xs[1700:1710]:
+        stats.update(float(x))
+    stats.update_block(xs[1710:])
+    assert stats.count == xs.size
+    assert stats.mean == pytest.approx(float(xs.mean()), rel=1e-12)
+    assert stats.variance == pytest.approx(
+        float(xs.var(ddof=1)), rel=1e-9
+    )
+    assert stats.minimum == float(xs.min())
+    assert stats.maximum == float(xs.max())
+
+
+def test_running_stats_empty_and_single():
+    stats = RunningStats()
+    d = stats.as_dict()
+    assert d["count"] == 0 and d["mean"] is None
+    stats.update(2.5)
+    assert stats.mean == 2.5
+    assert math.isnan(stats.variance)
+    assert stats.as_dict()["variance"] is None
+
+
+# -- P2 quantiles --------------------------------------------------------
+
+
+@pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.99])
+def test_p2_quantile_continuous_accuracy(q):
+    rng = np.random.default_rng(5)
+    xs = rng.normal(0.0, 1.0, size=20_000)
+    est = P2Quantile(q)
+    est.update_block(xs)
+    exact = float(np.quantile(xs, q))
+    # P2 on 20k continuous Gaussian samples: a few percent of sigma.
+    assert abs(est.value - exact) < 0.05
+
+
+def test_p2_quantile_small_counts_are_exact():
+    est = P2Quantile(0.5)
+    assert math.isnan(est.value)
+    for x in (5.0, 1.0, 3.0):
+        est.update(x)
+    assert est.value == 3.0  # exact order statistic below 5 samples
+
+
+def test_p2_quantile_validation():
+    with pytest.raises(ConfigurationError):
+        P2Quantile(0.0)
+    with pytest.raises(ConfigurationError):
+        P2Quantile(1.0)
+
+
+def test_p2_quantile_quantized_within_one_rung():
+    """The documented bound on decoded (discrete) midpoint streams."""
+    rng = np.random.default_rng(9)
+    levels = np.array([0.83, 0.91, 0.945, 0.976, 1.006, 1.037, 1.053])
+    xs = levels[rng.integers(0, levels.size, size=30_000)]
+    bound = float(np.max(np.diff(levels)))
+    for q in (0.5, 0.99):
+        est = P2Quantile(q)
+        est.update_block(xs)
+        assert abs(est.value - float(np.quantile(xs, q))) <= bound
+
+
+# -- rung histogram ------------------------------------------------------
+
+
+def test_rung_histogram_exact_counts():
+    hist = RungHistogram(7)
+    rng = np.random.default_rng(3)
+    ks = rng.integers(0, 8, size=4000)
+    bubbles = rng.random(4000) < 0.1
+    hist.update_block(ks[:1000], bubbles[:1000])
+    hist.update_block(ks[1000:], bubbles[1000:])
+    assert np.array_equal(hist.counts, np.bincount(ks, minlength=8))
+    assert hist.bubbled == int(bubbles.sum())
+    assert hist.total == 4000
+    occ = hist.occupancy()
+    assert sum(occ) == pytest.approx(1.0)
+    assert len(occ) == 8
+
+
+def test_rung_histogram_validation():
+    hist = RungHistogram(3)
+    with pytest.raises(ConfigurationError):
+        hist.update_block(np.array([4]))
+    with pytest.raises(ConfigurationError):
+        RungHistogram(0)
+
+
+# -- EWMA baseline -------------------------------------------------------
+
+
+def test_ewma_chunk_invariant():
+    rng = np.random.default_rng(17)
+    xs = rng.normal(1.0, 0.05, size=2000)
+    whole = EwmaBaseline(0.02)
+    whole.update_block(xs)
+    chunked = EwmaBaseline(0.02)
+    for lo in range(0, 2000, 173):  # ragged chunking
+        chunked.update_block(xs[lo:lo + 173])
+    assert whole.value == chunked.value
+    scalar = EwmaBaseline(0.02)
+    for x in xs:
+        scalar.update(float(x))
+    assert whole.value == scalar.value
+
+
+def test_ewma_validation():
+    with pytest.raises(ConfigurationError):
+        EwmaBaseline(0.0)
+    with pytest.raises(ConfigurationError):
+        EwmaBaseline(1.5)
+
+
+# -- droop detector ------------------------------------------------------
+
+
+def _feed(det, ks, mids=None, t0=0.0):
+    ks = np.asarray(ks)
+    if mids is None:
+        mids = 0.8 + 0.03 * ks.astype(float)
+    times = t0 + np.arange(ks.size, dtype=float)
+    det.update_block(times, ks, np.asarray(mids, dtype=float))
+    return times
+
+
+def test_detector_basic_episode():
+    det = DroopDetector("s", enter_rung=2, exit_rung=5,
+                        reference_v=1.0)
+    _feed(det, [6, 6, 2, 1, 0, 1, 3, 5, 6, 6])
+    det.finalize()
+    assert len(det.events) == 1
+    e = det.events[0]
+    assert e.start == 2.0 and e.end == 6.0  # rung-3 sample still inside
+    assert e.n_samples == 5
+    assert e.worst_rung == 0
+    assert e.depth_v == pytest.approx(1.0 - 0.8)
+    assert not e.truncated
+
+
+def test_detector_hysteresis_prevents_chatter():
+    """Rattle between the entry rung and entry+1 must not split."""
+    det = DroopDetector("s", enter_rung=2, exit_rung=5,
+                        reference_v=1.0)
+    _feed(det, [6, 2, 3, 2, 3, 2, 4, 3, 2, 6, 6])
+    det.finalize()
+    assert len(det.events) == 1
+    assert det.events[0].n_samples == 8
+
+    naive_transitions = 0  # what a no-hysteresis detector would emit
+    ks = [6, 2, 3, 2, 3, 2, 4, 3, 2, 6, 6]
+    for a, b in zip(ks, ks[1:]):
+        if a > 2 and b <= 2:
+            naive_transitions += 1
+    assert naive_transitions > 1
+
+
+def test_detector_min_duration_discards_glitches():
+    det = DroopDetector("s", enter_rung=2, exit_rung=5,
+                        reference_v=1.0, min_duration=3)
+    _feed(det, [6, 2, 6, 6, 2, 2, 2, 6, 6])
+    det.finalize()
+    assert len(det.events) == 1
+    assert det.events[0].n_samples == 3
+    assert det.discarded == 1
+
+
+def test_detector_refractory_holds_off():
+    det = DroopDetector("s", enter_rung=2, exit_rung=5,
+                        reference_v=1.0, refractory=4)
+    # Second dip falls inside the 4-sample hold-off window.
+    _feed(det, [2, 2, 6, 2, 2, 6, 6, 6, 6, 2, 2, 6])
+    det.finalize()
+    assert len(det.events) == 2
+    assert det.events[1].start == 9.0
+
+
+def test_detector_truncated_episode():
+    det = DroopDetector("s", enter_rung=2, exit_rung=5,
+                        reference_v=1.0)
+    _feed(det, [6, 6, 1, 1])
+    det.finalize()
+    assert len(det.events) == 1
+    assert det.events[0].truncated
+
+
+def test_detector_worst_word_and_chunk_split():
+    det = DroopDetector("s", enter_rung=2, exit_rung=5,
+                        reference_v=1.0)
+    words = np.zeros((4, 7))
+    words[2, :1] = 1  # deepest sample's word: 0000001
+    ks = np.array([6, 1, 1, 6])
+    mids = np.array([1.0, 0.90, 0.85, 1.0])
+    # Split across two blocks mid-episode: state must carry over.
+    det.update_block(np.array([0.0, 1.0]), ks[:2], mids[:2],
+                     words[:2])
+    det.update_block(np.array([2.0, 3.0]), ks[2:], mids[2:],
+                     words[2:])
+    det.finalize()
+    assert len(det.events) == 1
+    assert det.events[0].worst_word == "0000001"
+    assert det.events[0].worst_v == pytest.approx(0.85)
+
+
+def test_detector_validation():
+    with pytest.raises(ConfigurationError):
+        DroopDetector("s", enter_rung=3, exit_rung=3, reference_v=1.0)
+    with pytest.raises(ConfigurationError):
+        DroopDetector("s", enter_rung=-1, exit_rung=2, reference_v=1.0)
+    with pytest.raises(ConfigurationError):
+        DroopDetector("s", enter_rung=1, exit_rung=3, reference_v=1.0,
+                      min_duration=0)
+    with pytest.raises(ConfigurationError):
+        DroopDetector("s", enter_rung=1, exit_rung=3, reference_v=1.0,
+                      refractory=-1)
+
+
+def test_event_as_dict_is_json_friendly():
+    import json
+
+    det = DroopDetector("s", enter_rung=2, exit_rung=5,
+                        reference_v=1.0)
+    _feed(det, [6, 1, 1, 6])
+    det.finalize()
+    row = det.events[0].as_dict()
+    assert json.loads(json.dumps(row)) == row
