@@ -13,11 +13,19 @@ directly to the thermometer:
   letting a tester extract both from purely digital pass/fail data.
 
 Everything is seeded and deterministic.  Ladder extraction sweeps one
-S-curve per stage with a per-bit derived seed, so the stages are
-independent tasks: :func:`extract_ladder_via_s_curves` takes
-``workers=`` (process-pool fan-out across bits, bit-identical to the
-serial loop) and ``cache=`` (per-stage memoization) — see
-:mod:`repro.runtime`.
+S-curve per stage with a per-bit child seed
+(``SeedSequence(seed).spawn`` — see
+:mod:`repro.kernels.montecarlo`), so the stages are independent tasks:
+:func:`extract_ladder_via_s_curves` takes ``workers=`` (process-pool
+fan-out across bits, bit-identical to the serial loop) and ``cache=``
+(per-stage memoization) — see :mod:`repro.runtime`.
+
+Both statistical flows run on the batched Monte-Carlo kernels by
+default (``method="kernel"``, :mod:`repro.kernels.montecarlo`); the
+original per-draw loops stay as the correctness oracle
+(``method="scalar"``) and the two produce *identical* histograms and
+trip probabilities — same Generator stream, same elementwise
+arithmetic — which ``tests/test_kernels_montecarlo.py`` asserts.
 """
 
 from __future__ import annotations
@@ -54,29 +62,57 @@ def _sense_rail():
 def word_histogram(design: "SensorDesign", *, level: float,
                    noise_rms: float, n_measures: int = 200,
                    code: int = 3, seed: int = 7,
-                   rail: "SenseRail | None" = None
-                   ) -> dict[str, int]:
+                   rail: "SenseRail | None" = None,
+                   method: str = "kernel") -> dict[str, int]:
     """Distribution of output words at a noisy nominal level.
 
     Each measure draws an independent Gaussian rail sample
     ``level + N(0, noise_rms)`` (the sensor's per-measure aperture is
     far shorter than broadband noise correlation anyway).
 
+    ``method="kernel"`` (default) draws all samples in one Generator
+    call and counts words with
+    :func:`repro.kernels.montecarlo.word_grid_mc`;
+    ``method="scalar"`` is the original per-measure loop.  The two are
+    identical — a batched ``normal(size=n)`` fills from the same
+    stream as ``n`` scalar draws, and the kernel's pass/fail
+    arithmetic matches the scalar measure float for float.
+
     Raises:
-        ConfigurationError: non-positive measure count / negative rms.
+        ConfigurationError: non-positive measure count / negative rms,
+            or an unknown method.
     """
     if n_measures < 1:
         raise ConfigurationError("n_measures must be positive")
     if noise_rms < 0:
         raise ConfigurationError("noise_rms must be non-negative")
-    from repro.core.array import SensorArray
-
+    if method not in ("kernel", "scalar"):
+        raise ConfigurationError(
+            f"unknown method {method!r} (use 'kernel'/'scalar')"
+        )
     if rail is None:
         rail = _sense_rail().VDD
     rng = np.random.default_rng(seed)
+    is_vdd = rail is _sense_rail().VDD
+
+    if method == "kernel":
+        from repro.kernels.montecarlo import (
+            effective_supply_grid,
+            word_grid_mc,
+            word_histogram_grid,
+        )
+
+        draws = level + rng.normal(0.0, noise_rms, size=n_measures)
+        v_eff = effective_supply_grid(
+            design, draws, rail="vdd" if is_vdd else "gnd"
+        )
+        words = word_grid_mc(design, v_eff, code=code)
+        return word_histogram_grid(words)
+
+    from repro.core.array import SensorArray
+
     array = SensorArray(design, rail)
     counts: Counter[str] = Counter()
-    is_vdd = rail is _sense_rail().VDD
     for _ in range(n_measures):
         v = level + rng.normal(0.0, noise_rms)
         kwargs = {"vdd_n": v} if is_vdd else {"gnd_n": v}
@@ -147,17 +183,41 @@ def measure_s_curve(design: "SensorDesign", bit: int, *,
                     span_sigmas: float = 4.0,
                     n_levels: int = 15,
                     n_per_level: int = 200,
-                    seed: int = 11) -> SCurve:
+                    seed: "int | np.random.SeedSequence" = 11,
+                    method: str = "kernel") -> SCurve:
     """Sweep nominal levels across one stage's threshold with noise.
 
     The sweep covers ``threshold ± span_sigmas * noise_rms``; each
     level takes ``n_per_level`` seeded noisy measures.
+    ``method="kernel"`` (default) batches every draw of the sweep into
+    one Generator call and one vectorized pass/fail evaluation
+    (:func:`repro.kernels.montecarlo.s_curve_trip_probability`);
+    ``method="scalar"`` is the original per-draw loop.  Both yield the
+    same probabilities exactly for the same ``seed``.
 
     Raises:
         ConfigurationError: bad parameters.
     """
     if not 1 <= bit <= design.n_bits:
         raise ConfigurationError(f"bit {bit} outside 1..{design.n_bits}")
+    if method not in ("kernel", "scalar"):
+        raise ConfigurationError(
+            f"unknown method {method!r} (use 'kernel'/'scalar')"
+        )
+    if method == "kernel":
+        from repro.kernels.montecarlo import s_curve_trip_probability
+
+        levels, probs = s_curve_trip_probability(
+            design, code=code, noise_rms=noise_rms,
+            n_per_level=n_per_level, seeds=[seed],
+            span_sigmas=span_sigmas, n_levels=n_levels, bits=[bit],
+        )
+        return SCurve(
+            bit=bit,
+            levels=tuple(float(v) for v in levels[0]),
+            pass_probability=tuple(float(p) for p in probs[0]),
+            n_per_level=n_per_level,
+        )
     if noise_rms <= 0:
         raise ConfigurationError(
             "noise_rms must be positive (an S-curve needs noise)"
@@ -189,9 +249,10 @@ def measure_s_curve(design: "SensorDesign", bit: int, *,
 
 def _s_curve_fit_task(spec: tuple) -> SCurveFit:
     """Picklable adapter: sweep and fit one stage's S-curve."""
-    design, bit, noise_rms, code, seed, n_per_level = spec
+    design, bit, noise_rms, code, seed, n_per_level, method = spec
     return measure_s_curve(design, bit, noise_rms=noise_rms, code=code,
-                           seed=seed, n_per_level=n_per_level).fit()
+                           seed=seed, n_per_level=n_per_level,
+                           method=method).fit()
 
 
 def extract_ladder_via_s_curves(design: "SensorDesign", *,
@@ -200,7 +261,8 @@ def extract_ladder_via_s_curves(design: "SensorDesign", *,
                                 seed: int = 13,
                                 n_per_level: int = 150,
                                 workers: int | None = None,
-                                cache: "ResultCache | str | None" = None
+                                cache: "ResultCache | str | None" = None,
+                                method: str = "kernel"
                                 ) -> list[SCurveFit]:
     """Tester-style ladder extraction: S-curve fit per stage.
 
@@ -209,14 +271,23 @@ def extract_ladder_via_s_curves(design: "SensorDesign", *,
     sensor"): purely digital pass/fail statistics under known applied
     levels, no analog probing.
 
-    Each stage's measures are seeded ``seed + bit`` — a pure function
-    of the task payload — so fanning the stages across a process pool
-    (``workers=``) returns the same fits in the same order, and
-    per-stage memoization (``cache=``) keys on the design fingerprint
-    plus every sweep parameter.
+    Each stage's measures are seeded with its child of
+    ``SeedSequence(seed).spawn(n_bits)``
+    (:func:`repro.kernels.montecarlo.spawn_bit_seeds`) — a pure
+    function of ``(seed, bit)``, so fanning the stages across a
+    process pool (``workers=``) returns the same fits in the same
+    order as the serial loop and as the batched kernel, and
+    per-stage memoization (``cache=``) keys on the design fingerprint,
+    every sweep parameter, and the seed scheme tag.  (The earlier
+    ``seed + bit`` derivation aliased adjacent root seeds: bit 2 of
+    ``seed`` shared a stream with bit 1 of ``seed + 1``.)
     """
+    from repro.kernels.montecarlo import MC_SEED_SCHEME, spawn_bit_seeds
+
+    bit_seeds = spawn_bit_seeds(seed, design.n_bits)
     specs = [
-        (design, bit, noise_rms, code, seed + bit, n_per_level)
+        (design, bit, noise_rms, code, bit_seeds[bit - 1],
+         n_per_level, method)
         for bit in range(1, design.n_bits + 1)
     ]
     store = resolve_cache(cache)
@@ -225,7 +296,7 @@ def extract_ladder_via_s_curves(design: "SensorDesign", *,
         fp = design_fingerprint(design)
         keys = [
             task_key("s-curve-fit", fp, bit, noise_rms, code,
-                     seed + bit, n_per_level)
+                     MC_SEED_SCHEME, seed, n_per_level, method)
             for bit in range(1, design.n_bits + 1)
         ]
     return cached_map(_s_curve_fit_task, specs, keys=keys,

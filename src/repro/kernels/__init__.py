@@ -14,6 +14,20 @@ operations over (samples x bits x codes x supplies) grids:
   words, bubble flags, ones counts and decode bounds over
   (sample x supply) grids, replacing per-word Python loops.
 
+A second, stochastic/transient tier batches the repo's Monte-Carlo
+and time-stepping flows:
+
+* **Monte-Carlo s-curves** (:mod:`repro.kernels.montecarlo`) — whole
+  (bit x level x trial) mismatch-draw cubes from one Generator call,
+  pass/fail and trip-probability grids bit-identical to the scalar
+  per-draw measures under the documented seed-threading scheme
+  (``MC_SEED_SCHEME``);
+* **exact LTI transients** (:mod:`repro.kernels.transient`) —
+  zero-order-hold discretization of the RLC PDN (matrix exponential
+  ``A_d``/``B_d``), chunk-invariant streaming stepping and batched
+  corner lots, with the trapezoidal loop retained as the convergence
+  oracle.
+
 Contract with the scalar layer: the scalar paths
 (:meth:`~repro.core.calibration.SensorDesign.bit_threshold`,
 :func:`~repro.analysis.thermometer.decode_word`, ...) stay in place as
@@ -37,6 +51,16 @@ from repro.kernels.delay_law import (
     solve_voltage_factor,
     voltage_factor_grid,
 )
+from repro.kernels.montecarlo import (
+    MC_SEED_SCHEME,
+    effective_supply_grid,
+    s_curve_trip_probability,
+    spawn_bit_seeds,
+    trip_grid,
+    trip_margin_grid,
+    word_grid_mc,
+    word_histogram_grid,
+)
 from repro.kernels.thermometer import (
     bracket_grid,
     bubble_grid,
@@ -50,26 +74,45 @@ from repro.kernels.thresholds import (
     threshold_grid,
     window_grid,
 )
+from repro.kernels.transient import (
+    TransientStepper,
+    discretize,
+    simulate_corner_lot,
+    step_rail,
+)
 
 #: Bump whenever kernel numerics or grid layouts change meaning:
 #: participates in :func:`repro.runtime.cache.design_fingerprint`, so
 #: vectorized results can never alias cache entries written by a
 #: different kernel generation (or by the scalar-only era, which had no
-#: version token at all).
-KERNEL_LAYOUT_VERSION = "kernels/v1"
+#: version token at all).  v2: stochastic/transient tier (Monte-Carlo
+#: draw cubes under ``MC_SEED_SCHEME``, exact-ZOH PDN stepping).
+KERNEL_LAYOUT_VERSION = "kernels/v2"
 
 __all__ = [
     "KERNEL_LAYOUT_VERSION",
+    "MC_SEED_SCHEME",
+    "TransientStepper",
     "bracket_grid",
     "bubble_grid",
     "decode_bounds",
     "delay_grid",
+    "discretize",
+    "effective_supply_grid",
     "lot_threshold_grid",
     "midpoint_grid",
     "ones_count_grid",
+    "s_curve_trip_probability",
+    "simulate_corner_lot",
     "solve_supply_for_delay",
     "solve_voltage_factor",
+    "spawn_bit_seeds",
+    "step_rail",
     "threshold_grid",
+    "trip_grid",
+    "trip_margin_grid",
     "window_grid",
     "word_grid",
+    "word_grid_mc",
+    "word_histogram_grid",
 ]

@@ -85,15 +85,18 @@ def solve_transient(grid: IRDropGrid,
     if n < 2:
         raise ConfigurationError("need at least 2 solve points")
     times = np.arange(n + 1) * dt
-    voltages = np.empty((times.size, grid.rows, grid.cols))
+    currents = np.empty((times.size, grid.rows, grid.cols))
     for k, t in enumerate(times):
-        currents = np.asarray(tile_currents_fn(float(t)), dtype=float)
-        if currents.shape != (grid.rows, grid.cols):
+        snapshot = np.asarray(tile_currents_fn(float(t)), dtype=float)
+        if snapshot.shape != (grid.rows, grid.cols):
             raise ConfigurationError(
-                f"tile_currents_fn returned shape {currents.shape}; "
+                f"tile_currents_fn returned shape {snapshot.shape}; "
                 f"expected ({grid.rows}, {grid.cols})"
             )
-        voltages[k] = grid.solve(currents)
+        currents[k] = snapshot
+    # One batched solve against the grid's cached factorization: the
+    # per-step sparse solves were the whole cost of the sweep.
+    voltages = grid.solve_many(currents)
     return GridTransient(grid=grid, times=times, voltages=voltages)
 
 

@@ -13,6 +13,8 @@ Phase names are dotted, coarse and stable — they are a CLI contract:
 
 * ``kernel.solve``  — vectorized delay-law root solves;
 * ``kernel.decode`` — vectorized word/decode grid evaluation;
+* ``kernel.mc``     — batched Monte-Carlo draw-cube evaluation;
+* ``kernel.transient`` — exact-ZOH PDN transient stepping;
 * ``runtime.pool``  — process-pool dispatch (workers > 1);
 * ``cache.get`` / ``cache.put`` — result-cache disk IO.
 

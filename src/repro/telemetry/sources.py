@@ -118,6 +118,57 @@ def grid_transient_source(transient, sites: Sequence[tuple[int, int]],
                               values=trace[sl], kind="voltage")
 
 
+def pdn_source(params, i_load, *, t_end: float, dt: float,
+               site: str = "pdn", v0: float | None = None,
+               block: int = 4096) -> Iterator[SampleBlock]:
+    """Stream a PDN transient solve without materializing the trace.
+
+    Steps the rail with the chunk-invariant exact-ZOH kernel
+    (:class:`repro.kernels.transient.TransientStepper`), one ``block``
+    of samples per yield — a billion-sample solve flows through the
+    pipeline in bounded memory, and the emitted voltages are
+    bit-identical to a one-shot
+    :meth:`~repro.psn.pdn.PDNModel.simulate` of the same trace.
+
+    Args:
+        params: :class:`~repro.psn.pdn.PDNParameters`.
+        i_load: Load current — callable ``i(t)`` (array-aware callables
+            are sampled per block in one call) or a full sample array
+            of length ``round(t_end/dt) + 1``.
+        t_end: Solve end, seconds.
+        dt: Step, seconds (same resonance-resolution rule as
+            ``PDNModel.simulate``).
+    """
+    from repro.kernels.transient import TransientStepper
+    from repro.psn.pdn import _sample_current
+
+    if t_end <= 0 or dt <= 0:
+        raise ConfigurationError("t_end and dt must be positive")
+    n = int(round(t_end / dt))
+    if n < 2:
+        raise ConfigurationError("t_end/dt must give at least 2 steps")
+    if dt > 0.05 / params.resonant_frequency:
+        raise ConfigurationError(
+            f"dt={dt:g}s under-resolves the PDN resonance; use dt <= "
+            f"{0.05 / params.resonant_frequency:.3g}s"
+        )
+    stepper = TransientStepper(params, dt, v0=v0)
+    if not callable(i_load):
+        i_all = np.asarray(i_load, dtype=float)
+        if i_all.shape != (n + 1,):
+            raise ConfigurationError(
+                f"i_load array has {i_all.size} samples; expected {n + 1}"
+            )
+    for sl in _chunks(n + 1, block):
+        times = np.arange(sl.start, sl.stop) * dt
+        if callable(i_load):
+            i_chunk = _sample_current(i_load, times, t_end=t_end, dt=dt)
+        else:
+            i_chunk = i_all[sl]
+        yield SampleBlock(site=site, times=times,
+                          values=stepper.step(i_chunk), kind="voltage")
+
+
 def synthetic_droop_trace(*, n_samples: int, dt: float = 1e-9,
                           base: float = 1.0, n_droops: int = 2,
                           depth: float = 0.15, freq: float = 100e6,

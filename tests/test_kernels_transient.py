@@ -1,0 +1,217 @@
+"""Exact-ZOH transient kernel vs the trapezoidal oracle.
+
+Covers the three contracts :mod:`repro.kernels.transient` documents:
+chunked stepping is *bit-invariant* (Hypothesis-driven), the LTI
+stepper converges to the trapezoidal oracle as ``dt -> 0`` within the
+documented input-hold bound, and the batched entry points (corner
+lots, grid ``solve_many``) equal their one-at-a-time counterparts.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernels.transient import (
+    TransientStepper,
+    discretize,
+    simulate_corner_lot,
+    step_rail,
+)
+from repro.psn.grid import IRDropGrid
+from repro.psn.pdn import PDNModel, PDNParameters
+from repro.psn.transient_grid import migrating_hotspot, solve_transient
+
+PARAMS = PDNParameters()
+DT = 0.04 / PARAMS.resonant_frequency
+
+
+def _load(n, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 3.0, size=n)
+
+
+# -- chunk invariance ----------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=40),
+                min_size=1, max_size=8))
+def test_chunked_stepping_is_bit_identical(chunks):
+    n = sum(chunks)
+    i_samples = _load(n)
+    one_shot = step_rail(PARAMS, i_samples, dt=DT)
+    stepper = TransientStepper(PARAMS, DT)
+    lo = 0
+    parts = []
+    for c in chunks:
+        parts.append(stepper.step(i_samples[lo:lo + c]))
+        lo += c
+    assert stepper.n_seen == n
+    assert np.array_equal(np.concatenate(parts), one_shot)
+
+
+def test_empty_chunk_is_a_noop():
+    stepper = TransientStepper(PARAMS, DT)
+    i_samples = _load(100)
+    a = stepper.step(i_samples[:50])
+    assert stepper.step(np.empty(0)).size == 0
+    b = stepper.step(i_samples[50:])
+    assert np.array_equal(np.concatenate([a, b]),
+                          step_rail(PARAMS, i_samples, dt=DT))
+
+
+# -- oracle convergence --------------------------------------------------------
+
+
+def test_lti_converges_to_trapezoid_as_dt_shrinks():
+    model = PDNModel(PARAMS)
+    t_end = 200 * DT
+    errs = []
+    for div in (1, 2, 4, 8):
+        dt = DT / div
+        n = int(round(t_end / dt))
+        i = np.where(np.arange(n + 1) * dt > 5 * DT, 2.0, 0.0)
+        trap = model.simulate(i, t_end=t_end, dt=dt, method="trapezoid")
+        lti = model.simulate(i, t_end=t_end, dt=dt, method="lti")
+        errs.append(float(np.max(np.abs(trap.values - lti.values))))
+    # First-order input-hold skew: error halves with dt ...
+    for coarse, fine in zip(errs, errs[1:]):
+        assert fine < 0.7 * coarse
+    # ... and sits under the documented 0.5 * omega * dt bound.
+    omega = 2.0 * math.pi * PARAMS.resonant_frequency
+    assert errs[0] <= 0.5 * omega * DT * 0.2
+
+
+def test_lti_preserves_dc_steady_state():
+    # ZOH is exact for constant inputs: the rail must settle at
+    # vdd - r_series * I (the r_esr drop cancels at DC).
+    disc = discretize(PARAMS, DT)
+    x = disc.steady_state(2.0)
+    v_die = x[1] + PARAMS.r_esr * (x[0] - 2.0)
+    expected = PARAMS.vdd_nominal - PARAMS.r_series * 2.0
+    assert v_die == pytest.approx(expected, abs=1e-12)
+    assert x[0] == pytest.approx(2.0, abs=1e-12)
+
+
+def test_simulate_lti_matches_trapezoid_droop_depth():
+    model = PDNModel(PARAMS)
+    t_end = 400 * DT
+    i = np.where(np.arange(401) * DT > 5 * DT, 2.0, 0.0)
+    trap = model.simulate(i, t_end=t_end, dt=DT, method="trapezoid")
+    lti = model.simulate(i, t_end=t_end, dt=DT, method="lti")
+    assert lti.values.min() == pytest.approx(trap.values.min(),
+                                             rel=0.15)
+
+
+def test_simulate_rejects_unknown_method():
+    with pytest.raises(ConfigurationError):
+        PDNModel(PARAMS).simulate(lambda t: 0.0, t_end=100 * DT,
+                                  dt=DT, method="euler")
+
+
+# -- batched entry points ------------------------------------------------------
+
+
+def test_corner_lot_equals_per_lane_stepping():
+    lots = [
+        PARAMS,
+        PDNParameters(r_series=0.004, l_series=80e-12),
+        PDNParameters(c_decap=60e-9, r_esr=0.001),
+    ]
+    i_samples = _load(300)
+    batched = simulate_corner_lot(lots, i_samples, dt=DT)
+    assert batched.shape == (3, 300)
+    for lane, p in enumerate(lots):
+        assert np.array_equal(batched[lane],
+                              step_rail(p, i_samples, dt=DT))
+
+
+def test_corner_lot_per_lane_currents():
+    cur = np.stack([_load(100, seed=1), _load(100, seed=2)])
+    out = simulate_corner_lot([PARAMS, PARAMS], cur, dt=DT)
+    assert np.array_equal(out[0], step_rail(PARAMS, cur[0], dt=DT))
+    assert np.array_equal(out[1], step_rail(PARAMS, cur[1], dt=DT))
+
+
+def test_corner_lot_validations():
+    with pytest.raises(ConfigurationError):
+        simulate_corner_lot([], _load(10), dt=DT)
+    with pytest.raises(ConfigurationError):
+        simulate_corner_lot([PARAMS], np.zeros((2, 10)), dt=DT)
+
+
+def test_grid_solve_many_equals_per_step_solve():
+    grid = IRDropGrid(rows=5, cols=4)
+    rng = np.random.default_rng(9)
+    currents = rng.uniform(0.0, 0.2, size=(6, 5, 4))
+    batched = grid.solve_many(currents)
+    for k in range(6):
+        assert np.array_equal(batched[k], grid.solve(currents[k]))
+
+
+def test_solve_transient_batched_matches_migrating_hotspot():
+    grid = IRDropGrid(rows=4, cols=4)
+    fn = migrating_hotspot(grid, total_current=1.0,
+                           path=[(0, 0), (3, 3)], dwell=5e-9)
+    tr = solve_transient(grid, fn, t_end=20e-9, dt=1e-9)
+    for k, t in enumerate(tr.times):
+        assert np.array_equal(tr.voltages[k],
+                              grid.solve(fn(float(t))))
+
+
+# -- streaming telemetry source -----------------------------------------------
+
+
+def test_pdn_source_streams_bit_identical_to_one_shot():
+    from repro.telemetry.sources import pdn_source
+
+    t_end, n = 1000 * DT, 1000
+
+    def vec(t):
+        return np.where(t > 50 * DT, 2.0, 0.0)
+
+    blocks = list(pdn_source(PARAMS, vec, t_end=t_end, dt=DT,
+                             block=128))
+    assert len(blocks) == -(-(n + 1) // 128)
+    streamed = np.concatenate([b.values for b in blocks])
+    one_shot = PDNModel(PARAMS).simulate(vec, t_end=t_end, dt=DT)
+    assert np.array_equal(streamed, one_shot.values)
+    times = np.concatenate([b.times for b in blocks])
+    assert np.array_equal(times, one_shot.times)
+
+
+def test_pdn_source_rejects_coarse_step():
+    from repro.telemetry.sources import pdn_source
+
+    with pytest.raises(ConfigurationError):
+        list(pdn_source(PARAMS, lambda t: 0.0,
+                        t_end=1e-6, dt=1.0 / PARAMS.resonant_frequency))
+
+
+# -- callable-sampling vectorization ------------------------------------------
+
+
+def test_array_aware_callable_matches_scalar_callable():
+    model = PDNModel(PARAMS)
+    t_end = 200 * DT
+
+    def vec(t):
+        return np.where(t > 5 * DT, 2.0, 0.0)
+
+    def scalar(t):
+        return 2.0 if t > 5 * DT else 0.0
+
+    wv = model.simulate(vec, t_end=t_end, dt=DT)
+    ws = model.simulate(scalar, t_end=t_end, dt=DT)
+    assert np.array_equal(wv.values, ws.values)
+
+
+def test_scalar_returning_callable_falls_back_to_loop():
+    model = PDNModel(PARAMS)
+    # Returns a scalar even for an array argument (broadcasting trap):
+    # must be sampled per instant, not trusted as vectorized.
+    waveform = model.simulate(lambda t: 1.5, t_end=100 * DT, dt=DT)
+    expected = model.simulate(np.full(101, 1.5), t_end=100 * DT, dt=DT)
+    assert np.array_equal(waveform.values, expected.values)
