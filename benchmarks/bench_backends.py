@@ -1,0 +1,236 @@
+"""Backend-layer throughput: the tracked BENCH_backends.json.
+
+The backend seam (:mod:`repro.backends`) promises that swapping the
+driver changes *speed*, never *answers*.  This bench enforces that
+ordering explicitly — parity gates first, timing second:
+
+* **words** — the sim and kernel drivers must return identical words
+  at decode-ladder midpoint levels (away from every boundary);
+* **thresholds** — kernel-vs-brentq within the kernel layer's 2e-9 V
+  bound; sim-vs-kernel within the bisection-tolerance-dominated bound
+  documented in ``tests/test_backends_parity.py``;
+* **replay** — a campaign recorded through
+  :class:`~repro.backends.RecordingBackend` must replay back
+  *bit-identically* before its replay rate means anything.
+
+Only then is throughput measured: kernel ``measure_batch`` levels/s,
+the event-driven sim's levels/s (its per-level event loop is the
+whole reason the kernel driver is the default), replay levels/s over
+an in-memory recording, and the JSONL/CSV codec round-trip rate.
+
+Run standalone (``python -m benchmarks.bench_backends`` or
+``repro bench backends``) with ``--smoke`` for the CI-sized sweep and
+``--assert-speedup N`` to enforce a kernel-over-sim floor; the JSON
+lands in ``benchmarks/reports/BENCH_backends.json`` and, with
+``--out``, at a tracked path (the repo commits ``BENCH_backends.json``
+at the root).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any
+
+import numpy as np
+
+from benchmarks._perf import time_workload, write_bench_json
+from benchmarks._report import emit, fmt_rows
+
+CODE = 3
+KERNEL_TOL_V = 2e-9
+SIM_TOL_V = 0.5e-3
+SIM_VS_KERNEL_V = 2.0 * SIM_TOL_V
+
+
+def _midpoint_levels(design, n: int) -> np.ndarray:
+    """n levels cycling over decode-ladder midpoints (exact-parity
+    territory: every level is maximally far from a boundary)."""
+    from repro.backends import KernelBackend
+
+    bk = KernelBackend()
+    bk.configure(design)
+    th = np.asarray(bk.bit_thresholds(CODE))
+    edges = np.concatenate(([th[0] - 0.03], th, [th[-1] + 0.03]))
+    mids = 0.5 * (edges[:-1] + edges[1:])
+    return np.tile(mids, n // mids.size + 1)[:n]
+
+
+def _verify(design, sim_levels: np.ndarray) -> dict[str, Any]:
+    """Cross-driver agreement checks; AssertionError on violation."""
+    from repro.backends import (
+        KernelBackend,
+        RecordingBackend,
+        ReplayBackend,
+        SimBackend,
+    )
+
+    kernel = KernelBackend()
+    sim = SimBackend(tol=SIM_TOL_V)
+    kernel.configure(design)
+    sim.configure(design)
+
+    kw = kernel.measure_batch(sim_levels, code=CODE)
+    sw = sim.measure_batch(sim_levels, code=CODE)
+    assert np.array_equal(kw, sw), \
+        "sim and kernel words diverged at midpoint levels"
+
+    k_th = np.asarray(kernel.bit_thresholds(CODE))
+    oracle = np.array([design.bit_threshold(b, CODE)
+                       for b in range(1, design.n_bits + 1)])
+    kernel_err = float(np.max(np.abs(k_th - oracle)))
+    assert kernel_err <= KERNEL_TOL_V, kernel_err
+
+    s_th = np.asarray(sim.bit_thresholds(CODE))
+    sim_err = float(np.max(np.abs(s_th - k_th)))
+    assert sim_err <= SIM_VS_KERNEL_V, sim_err
+
+    rec = RecordingBackend(KernelBackend())
+    rec.configure(design)
+    live = rec.measure_batch(sim_levels, code=CODE)
+    rec.close()
+    replay = ReplayBackend(rec.trace)
+    replay.configure(design)
+    again = replay.measure_batch(sim_levels, code=CODE)
+    assert np.array_equal(live, again), \
+        "replay diverged from its own recording"
+
+    return {
+        "words_equal": True,
+        "replay_bit_identical": True,
+        "kernel_vs_brentq_v": kernel_err,
+        "kernel_bound_v": KERNEL_TOL_V,
+        "sim_vs_kernel_v": sim_err,
+        "sim_bound_v": SIM_VS_KERNEL_V,
+    }
+
+
+def run(*, smoke: bool = False, repeats: int = 3,
+        out: str | None = None) -> dict[str, Any]:
+    """Gate parity, then time each driver's measurement throughput."""
+    from repro.backends import (
+        KernelBackend,
+        RecordingBackend,
+        ReplayBackend,
+        SimBackend,
+    )
+    from repro.backends.trace import dump_jsonl, parse_jsonl
+    from repro.core.calibration import paper_design
+
+    design = paper_design()
+    n_kernel = 400 if smoke else 4000
+    n_sim = 16 if smoke else 64
+
+    kernel_levels = _midpoint_levels(design, n_kernel)
+    sim_levels = _midpoint_levels(design, n_sim)
+    agreement = _verify(design, sim_levels)
+
+    kernel = KernelBackend()
+    kernel.configure(design)
+    kernel_timing = time_workload(
+        lambda: kernel.measure_batch(kernel_levels, code=CODE),
+        repeats=repeats, points=n_kernel,
+    )
+
+    sim = SimBackend(tol=SIM_TOL_V)
+    sim.configure(design)
+    sim_timing = time_workload(
+        lambda: sim.measure_batch(sim_levels, code=CODE),
+        repeats=repeats, points=n_sim,
+    )
+
+    rec = RecordingBackend(KernelBackend())
+    rec.configure(design)
+    rec.measure_batch(kernel_levels, code=CODE)
+    rec.close()
+    replay = ReplayBackend(rec.trace)
+
+    def _replay_pass():
+        replay.rewind()
+        replay.configure(design)
+        replay.measure_batch(kernel_levels, code=CODE)
+
+    replay_timing = time_workload(
+        _replay_pass, repeats=repeats, points=n_kernel,
+    )
+
+    codec_timing = time_workload(
+        lambda: parse_jsonl(dump_jsonl(rec.trace)),
+        repeats=repeats, points=n_kernel,
+    )
+
+    speedup = (kernel_timing["points_per_s"]
+               / sim_timing["points_per_s"])
+    payload: dict[str, Any] = {
+        "bench": "backends",
+        "mode": "smoke" if smoke else "full",
+        "sweep": {
+            "code": CODE,
+            "n_levels_kernel": n_kernel,
+            "n_levels_sim": n_sim,
+            "sim_tol_v": SIM_TOL_V,
+        },
+        "agreement": agreement,
+        "kernel": kernel_timing,
+        "sim": sim_timing,
+        "replay": replay_timing,
+        "jsonl_codec": codec_timing,
+        "kernel_over_sim_speedup": speedup,
+    }
+    write_bench_json("BENCH_backends", payload, out=out)
+
+    rows = [
+        ["kernel", f"{kernel_timing['best_s'] * 1e3:.2f}",
+         f"{kernel_timing['points_per_s']:.3g}"],
+        ["sim", f"{sim_timing['best_s'] * 1e3:.2f}",
+         f"{sim_timing['points_per_s']:.3g}"],
+        ["replay", f"{replay_timing['best_s'] * 1e3:.2f}",
+         f"{replay_timing['points_per_s']:.3g}"],
+        ["jsonl codec", f"{codec_timing['best_s'] * 1e3:.2f}",
+         f"{codec_timing['points_per_s']:.3g}"],
+    ]
+    emit("backends_perf", fmt_rows(
+        ["driver", "best ms", "levels/s"], rows,
+    ))
+    print(f"kernel-over-sim speedup: {speedup:.1f}x")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measurement-backend throughput bench"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized sweep")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless kernel beats sim by X times")
+    parser.add_argument("--out", default=None,
+                        help="extra path to mirror BENCH_backends.json "
+                             "to (e.g. the tracked repo-root copy)")
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke, repeats=args.repeats, out=args.out)
+    if args.assert_speedup is not None:
+        speedup = payload["kernel_over_sim_speedup"]
+        if speedup < args.assert_speedup:
+            print(f"FAIL: kernel only {speedup:.2f}x over sim, floor "
+                  f"{args.assert_speedup:g}x")
+            return 1
+    return 0
+
+
+# -- pytest wrapper (runs with `pytest benchmarks`) -----------------------
+
+
+def test_backends_perf_bench(benchmark, design):
+    payload = benchmark.pedantic(
+        lambda: run(smoke=True, repeats=1), rounds=1, iterations=1,
+    )
+    assert payload["agreement"]["words_equal"]
+    assert payload["agreement"]["replay_bit_identical"]
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    import sys
+
+    sys.exit(main())

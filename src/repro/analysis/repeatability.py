@@ -184,7 +184,8 @@ def measure_s_curve(design: "SensorDesign", bit: int, *,
                     n_levels: int = 15,
                     n_per_level: int = 200,
                     seed: "int | np.random.SeedSequence" = 11,
-                    method: str = "kernel") -> SCurve:
+                    method: str = "kernel",
+                    backend: "object | str | None" = None) -> SCurve:
     """Sweep nominal levels across one stage's threshold with noise.
 
     The sweep covers ``threshold ± span_sigmas * noise_rms``; each
@@ -195,6 +196,13 @@ def measure_s_curve(design: "SensorDesign", bit: int, *,
     ``method="scalar"`` is the original per-draw loop.  Both yield the
     same probabilities exactly for the same ``seed``.
 
+    ``backend=`` (an instance or registry spec, see
+    :mod:`repro.backends`) sweeps through a measurement driver's
+    ``s_curve`` op instead — the kernel driver reproduces
+    ``method="kernel"`` exactly; the event-sim driver answers every
+    draw with a full PREPARE/SENSE run.  Mutually exclusive with a
+    non-default ``method``.
+
     Raises:
         ConfigurationError: bad parameters.
     """
@@ -204,6 +212,23 @@ def measure_s_curve(design: "SensorDesign", bit: int, *,
         raise ConfigurationError(
             f"unknown method {method!r} (use 'kernel'/'scalar')"
         )
+    if backend is not None:
+        if method != "kernel":
+            raise ConfigurationError(
+                "pass either method= or backend=, not both"
+            )
+        from repro.backends import resolve_backend
+
+        bk = resolve_backend(backend)
+        bk.configure(design)
+        levels, probs = bk.s_curve(
+            bit, code=code, noise_rms=noise_rms,
+            n_per_level=n_per_level, seed=seed,
+            span_sigmas=span_sigmas, n_levels=n_levels,
+        )
+        return SCurve(bit=bit, levels=tuple(levels),
+                      pass_probability=tuple(probs),
+                      n_per_level=n_per_level)
     if method == "kernel":
         from repro.kernels.montecarlo import s_curve_trip_probability
 
@@ -262,7 +287,8 @@ def extract_ladder_via_s_curves(design: "SensorDesign", *,
                                 n_per_level: int = 150,
                                 workers: int | None = None,
                                 cache: "ResultCache | str | None" = None,
-                                method: str = "kernel"
+                                method: str = "kernel",
+                                backend: "object | str | None" = None
                                 ) -> list[SCurveFit]:
     """Tester-style ladder extraction: S-curve fit per stage.
 
@@ -281,10 +307,48 @@ def extract_ladder_via_s_curves(design: "SensorDesign", *,
     every sweep parameter, and the seed scheme tag.  (The earlier
     ``seed + bit`` derivation aliased adjacent root seeds: bit 2 of
     ``seed`` shared a stream with bit 1 of ``seed + 1``.)
+
+    ``backend=`` extracts through a measurement driver instead: the
+    stages sweep serially through its ``s_curve`` op (a stateful
+    driver — replay, recording — cannot fan out across processes),
+    memoized per stage when ``cache=`` is given, with the driver's
+    fingerprint folded into every key.  Mutually exclusive with a
+    non-default ``method``.
     """
     from repro.kernels.montecarlo import MC_SEED_SCHEME, spawn_bit_seeds
 
     bit_seeds = spawn_bit_seeds(seed, design.n_bits)
+    if backend is not None:
+        if method != "kernel":
+            raise ConfigurationError(
+                "pass either method= or backend=, not both"
+            )
+        from repro.backends import resolve_backend
+
+        bk = resolve_backend(backend)
+        store = resolve_cache(cache)
+        fp = None if store is None \
+            else design_fingerprint(design, backend=bk)
+        fits: list[SCurveFit] = []
+        for bit in range(1, design.n_bits + 1):
+            key = None if store is None else task_key(
+                "s-curve-fit", fp, bit, noise_rms, code,
+                MC_SEED_SCHEME, seed, n_per_level, f"backend:{bk.id}",
+            )
+            if key is not None:
+                hit, value = store.get(key)
+                if hit:
+                    fits.append(value)
+                    continue
+            fit = measure_s_curve(
+                design, bit, noise_rms=noise_rms, code=code,
+                seed=bit_seeds[bit - 1], n_per_level=n_per_level,
+                backend=bk,
+            ).fit()
+            if key is not None:
+                store.put(key, fit)
+            fits.append(fit)
+        return fits
     specs = [
         (design, bit, noise_rms, code, bit_seeds[bit - 1],
          n_per_level, method)

@@ -21,6 +21,7 @@ fingerprint, the sample, the code and the supply grid) — see
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -233,6 +234,7 @@ def run_yield_study(design: "SensorDesign",
                     code: int = 3,
                     supplies: np.ndarray | None = None,
                     seed: int = 2024,
+                    backend: "object | str | None" = None,
                     workers: int | None = None,
                     cache: "ResultCache | str | None" = None,
                     retries: int = 0,
@@ -254,6 +256,15 @@ def run_yield_study(design: "SensorDesign",
         supplies: Evaluation supply grid, volts; defaults to 17 points
             across the code's nominal range.
         seed: Lot seed (deterministic studies).
+        backend: Measurement driver (instance or registry spec, see
+            :mod:`repro.backends`) supplying the lot thresholds.  Must
+            advertise the ``lot_thresholds`` capability (the kernel
+            driver and replayed kernel traces do; the event-sim driver
+            does not — :class:`~repro.errors.BackendError` otherwise).
+            A named driver takes the serial protocol path and folds
+            its fingerprint into any cache keys; ``None`` (and no
+            ``REPRO_BACKEND``) keeps the classic batched/fan-out
+            routes below.
         workers: Process-pool size for the per-die fan-out
             (<= 1: serial).
         cache: On-disk memoization of per-die scores — a
@@ -278,7 +289,30 @@ def run_yield_study(design: "SensorDesign",
 
     lot = variation.sample_lot(n_dies, design.n_bits, seed=seed)
     store = resolve_cache(cache)
-    if (store is None and (workers is None or workers <= 1)
+    # Imported lazily: repro.core imports repro.analysis at package
+    # load, so a module-level backends import would be circular.
+    from repro.backends import BACKEND_ENV, BackendError, resolve_backend
+
+    bk = None
+    if backend is not None or os.environ.get(BACKEND_ENV):
+        bk = resolve_backend(backend)
+        if not bk.capabilities().lot_thresholds:
+            raise BackendError(
+                f"backend {bk.id!r} does not characterize mismatch "
+                f"lots (capabilities().lot_thresholds is False)"
+            )
+    if bk is not None:
+        # Generic driver path: one lot_thresholds op (so a recorded
+        # yield study is a single-record trace), scored with the same
+        # kernel reduction as the classic branches.
+        bk.configure(design)
+        lot_grid = bk.lot_thresholds(lot, code)
+        scores: list[_DieScore] = [
+            _score_from_thresholds(lot_grid[i], supply_grid,
+                                   nominal_ladder)
+            for i in range(len(lot))
+        ]
+    elif (store is None and (workers is None or workers <= 1)
             and failure_policy == "raise"):
         # Batched kernel path: one lot-wide root solve instead of a
         # per-die fan-out.  Solver batch invariance makes each row

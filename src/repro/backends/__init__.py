@@ -1,0 +1,141 @@
+"""Pluggable measurement drivers behind one ``SensorBackend`` seam.
+
+The registry resolves driver *specs* — short strings usable from code,
+the CLI (``--backend``) and the environment (``REPRO_BACKEND``):
+
+========================  ====================================================
+spec                      driver
+========================  ====================================================
+``"kernel"``              :class:`~repro.backends.kernel.KernelBackend`
+                          (vectorized analytic/MC tier; the default)
+``"sim"``                 :class:`~repro.backends.sim.SimBackend`
+                          (event-driven oracle)
+``"replay:<path>"``       :class:`~repro.backends.replay.ReplayBackend`
+                          over the trace file at ``<path>``
+========================  ====================================================
+
+Entry points take ``backend=`` (a spec string or a ready instance) and
+resolve it with :func:`resolve_backend`; with no explicit argument the
+``REPRO_BACKEND`` variable decides, falling back to ``"kernel"``.
+
+Quickstart — record once, replay forever::
+
+    from repro.backends import RecordingBackend, ReplayBackend, get
+
+    with RecordingBackend(get("kernel"), "campaign.jsonl") as rec:
+        result = characterize_array(design, backend=rec)
+
+    again = characterize_array(
+        design, backend=ReplayBackend("campaign.jsonl")
+    )
+    assert again == result   # bit-identical, no measuring
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.backends.base import (
+    BACKEND_PROTOCOL,
+    BackendCapabilities,
+    BackendMeasure,
+    SensorBackend,
+)
+from repro.backends.kernel import KernelBackend
+from repro.backends.recording import RecordingBackend
+from repro.backends.replay import ReplayBackend
+from repro.backends.sim import SimBackend
+from repro.backends.trace import (
+    TRACE_SCHEMA,
+    Trace,
+    TraceHeader,
+    TraceWriter,
+)
+from repro.errors import BackendError
+
+#: Environment variable naming the default driver spec.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Spec name -> zero-argument driver factory.
+_REGISTRY: dict[str, Callable[[], SensorBackend]] = {
+    "kernel": KernelBackend,
+    "sim": SimBackend,
+}
+
+
+def register(name: str,
+             factory: Callable[[], SensorBackend]) -> None:
+    """Add a driver factory under a spec name (e.g. a hardware rig).
+
+    Re-registering a name replaces its factory — deliberate, so test
+    doubles can shadow the stock drivers.
+    """
+    if not name or ":" in name:
+        raise BackendError(
+            f"invalid backend name {name!r} (non-empty, no ':')"
+        )
+    _REGISTRY[name] = factory
+
+
+def available() -> tuple[str, ...]:
+    """Registered spec names, sorted (``replay:<path>`` not listed —
+    it needs a trace argument)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get(spec: str) -> SensorBackend:
+    """Resolve a spec string to a fresh driver instance.
+
+    ``"replay:<path>"`` loads the trace file at ``<path>``; any other
+    spec must name a registered factory.
+    """
+    if spec.startswith("replay:"):
+        path = spec[len("replay:"):]
+        if not path:
+            raise BackendError(
+                "replay spec needs a trace path: 'replay:<path>'"
+            )
+        return ReplayBackend(path)
+    factory = _REGISTRY.get(spec)
+    if factory is None:
+        raise BackendError(
+            f"unknown backend {spec!r}; registered: "
+            f"{', '.join(available())} (or 'replay:<path>')"
+        )
+    return factory()
+
+
+def resolve_backend(backend: "SensorBackend | str | None",
+                    *, default: str = "kernel") -> SensorBackend:
+    """The entry-point resolution rule.
+
+    Precedence: an explicit instance > an explicit spec string > the
+    ``REPRO_BACKEND`` environment variable > ``default``.
+    """
+    if isinstance(backend, SensorBackend):
+        return backend
+    if backend is not None:
+        return get(backend)
+    return get(os.environ.get(BACKEND_ENV) or default)
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_PROTOCOL",
+    "BackendCapabilities",
+    "BackendMeasure",
+    "KernelBackend",
+    "RecordingBackend",
+    "ReplayBackend",
+    "SensorBackend",
+    "SimBackend",
+    "TRACE_SCHEMA",
+    "Trace",
+    "TraceHeader",
+    "TraceWriter",
+    "available",
+    "get",
+    "register",
+    "resolve_backend",
+]

@@ -1,0 +1,84 @@
+"""The analytic + Monte-Carlo kernel driver (fast; the default).
+
+Routes every protocol op to the vectorized kernel tier:
+
+* words — :func:`repro.kernels.montecarlo.word_grid_mc` (bit-identical
+  to the scalar :meth:`~repro.core.sensor.SensorBit.measure`);
+* thresholds — :func:`repro.kernels.thresholds.threshold_grid`
+  (|kernel - brentq oracle| <= 2e-9 V);
+* mismatch lots — :func:`repro.kernels.thresholds.lot_threshold_grid`;
+* S-curves — :func:`repro.kernels.montecarlo.s_curve_trip_probability`
+  under the documented seed-threading scheme.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.backends.base import BackendCapabilities, SensorBackend
+from repro.core.sensor import SenseRail
+from repro.kernels import KERNEL_LAYOUT_VERSION
+from repro.kernels.montecarlo import (
+    MC_SEED_SCHEME,
+    effective_supply_grid,
+    s_curve_trip_probability,
+    word_grid_mc,
+)
+from repro.kernels.thresholds import lot_threshold_grid, threshold_grid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devices.variation import VariationSample
+
+
+class KernelBackend(SensorBackend):
+    """Vectorized analytic/Monte-Carlo measurement driver."""
+
+    id = "kernel"
+
+    def engine_version(self) -> tuple[str, ...]:
+        return super().engine_version() \
+            + (KERNEL_LAYOUT_VERSION, MC_SEED_SCHEME)
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(backend=self.id, thresholds=True,
+                                   lot_thresholds=True, s_curve=True)
+
+    def measure_batch(self, levels: Sequence[float] | np.ndarray, *,
+                      code: int) -> np.ndarray:
+        from repro.backends.trace import level_array
+
+        v = level_array(levels)
+        v_eff = effective_supply_grid(
+            self.design, v, rail=self.rail.value
+        )
+        return word_grid_mc(self.design, v_eff, code=code,
+                            tech=self.tech)
+
+    def bit_thresholds(self, code: int, *,
+                       bits: Iterable[int] | None = None
+                       ) -> tuple[float, ...]:
+        grid = threshold_grid(self.design, (code,), self.tech,
+                              bits=bits)[:, 0]
+        if self.rail is SenseRail.GND:
+            grid = self.design.tech.vdd_nominal - grid
+        return tuple(float(v) for v in grid)
+
+    def lot_thresholds(self, lot: Sequence["VariationSample"],
+                       code: int) -> np.ndarray:
+        return lot_threshold_grid(self.design, lot, code)
+
+    def s_curve(self, bit: int, *, code: int, noise_rms: float,
+                n_per_level: int,
+                seed: "int | np.random.SeedSequence",
+                span_sigmas: float = 4.0, n_levels: int = 15
+                ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        levels, probs = s_curve_trip_probability(
+            self.design, code=code, noise_rms=noise_rms,
+            n_per_level=n_per_level, seeds=[seed],
+            span_sigmas=span_sigmas, n_levels=n_levels, bits=[bit],
+            tech=self.tech,
+        )
+        return (tuple(float(v) for v in levels[0]),
+                tuple(float(p) for p in probs[0]))

@@ -1,0 +1,168 @@
+"""The event-driven simulation driver (slow; the oracle).
+
+Every word comes from a full PREPARE/SENSE sequence of the
+:class:`~repro.core.array.SensorArrayHarness` netlist — gate-level
+events, real flip-flop capture, the works.  Thresholds are bisected on
+that pass/fail boundary.  Orders of magnitude slower than
+:class:`~repro.backends.kernel.KernelBackend` (~3 ms per word, ~10 ms
+per threshold), which is exactly why the backend seam exists: campaigns
+develop against the kernel driver and cross-check against this one.
+
+Accuracy note: the event engine realizes the analytic design through
+discretized gate delays, so its pass/fail boundary sits within a few
+microvolts of the kernel threshold (measured ~5e-7 V on the paper
+design) — far inside the documented sub-millivolt sim-vs-analytic
+agreement, but *not* within the 2e-9 V kernel-vs-oracle bound.  The
+parity matrix (``tests/test_backends_parity.py``) encodes both bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.backends.base import BackendCapabilities, SensorBackend
+from repro.core.sensor import SenseRail, SensorBitHarness
+from repro.errors import CharacterizationError, ConfigurationError
+
+#: Version tag of the event-engine realization this driver wraps.
+SIM_ENGINE_VERSION = "sim-engine/v1"
+
+
+class SimBackend(SensorBackend):
+    """Event-driven measurement driver.
+
+    Args:
+        tol: Threshold bisection tolerance, volts.  Folded into the
+            fingerprint — a looser bisection is a different instrument.
+        bracket_pad: Bisection bracket margin around the analytic
+            estimate, volts.
+    """
+
+    id = "sim"
+
+    def __init__(self, *, tol: float = 0.5e-3,
+                 bracket_pad: float = 0.15) -> None:
+        super().__init__()
+        if tol <= 0 or bracket_pad <= 0:
+            raise ConfigurationError(
+                "tol and bracket_pad must be positive"
+            )
+        self.tol = float(tol)
+        self.bracket_pad = float(bracket_pad)
+        self._harness = None
+
+    def _configured(self) -> None:
+        self._harness = None
+
+    def engine_version(self) -> tuple[str, ...]:
+        return super().engine_version() + (
+            SIM_ENGINE_VERSION,
+            f"tol={self.tol.hex()}",
+            f"pad={self.bracket_pad.hex()}",
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(backend=self.id, thresholds=True,
+                                   lot_thresholds=False, s_curve=True)
+
+    def _array_harness(self):
+        if self._harness is None:
+            from repro.core.array import SensorArrayHarness
+
+            self._harness = SensorArrayHarness(self.design, self.rail,
+                                               self.tech)
+        return self._harness
+
+    def measure_batch(self, levels: Sequence[float] | np.ndarray, *,
+                      code: int) -> np.ndarray:
+        from repro.backends.trace import level_array
+
+        v = level_array(levels)
+        harness = self._array_harness()
+        words = np.empty((v.size, self.design.n_bits), dtype=np.uint8)
+        for i, level in enumerate(v):
+            kwargs = {"vdd_n": float(level)} \
+                if self.rail is SenseRail.VDD else {"gnd_n": float(level)}
+            measure = harness.measure_once(code, **kwargs)
+            words[i] = measure.word.bits
+        return words
+
+    def bit_thresholds(self, code: int, *,
+                       bits: Iterable[int] | None = None
+                       ) -> tuple[float, ...]:
+        from repro.core.characterization import (
+            _sim_bracket,
+            _sim_threshold,
+        )
+        from repro.kernels.thresholds import threshold_grid
+
+        design = self.design
+        sel = tuple(range(1, design.n_bits + 1)) if bits is None \
+            else tuple(int(b) for b in bits)
+        analytic = threshold_grid(design, (code,), self.tech,
+                                  bits=sel)[:, 0]
+        if self.rail is SenseRail.GND:
+            analytic = design.tech.vdd_nominal - analytic
+        out = []
+        for b, est in zip(sel, analytic):
+            v_lo, v_hi = _sim_bracket(float(est), self.rail,
+                                      self.bracket_pad)
+            try:
+                out.append(_sim_threshold(
+                    design, b, code, rail=self.rail, tech=self.tech,
+                    v_lo=v_lo, v_hi=v_hi, tol=self.tol,
+                ))
+            except CharacterizationError:
+                # Degraded mode: an unbracketable stage is masked, not
+                # fatal — the NaN convention of the protocol.
+                out.append(math.nan)
+        return tuple(out)
+
+    def s_curve(self, bit: int, *, code: int, noise_rms: float,
+                n_per_level: int,
+                seed: "int | np.random.SeedSequence",
+                span_sigmas: float = 4.0, n_levels: int = 15
+                ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Per-draw event simulation — the true stochastic oracle.
+
+        Draws the same Gaussian cube as the kernel sweep (same
+        generator, same fill order) but answers each draw with a full
+        PREPARE/SENSE event run, so probabilities can differ from the
+        kernel's only for draws landing inside the few-microvolt
+        engine-boundary band.  Costs ``n_levels * n_per_level`` event
+        sims (~1.5 ms each) — keep the cube small.
+
+        Sweeps the VDD-n axis regardless of the configured rail — the
+        :func:`~repro.analysis.repeatability.measure_s_curve`
+        convention every driver follows.
+        """
+        from repro.kernels.montecarlo import s_curve_levels
+
+        if noise_rms <= 0:
+            raise ConfigurationError(
+                "noise_rms must be positive (an S-curve needs noise)"
+            )
+        if n_levels < 5 or n_per_level < 10:
+            raise ConfigurationError(
+                "need >= 5 levels and >= 10 measures"
+            )
+        levels = s_curve_levels(
+            self.design, code=code, noise_rms=noise_rms,
+            span_sigmas=span_sigmas, n_levels=n_levels, bits=[bit],
+        )[0]
+        harness = SensorBitHarness(self.design, bit, SenseRail.VDD,
+                                   self.tech)
+        rng = np.random.default_rng(seed)
+        probs = []
+        for level in levels:
+            draws = level + rng.normal(0.0, noise_rms,
+                                       size=n_per_level)
+            passes = sum(
+                1 for v in draws
+                if harness.measure_once(code, vdd_n=float(v)).passed
+            )
+            probs.append(passes / n_per_level)
+        return (tuple(float(v) for v in levels), tuple(probs))

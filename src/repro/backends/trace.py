@@ -1,0 +1,541 @@
+"""Versioned measurement trace files — the record/replay substrate.
+
+A *trace* is the full transcript of a measurement campaign as seen at
+the :class:`~repro.backends.base.SensorBackend` seam: every
+``configure``/``measure``/``measure_batch``/``bit_thresholds``/
+``lot_thresholds``/``s_curve`` call, with its request arguments and its
+results.  Committed to a repository, a trace is a bit-exact regression
+gate: replay it through :class:`~repro.backends.replay.ReplayBackend`
+and any drift — in the campaign code's request sequence or in what the
+analysis derives from the recorded results — is caught.
+
+Two on-disk encodings round-trip the same record stream losslessly:
+
+* **JSONL** — one header object then one record object per line;
+* **CSV** — a tidy ``record,op,code,key,value`` table (header rows use
+  record index ``-1``), loadable by pandas/spreadsheets.
+
+Floats are rendered with :meth:`float.hex` (exact, locale-independent,
+``nan``/``inf`` included), so deserialize→replay reproduces every
+recorded value **bit-for-bit** — the property
+``tests/test_backends_trace.py`` drives with Hypothesis.
+
+Schema versioning: every file carries :data:`TRACE_SCHEMA`
+(``trace/v1``).  Readers reject unknown ``trace/v*`` tags loudly
+(:class:`~repro.errors.TraceSchemaError`) instead of guessing — a
+future schema may change what a record *means*, and replaying it under
+old semantics would silently corrupt a regression gate.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError, TraceSchemaError
+
+#: Schema tag of the trace files this module writes.  Bump on any
+#: change to record meaning; readers refuse tags they don't know.
+TRACE_SCHEMA = "trace/v1"
+
+#: The ``trace/v*`` tags this reader understands.
+_KNOWN_SCHEMAS = (TRACE_SCHEMA,)
+
+#: Record fields holding one float (hex-encoded on disk).
+_FLOAT_FIELDS = ("level", "noise_rms", "span_sigmas")
+#: Record fields holding a flat float sequence.
+_FLOAT_LIST_FIELDS = ("levels", "values", "probs")
+#: Record fields holding a word (0/1 bit tuple, bit 1 first).
+_WORD_FIELDS = ("word",)
+#: Record fields holding a sequence of words.
+_WORD_LIST_FIELDS = ("words",)
+#: Record fields holding a nested float table (rows x lanes).
+_FLOAT_TABLE_FIELDS = ("table",)
+#: Record fields holding a flat int sequence.
+_INT_LIST_FIELDS = ("bits",)
+#: Record fields holding one int (beyond ``code``, which the CSV
+#: encoding gives its own column).
+_INT_FIELDS = ("n_per_level", "n_levels")
+
+
+def float_token(x: float) -> str:
+    """Exact, round-trippable text for one float (``float.hex``).
+
+    ``nan``/``inf``/``-inf`` serialize as those literals —
+    :func:`float.fromhex` parses all of them back, so masked-bit
+    entries (NaN thresholds) survive the trip bit-for-bit.
+    """
+    return float(x).hex()
+
+
+def parse_float_token(tok: str) -> float:
+    """Inverse of :func:`float_token`."""
+    try:
+        return float.fromhex(tok)
+    except ValueError as exc:
+        raise TraceError(f"unparseable float token {tok!r}") from exc
+
+
+def seed_token(seed: "int | np.random.SeedSequence") -> str:
+    """Canonical text for a ladder seed (int or ``SeedSequence``).
+
+    Recording stores the token so replay can verify the campaign asks
+    for the *same* stochastic draws — the seed scheme itself
+    (``MC_SEED_SCHEME``) lives in the trace header.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        key = ",".join(str(int(k)) for k in seed.spawn_key)
+        return f"ss:{seed.entropy}:{key}"
+    return f"int:{int(seed)}"
+
+
+def floats_equal(a: float, b: float) -> bool:
+    """Bit-level float equality where ``nan == nan`` (replay checks)."""
+    return (a == b) or (math.isnan(a) and math.isnan(b))
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """File-level metadata written once per trace.
+
+    Attributes:
+        schema: :data:`TRACE_SCHEMA` of the writer.
+        backend: Registry id of the *recorded* driver (``"kernel"``,
+            ``"sim"``, ...).
+        backend_fingerprint: The driver's
+            :meth:`~repro.backends.base.SensorBackend.fingerprint` —
+            folds engine version tags (kernel layout, numpy, sim
+            engine), so a trace names exactly which numerics produced
+            it.
+        seed_scheme: The Monte-Carlo seed-threading scheme tag in
+            force when recording (``MC_SEED_SCHEME``).
+        note: Free-form campaign label.
+    """
+
+    schema: str
+    backend: str
+    backend_fingerprint: str
+    seed_scheme: str
+    note: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "schema": self.schema,
+            "backend": self.backend,
+            "backend_fingerprint": self.backend_fingerprint,
+            "seed_scheme": self.seed_scheme,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TraceHeader":
+        schema = d.get("schema")
+        if not isinstance(schema, str) or not schema.startswith("trace/"):
+            raise TraceSchemaError(
+                f"trace header carries no recognizable schema tag "
+                f"(got {schema!r})"
+            )
+        if schema not in _KNOWN_SCHEMAS:
+            raise TraceSchemaError(
+                f"unknown trace schema {schema!r}; this reader "
+                f"understands {list(_KNOWN_SCHEMAS)}"
+            )
+        try:
+            return cls(
+                schema=schema,
+                backend=str(d["backend"]),
+                backend_fingerprint=str(d["backend_fingerprint"]),
+                seed_scheme=str(d["seed_scheme"]),
+                note=str(d.get("note", "")),
+            )
+        except KeyError as exc:
+            raise TraceError(f"trace header missing field {exc}") from exc
+
+
+@dataclass
+class Trace:
+    """An in-memory trace: one header plus an ordered record stream.
+
+    Records are plain dicts with an ``"op"`` key plus op-specific
+    fields; float payloads are *decoded* Python floats in memory and
+    hex tokens on disk.  The dataclass is deliberately schema-light:
+    the writer/reader pair (not the container) owns the encoding.
+    """
+
+    header: TraceHeader
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def append(self, record: dict[str, Any]) -> None:
+        if "op" not in record:
+            raise TraceError("trace records need an 'op' field")
+        self.records.append(dict(record))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | os.PathLike[str], *,
+             fmt: str | None = None) -> Path:
+        """Write the trace; format from ``fmt`` or the file suffix.
+
+        ``.jsonl`` -> JSONL, ``.csv`` -> CSV.
+        """
+        path = Path(path)
+        fmt = fmt or _fmt_from_suffix(path)
+        text = (dump_jsonl(self) if fmt == "jsonl" else dump_csv(self))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str], *,
+             fmt: str | None = None) -> "Trace":
+        """Read a trace back; format from ``fmt`` or the file suffix."""
+        path = Path(path)
+        fmt = fmt or _fmt_from_suffix(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise TraceError(f"cannot read trace {str(path)!r}: {exc}") \
+                from exc
+        return (parse_jsonl(text) if fmt == "jsonl" else parse_csv(text))
+
+
+def _fmt_from_suffix(path: Path) -> str:
+    suffix = path.suffix.lower()
+    if suffix == ".jsonl":
+        return "jsonl"
+    if suffix == ".csv":
+        return "csv"
+    raise TraceError(
+        f"cannot infer trace format from {path.name!r}; use a .jsonl "
+        f"or .csv suffix (or pass fmt=)"
+    )
+
+
+# -- record <-> wire encoding --------------------------------------------------
+
+
+def _word_str(word: Sequence[int]) -> str:
+    return "".join(str(int(b)) for b in word)
+
+
+def _parse_word(tok: str) -> tuple[int, ...]:
+    if not tok or any(ch not in "01" for ch in tok):
+        raise TraceError(f"invalid word token {tok!r}")
+    return tuple(int(ch) for ch in tok)
+
+
+def encode_record(record: Mapping[str, Any]) -> dict[str, Any]:
+    """In-memory record -> wire dict (floats as hex tokens)."""
+    out: dict[str, Any] = {}
+    for key, value in record.items():
+        if key in _FLOAT_FIELDS:
+            out[key] = float_token(value)
+        elif key in _FLOAT_LIST_FIELDS:
+            out[key] = [float_token(v) for v in value]
+        elif key in _FLOAT_TABLE_FIELDS:
+            out[key] = [[float_token(v) for v in row] for row in value]
+        elif key in _WORD_FIELDS:
+            out[key] = _word_str(value)
+        elif key in _WORD_LIST_FIELDS:
+            out[key] = [_word_str(w) for w in value]
+        elif key in _INT_LIST_FIELDS:
+            out[key] = [int(v) for v in value]
+        elif key in _INT_FIELDS:
+            out[key] = int(value)
+        else:
+            out[key] = value
+    return out
+
+
+def decode_record(wire: Mapping[str, Any]) -> dict[str, Any]:
+    """Wire dict -> in-memory record (hex tokens back to floats)."""
+    out: dict[str, Any] = {}
+    for key, value in wire.items():
+        if key in _FLOAT_FIELDS:
+            out[key] = parse_float_token(value)
+        elif key in _FLOAT_LIST_FIELDS:
+            out[key] = tuple(parse_float_token(v) for v in value)
+        elif key in _FLOAT_TABLE_FIELDS:
+            out[key] = tuple(
+                tuple(parse_float_token(v) for v in row) for row in value
+            )
+        elif key in _WORD_FIELDS:
+            out[key] = _parse_word(value)
+        elif key in _WORD_LIST_FIELDS:
+            out[key] = tuple(_parse_word(w) for w in value)
+        elif key in _INT_LIST_FIELDS:
+            out[key] = tuple(int(v) for v in value)
+        elif key in _INT_FIELDS:
+            out[key] = int(value)
+        else:
+            out[key] = value
+    return out
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def dump_jsonl(trace: Trace) -> str:
+    """Trace -> JSONL text: header line, then one record per line."""
+    lines = [json.dumps(trace.header.to_dict(), sort_keys=True)]
+    lines.extend(
+        json.dumps(encode_record(r), sort_keys=True)
+        for r in trace.records
+    )
+    return "\n".join(lines) + "\n"
+
+
+def parse_jsonl(text: str) -> Trace:
+    """JSONL text -> Trace (schema-checked)."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise TraceError("empty trace file")
+    try:
+        raw_header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"unparseable trace header: {exc}") from exc
+    header = TraceHeader.from_dict(raw_header)
+    trace = Trace(header=header)
+    for n, line in enumerate(lines[1:], start=2):
+        try:
+            wire = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"unparseable trace record at line {n}: {exc}"
+            ) from exc
+        trace.append(decode_record(wire))
+    return trace
+
+
+# -- CSV -----------------------------------------------------------------------
+
+#: Tidy-table columns.  ``record`` is the 0-based record index (-1 for
+#: header rows); ``key`` names the field; ``value`` holds the token —
+#: space-separated for flat lists, ``;``-separated rows of
+#: space-separated tokens for tables.
+_CSV_COLUMNS = ("record", "op", "code", "key", "value")
+
+
+def _csv_value(key: str, value: Any) -> str:
+    if key in _FLOAT_FIELDS:
+        return float_token(value)
+    if key in _FLOAT_LIST_FIELDS:
+        return " ".join(float_token(v) for v in value)
+    if key in _FLOAT_TABLE_FIELDS:
+        return ";".join(
+            " ".join(float_token(v) for v in row) for row in value
+        )
+    if key in _WORD_FIELDS:
+        return _word_str(value)
+    if key in _WORD_LIST_FIELDS:
+        return " ".join(_word_str(w) for w in value)
+    if key in _INT_LIST_FIELDS:
+        return " ".join(str(int(v)) for v in value)
+    if key in _INT_FIELDS:
+        return str(int(value))
+    return str(value)
+
+
+def _csv_parse_value(key: str, tok: str) -> Any:
+    if key in _FLOAT_FIELDS:
+        return parse_float_token(tok)
+    if key in _FLOAT_LIST_FIELDS:
+        return tuple(parse_float_token(t) for t in tok.split())
+    if key in _FLOAT_TABLE_FIELDS:
+        return tuple(
+            tuple(parse_float_token(t) for t in row.split())
+            for row in tok.split(";") if row
+        )
+    if key in _WORD_FIELDS:
+        return _parse_word(tok)
+    if key in _WORD_LIST_FIELDS:
+        return tuple(_parse_word(t) for t in tok.split())
+    if key in _INT_LIST_FIELDS:
+        return tuple(int(t) for t in tok.split())
+    if key in _INT_FIELDS:
+        return int(tok)
+    return tok
+
+
+def dump_csv(trace: Trace) -> str:
+    """Trace -> tidy CSV text (``record,op,code,key,value``)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(_CSV_COLUMNS)
+    for key, value in trace.header.to_dict().items():
+        writer.writerow([-1, "header", "", key, value])
+    for i, record in enumerate(trace.records):
+        op = record["op"]
+        code = record.get("code", "")
+        for key, value in record.items():
+            if key in ("op", "code"):
+                continue
+            writer.writerow([i, op, code, key, _csv_value(key, value)])
+        if len(record) <= (2 if "code" in record else 1):
+            # An op with no payload fields still needs a presence row.
+            writer.writerow([i, op, code, "", ""])
+    return buf.getvalue()
+
+
+def parse_csv(text: str) -> Trace:
+    """Tidy CSV text -> Trace (schema-checked)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        columns = tuple(next(reader))
+    except StopIteration:
+        raise TraceError("empty trace file") from None
+    if columns != _CSV_COLUMNS:
+        raise TraceError(
+            f"unexpected CSV trace columns {columns!r}; expected "
+            f"{_CSV_COLUMNS!r}"
+        )
+    header_fields: dict[str, str] = {}
+    records: dict[int, dict[str, Any]] = {}
+    for row in reader:
+        if not row:
+            continue
+        idx_s, op, code_s, key, value = row
+        idx = int(idx_s)
+        if idx < 0:
+            header_fields[key] = value
+            continue
+        rec = records.setdefault(idx, {"op": op})
+        if rec["op"] != op:
+            raise TraceError(
+                f"CSV record {idx} mixes ops {rec['op']!r} and {op!r}"
+            )
+        if code_s != "" and "code" not in rec:
+            rec["code"] = int(code_s)
+        if key:
+            rec[key] = _csv_parse_value(key, value)
+    header = TraceHeader.from_dict(header_fields)
+    trace = Trace(header=header)
+    for idx in sorted(records):
+        trace.append(records[idx])
+    return trace
+
+
+# -- streaming writer ----------------------------------------------------------
+
+
+class TraceWriter:
+    """Append-as-you-measure trace writer.
+
+    Streams JSONL records to disk the moment they are recorded (a
+    crash mid-campaign leaves a valid prefix on disk); the CSV
+    encoding needs record indices anyway, so it streams tidy rows the
+    same way.  Also keeps the in-memory :class:`Trace` so a recording
+    session can be replayed without touching the filesystem.
+
+    Args:
+        header: File-level metadata.
+        path: Destination (``.jsonl``/``.csv``); ``None`` records
+            in-memory only.
+        fmt: Override the suffix-derived format.
+    """
+
+    def __init__(self, header: TraceHeader,
+                 path: str | os.PathLike[str] | None = None, *,
+                 fmt: str | None = None) -> None:
+        self.trace = Trace(header=header)
+        self._fh: io.TextIOBase | None = None
+        self._csv: Any = None
+        self._fmt = None
+        if path is not None:
+            p = Path(path)
+            self._fmt = fmt or _fmt_from_suffix(p)
+            p.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = p.open("w", newline="")
+            if self._fmt == "jsonl":
+                self._fh.write(
+                    json.dumps(header.to_dict(), sort_keys=True) + "\n"
+                )
+            else:
+                self._csv = csv.writer(self._fh, lineterminator="\n")
+                self._csv.writerow(_CSV_COLUMNS)
+                for key, value in header.to_dict().items():
+                    self._csv.writerow([-1, "header", "", key, value])
+            self._fh.flush()
+
+    def record(self, record: dict[str, Any]) -> None:
+        """Append one record (and stream it out when a path is open)."""
+        idx = len(self.trace.records)
+        self.trace.append(record)
+        if self._fh is None:
+            return
+        if self._fmt == "jsonl":
+            self._fh.write(
+                json.dumps(encode_record(record), sort_keys=True) + "\n"
+            )
+        else:
+            op = record["op"]
+            code = record.get("code", "")
+            payload = [(k, v) for k, v in record.items()
+                       if k not in ("op", "code")]
+            if not payload:
+                self._csv.writerow([idx, op, code, "", ""])
+            for key, value in payload:
+                self._csv.writerow(
+                    [idx, op, code, key, _csv_value(key, value)]
+                )
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def records_equal(a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
+    """Field-wise record equality with NaN-aware float compares."""
+    if a.keys() != b.keys():
+        return False
+    for key in a:
+        va, vb = a[key], b[key]
+        if key in _FLOAT_FIELDS:
+            if not floats_equal(va, vb):
+                return False
+        elif key in _FLOAT_LIST_FIELDS:
+            if len(va) != len(vb) or not all(
+                    floats_equal(x, y) for x, y in zip(va, vb)):
+                return False
+        elif key in _FLOAT_TABLE_FIELDS:
+            if len(va) != len(vb) or not all(
+                    len(ra) == len(rb) and all(
+                        floats_equal(x, y) for x, y in zip(ra, rb))
+                    for ra, rb in zip(va, vb)):
+                return False
+        else:
+            if _as_tuple(va) != _as_tuple(vb):
+                return False
+    return True
+
+
+def _as_tuple(x: Any) -> Any:
+    return tuple(x) if isinstance(x, (list, tuple)) else x
+
+
+def level_array(levels: Iterable[float]) -> np.ndarray:
+    """Levels argument -> a validated 1-D float array."""
+    v = np.asarray(list(levels) if not isinstance(levels, np.ndarray)
+                   else levels, dtype=float)
+    if v.ndim != 1 or v.size == 0:
+        raise TraceError("levels must be a non-empty 1-D sequence")
+    return v

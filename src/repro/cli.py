@@ -15,6 +15,8 @@ without writing any Python:
   occupancy; ``--events-out`` exports JSONL);
 * ``cache`` — inspect/clear the characterization result cache
   (``stats`` reports hit/miss/error counters and the hit rate);
+* ``backends`` — list the registered measurement drivers
+  (:mod:`repro.backends`) and what each can do;
 * ``bench`` — run a perf bench from ``benchmarks/`` by name
   (``--list`` enumerates what is available).
 
@@ -28,6 +30,15 @@ crashes, stuck tasks and flaky failures; an unusable ``--cache-dir``
 degrades to an uncached run with a warning.  ``--profile`` prints a
 per-phase wall-time breakdown (kernel solve/decode, pool dispatch,
 cache IO — see :mod:`repro.runtime.profiling`) after the sweep.
+
+Measurement routing: ``fig4``, ``fig5``, ``yield`` and ``measure``
+accept ``--backend NAME`` (a :mod:`repro.backends` registry spec such
+as ``kernel``, ``sim`` or ``replay:trace.jsonl``); without the flag,
+``$REPRO_BACKEND`` sets the driver and the analytic kernel remains the
+default.  ``measure`` additionally takes ``--record-trace PATH`` (wrap
+the driver in a :class:`~repro.backends.RecordingBackend` and save a
+``trace/v1`` file) and ``--replay-trace PATH`` (re-feed a recorded
+trace bit-identically, no simulation at all).
 """
 
 from __future__ import annotations
@@ -85,6 +96,35 @@ def _runtime_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", default=None, metavar="NAME",
+                   help="measurement driver: a repro.backends registry "
+                        "spec ('kernel', 'sim', 'replay:PATH'; see "
+                        "'repro backends').  Default: $REPRO_BACKEND "
+                        "or the analytic kernel")
+
+
+def _char_route(args: argparse.Namespace) -> dict:
+    """Routing keywords for a characterization sweep.
+
+    ``--backend`` and the legacy ``--sim`` flag are mutually
+    exclusive (``--sim`` is shorthand for the classic bisected
+    event-simulation route; ``--backend sim`` reaches the same
+    engine through the driver registry).  With neither flag the
+    sweep passes no routing at all, so ``$REPRO_BACKEND`` applies
+    and the analytic kernel stays the default.
+    """
+    if args.backend is not None:
+        if args.sim:
+            raise SystemExit(
+                "error: --sim and --backend are mutually exclusive "
+                "(use --backend sim for the event-simulation driver)")
+        return {"backend": args.backend}
+    if args.sim:
+        return {"method": "sim"}
+    return {}
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     d = paper_design()
     print("Calibrated design (anchored to the paper's published data)")
@@ -131,7 +171,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
             for k in range(args.points)]
     points = threshold_vs_capacitance(
         d, caps, code=args.code,
-        method="sim" if args.sim else "analytic",
+        **_char_route(args),
         **_runtime_kwargs(args),
     )
     print("C [pF]   threshold [V]")
@@ -147,7 +187,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     d = paper_design()
     chars = characterize_array(
         d, codes=tuple(args.codes),
-        method="sim" if args.sim else "analytic",
+        **_char_route(args),
         **_runtime_kwargs(args),
     )
     for code, ch in chars.items():
@@ -201,12 +241,33 @@ def _cmd_critical_path(args: argparse.Namespace) -> int:
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.backends import BACKEND_ENV, RecordingBackend, \
+        ReplayBackend, resolve_backend
     from repro.core.autorange import AutoRangingMeter
     from repro.core.sensor import SenseRail
 
+    recording = None
+    if args.replay_trace is not None:
+        if args.backend is not None or args.record_trace is not None:
+            raise SystemExit(
+                "error: --replay-trace replaces the driver; it cannot "
+                "be combined with --backend or --record-trace")
+        backend = ReplayBackend(args.replay_trace)
+    else:
+        spec = args.backend or os.environ.get(BACKEND_ENV) or None
+        backend = resolve_backend(spec) \
+            if spec is not None or args.record_trace is not None \
+            else None
+        if args.record_trace is not None:
+            backend = recording = RecordingBackend(
+                backend, args.record_trace, note="repro measure")
+
     d = paper_design()
     rail = SenseRail.GND if args.gnd is not None else SenseRail.VDD
-    meter = AutoRangingMeter(d, rail, initial_code=args.code)
+    meter = AutoRangingMeter(d, rail, initial_code=args.code,
+                             backend=backend)
     if rail is SenseRail.GND:
         result = meter.measure_level(gnd_n=args.gnd)
         label = "GND-n"
@@ -221,6 +282,11 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     print(f"decoded: ({result.decoded.lo:.4f}, "
           f"{result.decoded.hi:.4f}] V"
           + ("  [saturated]" if result.saturated else ""))
+    if recording is not None:
+        recording.close()
+        print(f"recorded {len(recording.trace.records)} trace "
+              f"record(s) to {args.record_trace} "
+              f"(replay with --replay-trace)")
     return 0 if not result.saturated else 2
 
 
@@ -263,6 +329,7 @@ def _cmd_yield(args: argparse.Namespace) -> int:
         sigma_vth_intra=args.sigma_intra * 1e-3,
     )
     rep = run_yield_study(d, model, n_dies=args.dies,
+                          backend=args.backend,
                           **_runtime_kwargs(args))
     print(f"{args.dies} dies, mismatch sigma inter/intra = "
           f"{args.sigma_inter:.1f}/{args.sigma_intra:.1f} mV")
@@ -355,6 +422,29 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """List the registered measurement drivers and their features."""
+    from repro.backends import available, get
+
+    print("registered measurement drivers (--backend NAME):")
+    for name in available():
+        bk = get(name)
+        caps = bk.capabilities()
+        feats = ", ".join(
+            feat for feat in
+            ("thresholds", "lot_thresholds", "s_curve")
+            if getattr(caps, feat)
+        ) or "-"
+        det = "deterministic" if caps.deterministic else "stochastic"
+        print(f"  {name:<12} {det:<14} {feats}")
+        if args.fingerprints:
+            print(f"  {'':<12} fingerprint {bk.fingerprint()}")
+    print("  replay:PATH  re-feeds a recorded trace/v1 file "
+          "(.jsonl or .csv) bit-identically")
+    print("record a campaign with 'repro measure --record-trace PATH'")
     return 0
 
 
@@ -467,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sim", action="store_true",
                    help="bisect the event simulation instead of the "
                         "analytic law")
+    _add_backend_arg(p)
     _add_runtime_args(p)
     p.set_defaults(func=_cmd_fig4)
 
@@ -475,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sim", action="store_true",
                    help="bisect the event simulation instead of the "
                         "analytic law")
+    _add_backend_arg(p)
     _add_runtime_args(p)
     p.set_defaults(func=_cmd_fig5)
 
@@ -504,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inter-die Vth sigma, mV")
     p.add_argument("--sigma-intra", type=float, default=6.0,
                    help="per-stage Vth mismatch sigma, mV")
+    _add_backend_arg(p)
     _add_runtime_args(p)
     p.set_defaults(func=_cmd_yield)
 
@@ -586,7 +679,20 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--gnd", type=float, help="GND-n rise, volts")
     p.add_argument("--code", type=int, default=3,
                    help="starting delay code")
+    _add_backend_arg(p)
+    p.add_argument("--record-trace", default=None, metavar="PATH",
+                   help="record the driver's measurements to a "
+                        "trace/v1 file (.jsonl or .csv)")
+    p.add_argument("--replay-trace", default=None, metavar="PATH",
+                   help="re-feed a recorded trace instead of "
+                        "measuring (bit-identical replay)")
     p.set_defaults(func=_cmd_measure)
+
+    p = sub.add_parser("backends",
+                       help="list the registered measurement drivers")
+    p.add_argument("--fingerprints", action="store_true",
+                   help="also print each driver's cache fingerprint")
+    p.set_defaults(func=_cmd_backends)
     return parser
 
 

@@ -61,13 +61,22 @@ class AutoRangingMeter:
         initial_code: Code to try first (the paper's running example
             011).
         max_attempts: Re-range budget per reading.
+        backend: Measurement driver (instance or registry spec, see
+            :mod:`repro.backends`) answering :meth:`measure_level`
+            readings; configured onto ``design``/``rail``/``tech`` at
+            construction.  ``None`` keeps the built-in analytic array
+            (and the kernel fast path of :meth:`scan_levels`, which
+            always measures analytically).  Decoding always uses the
+            analytic ladder — the meter's calibration — whatever
+            driver produced the word.
     """
 
     def __init__(self, design: SensorDesign,
                  rail: SenseRail = SenseRail.VDD,
                  tech: Technology | None = None, *,
                  initial_code: int = 3,
-                 max_attempts: int = 4) -> None:
+                 max_attempts: int = 4,
+                 backend: "object | str | None" = None) -> None:
         if not 0 <= initial_code < 8:
             raise ConfigurationError("initial_code outside 0..7")
         if max_attempts < 1:
@@ -77,6 +86,12 @@ class AutoRangingMeter:
         self.array = SensorArray(design, rail, tech)
         self.initial_code = initial_code
         self.max_attempts = max_attempts
+        self.backend = None
+        if backend is not None:
+            from repro.backends import resolve_backend
+
+            self.backend = resolve_backend(backend)
+            self.backend.configure(design, rail=rail, tech=tech)
 
     def _next_code(self, code: int, word: ThermometerWord) -> int | None:
         """Step the code toward the saturated side, or None if stuck.
@@ -127,12 +142,28 @@ class AutoRangingMeter:
 
     def measure_level(self, *, vdd_n: float | None = None,
                       gnd_n: float | None = None) -> AutoRangedMeasure:
-        """Auto-range the analytic array at a static rail level."""
-        def backend(code: int) -> ThermometerWord:
+        """Auto-range one static rail level (configured driver, or the
+        analytic array when none was given)."""
+        if self.backend is not None:
+            level = vdd_n if self.rail is SenseRail.VDD else gnd_n
+            if level is None:
+                raise ConfigurationError(
+                    f"a {self.rail.value}-rail meter needs "
+                    f"{'vdd_n' if self.rail is SenseRail.VDD else 'gnd_n'}="
+                )
+
+            def measure(code: int) -> ThermometerWord:
+                word = self.backend.measure(float(level),
+                                            code=code).word
+                return ThermometerWord(word)
+
+            return self.measure_with(measure)
+
+        def measure(code: int) -> ThermometerWord:
             return self.array.measure(code, vdd_n=vdd_n,
                                       gnd_n=gnd_n).word
 
-        return self.measure_with(backend)
+        return self.measure_with(measure)
 
     def scan_levels(self, levels: Sequence[float]
                     ) -> list[AutoRangedMeasure]:

@@ -16,12 +16,26 @@ entry point takes ``workers=`` (process-pool fan-out, bit-identical to
 serial) and ``cache=`` (on-disk memoization keyed by the design
 fingerprint + corner + code + brackets + tolerance) — see
 :mod:`repro.runtime`.  Both default to the serial, uncached behavior.
+
+Every entry point also takes ``backend=`` — a
+:class:`~repro.backends.SensorBackend` instance or registry spec
+(``"kernel"``, ``"sim"``, ``"replay:<path>"``); unset, the
+``REPRO_BACKEND`` environment variable decides, falling back to the
+analytic route.  A resolved :class:`~repro.backends.KernelBackend` /
+:class:`~repro.backends.SimBackend` takes the matching classic route
+above (so ``workers``/``cache``/``tol`` keep working, with the
+backend's fingerprint folded into the cache keys); any other driver —
+replay, recording, a registered custom rig — measures through the
+generic protocol path, serially.  ``method=`` and ``backend=`` are
+mutually exclusive spellings of the same choice.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
 
 import numpy as np
 
@@ -40,7 +54,49 @@ from repro.runtime import (
     task_key,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends import SensorBackend
+
 Method = Literal["analytic", "sim"]
+
+
+def _resolve_route(backend: "SensorBackend | str | None",
+                   method: Method | None) -> tuple[
+                       Method | None, "SensorBackend | None"]:
+    """Map ``(backend=, method=)`` onto an execution route.
+
+    Returns ``(route, driver)``: ``route`` is ``"analytic"``/``"sim"``
+    for the classic fast paths (``driver`` carries the resolved
+    instance when one was named, for cache-key fingerprinting) or
+    ``None`` when ``driver`` must be measured through the generic
+    protocol path.
+    """
+    from repro.backends import (
+        BACKEND_ENV,
+        KernelBackend,
+        SimBackend,
+        resolve_backend,
+    )
+
+    if method is not None:
+        if backend is not None:
+            raise ConfigurationError(
+                "pass either method= or backend=, not both"
+            )
+        if method not in ("analytic", "sim"):
+            raise ConfigurationError(f"unknown method {method!r}")
+        return method, None
+    if backend is None and not os.environ.get(BACKEND_ENV):
+        return "analytic", None
+    bk = resolve_backend(backend)
+    # Exact-type matches only: a *subclass* may override measurement
+    # behaviour, so it must go through the generic protocol path, not
+    # be silently collapsed onto the classic fast path.
+    if type(bk) is KernelBackend:
+        return "analytic", bk
+    if type(bk) is SimBackend:
+        return "sim", bk
+    return None, bk
 
 
 @dataclass(frozen=True)
@@ -127,7 +183,8 @@ def _solve_sim_thresholds(
         cache: ResultCache | str | None,
         retries: int = 0,
         task_timeout: float | None = None,
-        failure_policy: str = "raise") -> list[float | None]:
+        failure_policy: str = "raise",
+        backend: "SensorBackend | None" = None) -> list[float | None]:
     """Bisect many (design, bit, code, v_lo, v_hi) tasks, in order.
 
     The shared fan-out/memoization engine behind every sim-method
@@ -140,6 +197,11 @@ def _solve_sim_thresholds(
     straight to :func:`repro.runtime.cached_map`.  Under ``"partial"``
     a task that exhausts its budget leaves ``None`` in its slot
     instead of aborting the sweep.
+
+    ``backend`` names the driver the sweep was requested through; its
+    fingerprint lands in the design fingerprint of every key, so a
+    sweep dispatched via ``backend="sim"`` can never share cache
+    entries with one dispatched under a different driver identity.
     """
     store = resolve_cache(cache)
     keys = None
@@ -150,7 +212,9 @@ def _solve_sim_thresholds(
         for design, bit, code, v_lo, v_hi in tasks:
             fp = design_fps.get(id(design))
             if fp is None:
-                fp = design_fps[id(design)] = design_fingerprint(design)
+                fp = design_fps[id(design)] = design_fingerprint(
+                    design, backend=backend
+                )
             keys.append(task_key("sim-threshold", fp, bit, code, rail,
                                  tech_fp, v_lo, v_hi, tol))
     specs = [
@@ -175,11 +239,28 @@ def _sim_bracket(est: float, rail: SenseRail,
     return v_lo, est + bracket_pad
 
 
+def _generic_thresholds(bk: "SensorBackend", design: SensorDesign,
+                        code: int, *, rail: SenseRail,
+                        tech: Technology | None,
+                        bits: Sequence[int] | None = None
+                        ) -> tuple[float | None, ...]:
+    """Characterize through the generic driver protocol.
+
+    NaN (the protocol's masked-bit marker) maps to ``None`` — the same
+    convention the classic routes use under ``failure_policy=
+    "partial"``, so downstream masking logic is shared.
+    """
+    bk.configure(design, rail=rail, tech=tech)
+    values = bk.bit_thresholds(code, bits=bits)
+    return tuple(None if math.isnan(v) else float(v) for v in values)
+
+
 def characterize_bit_thresholds(
         design: SensorDesign, code: int, *,
         rail: SenseRail = SenseRail.VDD,
         tech: Technology | None = None,
-        method: Method = "analytic",
+        method: Method | None = None,
+        backend: "SensorBackend | str | None" = None,
         tol: float = 0.5e-3,
         bracket_pad: float = 0.15,
         workers: int | None = None,
@@ -197,29 +278,38 @@ def characterize_bit_thresholds(
         code: Delay code 0..7.
         rail: Which array to characterize.
         tech: Corner technology.
-        method: ``"analytic"`` or ``"sim"`` (bisected event simulation).
-        tol: Bisection tolerance, volts (sim method).
+        method: ``"analytic"`` or ``"sim"`` (bisected event
+            simulation); ``None`` (default) defers to ``backend``.
+        backend: Measurement driver — an instance or a registry spec
+            (see :mod:`repro.backends`); resolved per the module
+            docstring.  Kernel/sim drivers take the matching classic
+            route; any other driver measures through the generic
+            protocol path (NaN thresholds report as ``None``).
+        tol: Bisection tolerance, volts (sim route).
         bracket_pad: Bisection bracket margin around the analytic
-            estimate, volts (sim method).
-        workers: Process-pool size for the sim method (<= 1: serial).
-        cache: On-disk memoization for the sim method — a
+            estimate, volts (sim route).
+        workers: Process-pool size for the sim route (<= 1: serial).
+        cache: On-disk memoization for the sim route — a
             :class:`~repro.runtime.ResultCache` or a cache directory;
             ``None`` disables caching.
         retries / task_timeout / failure_policy: Resilience options
-            for the sim method (see :func:`repro.runtime.map_tasks`);
+            for the sim route (see :func:`repro.runtime.map_tasks`);
             under ``"partial"`` a bit whose bisection kept failing
             reports ``None`` instead of aborting the sweep.
     """
+    route, bk = _resolve_route(backend, method)
+    if route is None:
+        assert bk is not None
+        return _generic_thresholds(bk, design, code, rail=rail,
+                                   tech=tech)
     analytic = tuple(
         float(v) for v in threshold_grid(design, (code,), tech)[:, 0]
     )
     if rail is SenseRail.GND:
         nominal = design.tech.vdd_nominal
         analytic = tuple(nominal - v for v in analytic)
-    if method == "analytic":
+    if route == "analytic":
         return analytic
-    if method != "sim":
-        raise ConfigurationError(f"unknown method {method!r}")
     tasks = []
     for b, est in zip(range(1, design.n_bits + 1), analytic):
         v_lo, v_hi = _sim_bracket(est, rail, bracket_pad)
@@ -228,13 +318,15 @@ def characterize_bit_thresholds(
         tasks, rail=rail, tech=tech, tol=tol,
         workers=workers, cache=cache, retries=retries,
         task_timeout=task_timeout, failure_policy=failure_policy,
+        backend=bk,
     ))
 
 
 def characterize_array(design: SensorDesign,
                        codes: Sequence[int] = (1, 2, 3), *,
                        tech: Technology | None = None,
-                       method: Method = "analytic",
+                       method: Method | None = None,
+                       backend: "SensorBackend | str | None" = None,
                        tol: float = 0.5e-3,
                        bracket_pad: float = 0.15,
                        workers: int | None = None,
@@ -256,11 +348,23 @@ def characterize_array(design: SensorDesign,
     :mod:`repro.core.degraded`) and the dropped bits are listed in
     :attr:`ArrayCharacteristic.masked_bits`.  A code whose every bit
     failed raises :class:`CharacterizationError` even then.
+
+    ``backend=`` routes as in :func:`characterize_bit_thresholds`; a
+    generic driver (replay, recording, custom) characterizes the codes
+    serially through the protocol, NaN rungs masking as above.
     """
+    route, bk = _resolve_route(backend, method)
     per_code: dict[int, tuple[float | None, ...]] = {}
-    if method == "sim":
+    if route is None:
+        assert bk is not None
+        for code in codes:
+            per_code[code] = _generic_thresholds(
+                bk, design, code, rail=SenseRail.VDD, tech=tech
+            )
+    elif route == "sim":
         analytic = {
-            code: characterize_bit_thresholds(design, code, tech=tech)
+            code: characterize_bit_thresholds(design, code, tech=tech,
+                                              method="analytic")
             for code in codes
         }
         tasks = []
@@ -274,17 +378,16 @@ def characterize_array(design: SensorDesign,
             tasks, rail=SenseRail.VDD, tech=tech, tol=tol,
             workers=workers, cache=cache, retries=retries,
             task_timeout=task_timeout, failure_policy=failure_policy,
+            backend=bk,
         )
         for k, code in enumerate(codes):
             start = k * design.n_bits
             per_code[code] = tuple(flat[start:start + design.n_bits])
-    elif method == "analytic":
+    else:
         # One (bits x codes) kernel solve for the whole Fig. 5 grid.
         grid = threshold_grid(design, tuple(codes), tech)
         for j, code in enumerate(codes):
             per_code[code] = tuple(float(v) for v in grid[:, j])
-    else:
-        raise ConfigurationError(f"unknown method {method!r}")
     out: dict[int, ArrayCharacteristic] = {}
     for code, raw in per_code.items():
         masked = tuple(b for b, t in enumerate(raw, start=1)
@@ -310,7 +413,8 @@ def threshold_vs_capacitance(
         design: SensorDesign, caps: Sequence[float], *,
         code: int = 3,
         tech: Technology | None = None,
-        method: Method = "analytic",
+        method: Method | None = None,
+        backend: "SensorBackend | str | None" = None,
         tol: float = 0.5e-3,
         workers: int | None = None,
         cache: ResultCache | str | None = None,
@@ -325,10 +429,14 @@ def threshold_vs_capacitance(
         caps: Trim capacitances to characterize, farads.
         code: Delay code (the paper's Fig. 4 is consistent with 011).
         tech: Corner technology.
-        method: ``"analytic"`` or ``"sim"``.
+        method: ``"analytic"`` or ``"sim"``; ``None`` defers to
+            ``backend``.
+        backend: Measurement driver (see
+            :func:`characterize_bit_thresholds`); a generic driver is
+            reconfigured onto each single-bit probe design in turn.
         tol: Sim bisection tolerance, volts.
-        workers: Process-pool size for the sim method (<= 1: serial).
-        cache: On-disk memoization for the sim method (per probe cap).
+        workers: Process-pool size for the sim route (<= 1: serial).
+        cache: On-disk memoization for the sim route (per probe cap).
         retries / task_timeout / failure_policy: Resilience options
             (see :func:`repro.runtime.map_tasks`); under ``"partial"``
             a failed probe reports ``(cap, None)``.
@@ -338,8 +446,20 @@ def threshold_vs_capacitance(
     """
     if not caps:
         raise ConfigurationError("caps must be non-empty")
-    if method not in ("analytic", "sim"):
-        raise ConfigurationError(f"unknown method {method!r}")
+    route, bk = _resolve_route(backend, method)
+    if route is None:
+        assert bk is not None
+        caps_arr = np.asarray(caps, dtype=float)
+        if np.any(caps_arr <= 0):
+            raise ConfigurationError("caps must be positive")
+        out: list[tuple[float, float | None]] = []
+        for cap in caps:
+            probe = design.with_load_caps((float(cap),))
+            thr = _generic_thresholds(bk, probe, code,
+                                      rail=SenseRail.VDD, tech=tech,
+                                      bits=(1,))[0]
+            out.append((cap, thr))
+        return out
     inv = design.sensor_inverter(tech)
     ff = design.sense_flipflop(tech)
     window = design.effective_window(code, tech)
@@ -353,7 +473,7 @@ def threshold_vs_capacitance(
         inv.model.tech.vth, inv.model.tech.alpha, v_hi=3.0,
     )
     analytic = [float(v) for v in solved]
-    if method == "analytic":
+    if route == "analytic":
         return list(zip(caps, analytic))
     # One single-bit probe design per cap: the probe's load_caps land
     # in its fingerprint, so every cap gets its own cache identity.
@@ -365,6 +485,7 @@ def threshold_vs_capacitance(
         tasks, rail=SenseRail.VDD, tech=tech, tol=tol,
         workers=workers, cache=cache, retries=retries,
         task_timeout=task_timeout, failure_policy=failure_policy,
+        backend=bk,
     )
     return list(zip(caps, thresholds))
 

@@ -102,3 +102,39 @@ class RetryExhaustedError(ReproError):
     available; the per-attempt history lives in the executor's
     :class:`~repro.runtime.resilient.TaskFailure` records.
     """
+
+
+class BackendError(ReproError):
+    """A measurement backend was misused or cannot serve a request.
+
+    Raised e.g. when an entry point asks a driver for a capability it
+    does not implement (``capabilities()`` advertises what a driver
+    supports), or when a backend is measured before ``configure()``.
+    """
+
+
+class TraceError(ReproError):
+    """A measurement trace file is malformed or cannot be read.
+
+    Base class for the record/replay layer's failures; see
+    :class:`TraceSchemaError` and :class:`ReplayMismatchError`.
+    """
+
+
+class TraceSchemaError(TraceError):
+    """A trace file carries an unknown or incompatible schema tag.
+
+    Raised when a ``trace/v*`` tag is newer than this library
+    understands (or missing entirely) — replaying it could silently
+    reinterpret recorded physics, so the reader refuses.
+    """
+
+
+class ReplayMismatchError(TraceError):
+    """A replayed campaign diverged from its recording.
+
+    The :class:`~repro.backends.ReplayBackend` verifies every request
+    (op, code, levels — bit-exact) against the recorded sequence; any
+    drift means the campaign code no longer asks the questions the
+    trace answered, and the replay is not a valid regression gate.
+    """

@@ -197,7 +197,14 @@ class TransientStepper:
             lo = (first_global - 2) - (k0 - tail)
             hi = (k0 + m - 2) - (k0 - tail)
             m_mix = a_d - disc.trace * np.eye(2)
-            f = g_hist[:, lo + 1:hi + 1] + m_mix @ g_hist[:, lo:hi]
+            # Elementwise, NOT m_mix @ g_hist: BLAS picks different
+            # micro-kernels (FMA vs mul+add) by operand width, so a
+            # matmul's per-column rounding would depend on the chunk
+            # split — breaking the bit-invariance contract.  Broadcast
+            # ufuncs round each element identically at any width.
+            f = (g_hist[:, lo + 1:hi + 1]
+                 + m_mix[:, :1] * g_hist[:1, lo:hi]
+                 + m_mix[:, 1:] * g_hist[1:2, lo:hi])
             for i in range(2):
                 y, zf = lfilter([1.0], [1.0, -disc.trace, disc.det],
                                 f[i], zi=self._zi[i])

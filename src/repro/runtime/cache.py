@@ -114,7 +114,7 @@ def _numeric_environment() -> tuple[str, str]:
     return (f"numpy/{numpy.__version__}", KERNEL_LAYOUT_VERSION)
 
 
-def design_fingerprint(design: Any) -> str:
+def design_fingerprint(design: Any, *, backend: Any = None) -> str:
     """Stable fingerprint of a :class:`~repro.core.calibration.SensorDesign`.
 
     Covers every calibrated constant (the nested
@@ -123,8 +123,21 @@ def design_fingerprint(design: Any) -> str:
     fingerprint and misses the cache — plus the numeric environment
     (NumPy version, kernel layout version), so results computed by a
     different kernel generation miss it too.
+
+    Args:
+        backend: The measurement driver producing the results — any
+            object with a ``fingerprint()`` method (a
+            :class:`~repro.backends.SensorBackend`).  Its fingerprint
+            (driver id + engine version tags + trace schema) is folded
+            in, so artifacts measured through different drivers — a
+            kernel-backed sweep, a sim-backed one, a replayed trace —
+            can never share a cache entry.  ``None`` keeps the classic
+            driverless fingerprint (the scalar/kernel-era keys).
     """
-    return stable_hash((design,) + _numeric_environment())
+    tail: tuple[str, ...] = _numeric_environment()
+    if backend is not None:
+        tail = tail + (backend.fingerprint(),)
+    return stable_hash((design,) + tail)
 
 
 def task_key(kind: str, *parts: Any) -> str:

@@ -16,7 +16,9 @@ sweep.  This package is that missing online layer:
   emitting :class:`~repro.telemetry.events.DroopEvent` records;
 * :mod:`repro.telemetry.sources` — adapters from
   :class:`~repro.core.monitor.NoiseMonitor` captures, scan-chain
-  shift-outs, PDN transient grids and raw arrays to sample streams;
+  shift-outs, PDN transient grids, raw arrays and pluggable
+  measurement drivers (:func:`~repro.telemetry.sources.backend_source`)
+  to sample streams;
 * :mod:`repro.telemetry.pipeline` — the
   :class:`~repro.telemetry.pipeline.TelemetryPipeline` orchestrator:
   chunked kernel decode (bit-identical to batch), per-site aggregation,
@@ -38,6 +40,7 @@ from repro.telemetry.ring import OverflowPolicy, RingBuffer
 from repro.telemetry.sources import (
     SampleBlock,
     array_source,
+    backend_source,
     grid_transient_source,
     monitor_source,
     scan_chain_source,
@@ -57,6 +60,7 @@ __all__ = [
     "SampleBlock",
     "TelemetryPipeline",
     "array_source",
+    "backend_source",
     "batch_decode",
     "grid_transient_source",
     "monitor_source",

@@ -1,0 +1,154 @@
+"""Golden-trace regression gate.
+
+``tests/data/traces/`` holds committed recordings of a reference
+kernel-backend campaign (both trace formats).  Replaying them pins
+two different things:
+
+* **the trace layer** — the files still parse under the current
+  schema and replay *bit-identically* (any encoding change that loses
+  a bit fails here first);
+* **the physics** — the recorded words and thresholds still match
+  what a *live* :class:`~repro.backends.KernelBackend` produces
+  today, so an accidental change to the delay law, the threshold
+  solver or the decode path is caught against a frozen reference.
+
+The campaign's measurement levels are decode-ladder *midpoints*
+(maximally far from every pass/fail boundary), so the word comparison
+is exact across platforms; threshold floats are compared at the
+solver's cross-platform agreement bound, not bit-wise.
+
+Regenerate after an *intentional* physics change with::
+
+    PYTHONPATH=src python tests/test_backends_golden.py
+
+and review the fixture diff like any other golden update.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends import KernelBackend, RecordingBackend, ReplayBackend
+from repro.backends.trace import TRACE_SCHEMA, Trace
+
+TRACE_DIR = Path(__file__).parent / "data" / "traces"
+GOLDEN = [TRACE_DIR / "kernel_campaign.jsonl",
+          TRACE_DIR / "kernel_campaign.csv"]
+
+#: Cross-platform threshold agreement bound for the live comparison:
+#: the brentq solves behind the recorded values are xtol=1e-9-class,
+#: so anything past a few of those is a real physics change.
+GOLDEN_ATOL_V = 1e-8
+
+#: The frozen campaign's sweep/sampling constants.
+CODE = 3
+S_CURVE_BIT = 4
+S_CURVE_SEED = 2009
+S_CURVE_N = 32
+NOISE_RMS = 5e-3
+
+
+def _campaign_levels(design):
+    """Decode-ladder midpoints for the frozen code (plus one level
+    beyond each end of the dynamic)."""
+    bk = KernelBackend()
+    bk.configure(design)
+    th = np.asarray(bk.bit_thresholds(CODE))
+    edges = np.concatenate(([th[0] - 0.03], th, [th[-1] + 0.03]))
+    return 0.5 * (edges[:-1] + edges[1:])
+
+
+def _run_campaign(bk, design):
+    """The frozen reference campaign, against any driver."""
+    bk.configure(design)
+    levels = _campaign_levels(design)
+    return {
+        "words": bk.measure_batch(levels, code=CODE),
+        "thresholds": np.asarray(bk.bit_thresholds(CODE)),
+        "s_curve": bk.s_curve(S_CURVE_BIT, code=CODE,
+                              noise_rms=NOISE_RMS,
+                              n_per_level=S_CURVE_N,
+                              seed=S_CURVE_SEED),
+    }
+
+
+@pytest.mark.parametrize("path", GOLDEN, ids=lambda p: p.suffix[1:])
+def test_golden_traces_are_committed_and_parse(path):
+    assert path.exists(), \
+        f"{path} missing — regenerate with " \
+        f"'PYTHONPATH=src python tests/test_backends_golden.py'"
+    trace = Trace.load(path)
+    assert trace.header.schema == TRACE_SCHEMA
+    assert trace.header.backend == "kernel"
+    assert len(trace.records) >= 3
+
+
+@pytest.mark.parametrize("path", GOLDEN, ids=lambda p: p.suffix[1:])
+def test_golden_replay_is_bit_identical_to_recording(design, path):
+    """Replaying a golden file returns the recorded results verbatim
+    and consumes the whole trace."""
+    replay = ReplayBackend(path)
+    got = _run_campaign(replay, design)
+    assert replay.exhausted
+
+    trace = Trace.load(path)
+    by_op = {r["op"]: r for r in trace.records}
+    assert np.array_equal(
+        got["words"],
+        np.asarray(by_op["measure_batch"]["words"], dtype=np.uint8))
+    assert np.array_equal(
+        np.asarray(got["thresholds"]),
+        np.asarray(by_op["bit_thresholds"]["values"]), equal_nan=True)
+    assert got["s_curve"] == (tuple(by_op["s_curve"]["levels"]),
+                              tuple(by_op["s_curve"]["probs"]))
+
+
+def test_both_golden_formats_carry_the_same_campaign():
+    a, b = (Trace.load(p) for p in GOLDEN)
+    from repro.backends.trace import records_equal
+
+    assert a.header == b.header
+    assert len(a.records) == len(b.records)
+    assert all(records_equal(x, y)
+               for x, y in zip(a.records, b.records))
+
+
+def test_golden_campaign_matches_live_kernel(design):
+    """The frozen reference still reproduces on today's kernel: exact
+    words (midpoint levels), solver-bound thresholds, valid recorded
+    S-curve probabilities."""
+    golden = _run_campaign(ReplayBackend(GOLDEN[0]), design)
+    live = _run_campaign(KernelBackend(), design)
+
+    assert np.array_equal(golden["words"], live["words"])
+    assert np.allclose(golden["thresholds"], live["thresholds"],
+                       atol=GOLDEN_ATOL_V, rtol=0.0)
+    g_levels, g_probs = golden["s_curve"]
+    assert all(0.0 <= p <= 1.0 for p in g_probs)
+    assert all(math.isfinite(v) for v in g_levels)
+
+
+def regenerate() -> list[Path]:
+    """Re-record the golden fixtures (both formats) from the live
+    kernel.  Review the diff: every changed float is a deliberate
+    physics change or a bug."""
+    from repro.core.calibration import fit_paper_design
+
+    d = fit_paper_design()
+    out = []
+    for path in GOLDEN:
+        rec = RecordingBackend(KernelBackend(), path,
+                               note="golden reference campaign")
+        _run_campaign(rec, d)
+        rec.close()
+        out.append(path)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration
+    for p in regenerate():
+        print(f"wrote {p}")

@@ -1,0 +1,312 @@
+"""Trace serialization properties (hypothesis) and schema guards.
+
+The record/replay substrate promises *bit-for-bit* round-trips:
+record -> serialize (JSONL or CSV) -> deserialize -> replay must
+reproduce every float exactly — including ``nan`` (masked-bit
+entries), ``inf``, negative zero and subnormals — because a golden
+trace is a regression gate, and a gate that quietly re-quantizes its
+reference is no gate.  These tests drive that promise with generated
+record streams, and pin the schema-versioning contract: readers
+reject unknown ``trace/v*`` tags loudly instead of guessing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import ReplayBackend
+from repro.backends.trace import (
+    TRACE_SCHEMA,
+    Trace,
+    TraceHeader,
+    TraceWriter,
+    dump_csv,
+    dump_jsonl,
+    float_token,
+    parse_csv,
+    parse_float_token,
+    parse_jsonl,
+    records_equal,
+    seed_token,
+)
+from repro.errors import (
+    ReplayMismatchError,
+    TraceError,
+    TraceSchemaError,
+)
+from repro.runtime.cache import stable_hash
+
+HEADER = TraceHeader(schema=TRACE_SCHEMA, backend="kernel",
+                     backend_fingerprint="fp-test",
+                     seed_scheme="mc-seedseq-spawn/v1", note="prop")
+
+# Every representable double, NaN / +-inf / -0.0 / subnormals included.
+any_float = st.floats(width=64)
+finite_float = st.floats(width=64, allow_nan=False, allow_infinity=False)
+code_st = st.integers(min_value=0, max_value=7)
+word_st = st.lists(st.integers(0, 1), min_size=1, max_size=8).map(tuple)
+
+
+@st.composite
+def measure_batch_record(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    n_bits = draw(st.integers(min_value=1, max_value=8))
+    return {
+        "op": "measure_batch",
+        "code": draw(code_st),
+        "levels": [draw(any_float) for _ in range(n)],
+        "words": [tuple(draw(st.integers(0, 1)) for _ in range(n_bits))
+                  for _ in range(n)],
+    }
+
+
+@st.composite
+def bit_thresholds_record(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    return {
+        "op": "bit_thresholds",
+        "code": draw(code_st),
+        "bits": tuple(range(1, n + 1)),
+        "values": [draw(any_float) for _ in range(n)],
+    }
+
+
+@st.composite
+def lot_thresholds_record(draw):
+    rows = draw(st.integers(min_value=1, max_value=3))
+    lanes = draw(st.integers(min_value=1, max_value=5))
+    return {
+        "op": "lot_thresholds",
+        "code": draw(code_st),
+        "lot": "lothash",
+        "table": [[draw(any_float) for _ in range(lanes)]
+                  for _ in range(rows)],
+    }
+
+
+@st.composite
+def s_curve_record(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    return {
+        "op": "s_curve",
+        "code": draw(code_st),
+        "bits": (draw(st.integers(min_value=1, max_value=7)),),
+        "noise_rms": draw(any_float),
+        "span_sigmas": draw(any_float),
+        "n_per_level": draw(st.integers(min_value=1, max_value=500)),
+        "n_levels": n,
+        "seed": seed_token(draw(st.integers(min_value=0,
+                                            max_value=2**63 - 1))),
+        "levels": [draw(any_float) for _ in range(n)],
+        "probs": [draw(any_float) for _ in range(n)],
+    }
+
+
+configure_record = st.just(
+    {"op": "configure", "design": "dhash", "rail": "vdd", "tech": ""}
+)
+
+record_stream = st.lists(
+    st.one_of(measure_batch_record(), bit_thresholds_record(),
+              lot_thresholds_record(), s_curve_record(),
+              configure_record),
+    min_size=0, max_size=6,
+)
+
+
+# -- serialization round-trips -------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(record_stream)
+def test_jsonl_roundtrip_is_bit_exact(records):
+    trace = Trace(header=HEADER)
+    for r in records:
+        trace.append(r)
+    back = parse_jsonl(dump_jsonl(trace))
+    assert back.header == trace.header
+    assert len(back.records) == len(trace.records)
+    assert all(records_equal(a, b)
+               for a, b in zip(trace.records, back.records))
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_stream)
+def test_csv_roundtrip_is_bit_exact(records):
+    trace = Trace(header=HEADER)
+    for r in records:
+        trace.append(r)
+    back = parse_csv(dump_csv(trace))
+    assert back.header == trace.header
+    assert len(back.records) == len(trace.records)
+    assert all(records_equal(a, b)
+               for a, b in zip(trace.records, back.records))
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_stream, st.sampled_from(["jsonl", "csv"]))
+def test_streaming_writer_matches_batch_save(tmp_path_factory, records,
+                                             fmt):
+    """TraceWriter's append-as-you-go encoding parses back identical
+    to a one-shot Trace.save of the same stream."""
+    tmp = tmp_path_factory.mktemp("stream")
+    path = tmp / f"t.{fmt}"
+    with TraceWriter(HEADER, path) as w:
+        for r in records:
+            w.record(r)
+    streamed = Trace.load(path)
+    batch = Trace(header=HEADER)
+    for r in records:
+        batch.append(r)
+    assert len(streamed.records) == len(batch.records)
+    assert all(records_equal(a, b)
+               for a, b in zip(streamed.records, batch.records))
+
+
+@settings(max_examples=200, deadline=None)
+@given(any_float)
+def test_float_token_roundtrip(x):
+    y = parse_float_token(float_token(x))
+    if math.isnan(x):
+        assert math.isnan(y)
+    else:
+        # == would pass for -0.0 vs 0.0; compare the actual bits.
+        assert np.float64(x).tobytes() == np.float64(y).tobytes()
+
+
+def test_seed_tokens_distinguish_int_and_seedseq():
+    ss = np.random.SeedSequence(42).spawn(3)[1]
+    assert seed_token(42) == "int:42"
+    assert seed_token(ss) == "ss:42:1"
+    assert seed_token(42) != seed_token(np.random.SeedSequence(42))
+
+
+# -- record -> file -> replay bit-identity -------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(any_float, min_size=1, max_size=4),
+    st.lists(word_st.map(lambda w: (w + (0,) * 8)[:5]), min_size=1,
+             max_size=4),
+    st.sampled_from(["jsonl", "csv"]),
+)
+def test_synthesized_trace_replays_bit_for_bit(tmp_path_factory, design,
+                                               levels, words, fmt):
+    """A trace written to disk replays exactly: same request -> the
+    recorded words verbatim; a *diverged* request -> loud mismatch."""
+    n = min(len(levels), len(words))
+    levels, words = levels[:n], words[:n]
+    trace = Trace(header=HEADER)
+    trace.append({"op": "configure", "design": stable_hash(design),
+                  "rail": "vdd", "tech": ""})
+    trace.append({"op": "measure_batch", "code": 3, "levels": levels,
+                  "words": words})
+    path = tmp_path_factory.mktemp("replay") / f"t.{fmt}"
+    trace.save(path)
+
+    replay = ReplayBackend(path)
+    replay.configure(design)
+    got = replay.measure_batch(levels, code=3)
+    assert got.shape == (n, 5)
+    assert np.array_equal(got, np.asarray(words, dtype=np.uint8))
+    assert replay.exhausted
+
+    from repro.backends.trace import floats_equal
+
+    diverged = list(levels)
+    diverged[0] = 1.0 if floats_equal(diverged[0], 0.0) else 0.0
+    replay.rewind()
+    replay.configure(design)
+    with pytest.raises(ReplayMismatchError):
+        replay.measure_batch(diverged, code=3)
+
+
+def test_replay_rejects_wrong_op_and_code(design, tmp_path):
+    trace = Trace(header=HEADER)
+    trace.append({"op": "configure", "design": stable_hash(design),
+                  "rail": "vdd", "tech": ""})
+    trace.append({"op": "measure_batch", "code": 3, "levels": [0.95],
+                  "words": [(1, 1, 1, 0, 0, 0, 0)]})
+    path = tmp_path / "t.jsonl"
+    trace.save(path)
+
+    replay = ReplayBackend(path)
+    replay.configure(design)
+    with pytest.raises(ReplayMismatchError):
+        replay.bit_thresholds(3)  # recorded op is measure_batch
+    replay.rewind()
+    replay.configure(design)
+    with pytest.raises(ReplayMismatchError):
+        replay.measure_batch([0.95], code=5)  # wrong code
+    replay.rewind()
+    replay.configure(design)
+    replay.measure_batch([0.95], code=3)
+    with pytest.raises(ReplayMismatchError):
+        replay.measure_batch([0.95], code=3)  # trace exhausted
+
+
+def test_replay_rejects_wrong_design(design, tmp_path):
+    trace = Trace(header=HEADER)
+    trace.append({"op": "configure", "design": stable_hash(design),
+                  "rail": "vdd", "tech": ""})
+    path = tmp_path / "t.jsonl"
+    trace.save(path)
+    other = design.with_load_caps(
+        tuple(c * 1.5 for c in design.load_caps))
+    with pytest.raises(ReplayMismatchError):
+        ReplayBackend(path).configure(other)
+
+
+# -- schema versioning ---------------------------------------------------------
+
+def _header_text(schema, fmt):
+    hdr = dict(HEADER.to_dict(), schema=schema)
+    if fmt == "jsonl":
+        import json
+
+        return json.dumps(hdr) + "\n"
+    lines = ["record,op,code,key,value"]
+    lines += [f'-1,header,,{k},"{v}"' for k, v in hdr.items()]
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("fmt,parse", [("jsonl", parse_jsonl),
+                                       ("csv", parse_csv)])
+@pytest.mark.parametrize("schema", ["trace/v999", "trace/v0",
+                                    "trace/v2-experimental"])
+def test_unknown_trace_versions_are_rejected(fmt, parse, schema):
+    with pytest.raises(TraceSchemaError):
+        parse(_header_text(schema, fmt))
+
+
+@pytest.mark.parametrize("fmt,parse", [("jsonl", parse_jsonl),
+                                       ("csv", parse_csv)])
+def test_missing_schema_tag_is_rejected(fmt, parse):
+    with pytest.raises(TraceSchemaError):
+        parse(_header_text("", fmt))
+
+
+def test_current_schema_parses():
+    assert parse_jsonl(_header_text(TRACE_SCHEMA, "jsonl")).header \
+        == HEADER
+    assert parse_csv(_header_text(TRACE_SCHEMA, "csv")).header == HEADER
+
+
+def test_empty_and_garbage_files_fail_loudly(tmp_path):
+    with pytest.raises(TraceError):
+        parse_jsonl("")
+    with pytest.raises(TraceError):
+        parse_csv("")
+    with pytest.raises(TraceError):
+        parse_jsonl("not json\n")
+    with pytest.raises(TraceError):
+        parse_csv("a,b\n1,2\n")
+    with pytest.raises(TraceError):
+        parse_float_token("0xnope")
+    with pytest.raises(TraceError):
+        Trace.load(tmp_path / "missing.jsonl")
+    with pytest.raises(TraceError):
+        Trace.load(tmp_path / "bad.suffix")
