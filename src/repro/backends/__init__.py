@@ -42,6 +42,7 @@ from repro.backends.base import (
     BackendMeasure,
     SensorBackend,
 )
+from repro.backends.faults import FaultInjectingBackend, InjectedFaultError
 from repro.backends.kernel import KernelBackend
 from repro.backends.recording import RecordingBackend
 from repro.backends.replay import ReplayBackend
@@ -125,6 +126,8 @@ __all__ = [
     "BACKEND_PROTOCOL",
     "BackendCapabilities",
     "BackendMeasure",
+    "FaultInjectingBackend",
+    "InjectedFaultError",
     "KernelBackend",
     "RecordingBackend",
     "ReplayBackend",

@@ -1,0 +1,188 @@
+"""``FaultInjectingBackend`` — wrap any driver, inject seeded faults.
+
+The chaos counterpart of :class:`~repro.backends.RecordingBackend`:
+where the recorder transcribes every op transparently, this decorator
+*perturbs* them — raising transient :class:`~repro.errors.BackendError`
+failures, stalling ops past deadlines, or poisoning specific request
+ops — while leaving the wrapped driver untouched.  Because it is a
+:class:`~repro.backends.SensorBackend` itself, it slots in anywhere a
+driver does: backend unit tests, characterization sweeps, and the
+:mod:`repro.service` job server's shards all share one injection path
+instead of each hand-rolling fault shims.
+
+Every decision is drawn through a seeded
+:class:`~repro.runtime.chaos.ChaosMonkey` (one
+:meth:`~repro.runtime.chaos.ChaosMonkey.should` Bernoulli draw per
+injectable op), so a chaos campaign replays its exact fault schedule
+under the same seed — drills are reproducible, never flaky.
+
+Identity is *not* transparent: an injected driver advertises its own
+``id`` and folds the fault configuration into ``fingerprint()``, so
+results measured under chaos can never alias clean cache entries.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendMeasure,
+    SensorBackend,
+)
+from repro.errors import BackendError, ConfigurationError
+from repro.runtime.chaos import ChaosMonkey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.calibration import SensorDesign
+    from repro.core.sensor import SenseRail
+    from repro.devices.technology import Technology
+    from repro.devices.variation import VariationSample
+
+#: Ops eligible for injection (``configure`` is never failed: a driver
+#: that cannot even bind a design is a setup bug, not weather).
+INJECTABLE_OPS = ("measure_batch", "bit_thresholds", "lot_thresholds",
+                  "s_curve")
+
+
+class InjectedFaultError(BackendError):
+    """A fault injected by :class:`FaultInjectingBackend` fired.
+
+    A distinct subtype so chaos drills can assert that a failure came
+    from the injector (retryable weather) rather than from a real
+    driver defect.
+    """
+
+
+class FaultInjectingBackend(SensorBackend):
+    """Seeded fault-injecting decorator around any driver.
+
+    Args:
+        inner: The driver doing the actual measuring.
+        monkey: The seeded decision source; a bare int seeds a fresh
+            :class:`~repro.runtime.chaos.ChaosMonkey`.
+        error_rate: Per-op probability of raising
+            :class:`InjectedFaultError` *instead of* measuring.
+        slow_rate: Per-op probability of sleeping ``slow_s`` *before*
+            measuring (deadline pressure; the op still succeeds).
+        slow_s: Stall duration, seconds.
+        poison_ops: Op names that *always* raise (a poisoned surface,
+            e.g. ``("s_curve",)``) — deterministic, not drawn.
+
+    Counters (``injected_errors``, ``injected_stalls``) expose what
+    actually fired, so tests can assert the drill did something.
+    """
+
+    id = "fault-injecting"
+
+    def __init__(self, inner: SensorBackend,
+                 monkey: "ChaosMonkey | int" = 1337, *,
+                 error_rate: float = 0.0,
+                 slow_rate: float = 0.0,
+                 slow_s: float = 0.05,
+                 poison_ops: Sequence[str] = ()) -> None:
+        super().__init__()
+        if not 0.0 <= error_rate <= 1.0 or not 0.0 <= slow_rate <= 1.0:
+            raise ConfigurationError(
+                "error_rate and slow_rate must be in [0, 1]"
+            )
+        if slow_s < 0:
+            raise ConfigurationError("slow_s must be non-negative")
+        unknown = set(poison_ops) - set(INJECTABLE_OPS)
+        if unknown:
+            raise ConfigurationError(
+                f"poison_ops {sorted(unknown)} not in {INJECTABLE_OPS}"
+            )
+        self.inner = inner
+        self.monkey = monkey if isinstance(monkey, ChaosMonkey) \
+            else ChaosMonkey(monkey)
+        self.error_rate = float(error_rate)
+        self.slow_rate = float(slow_rate)
+        self.slow_s = float(slow_s)
+        self.poison_ops = tuple(poison_ops)
+        self.injected_errors = 0
+        self.injected_stalls = 0
+
+    # -- identity (deliberately NOT transparent) ---------------------------
+
+    def engine_version(self) -> tuple[str, ...]:
+        return self.inner.engine_version() + (
+            f"faults/seed={self.monkey.seed}",
+            f"faults/error={self.error_rate!r}",
+            f"faults/slow={self.slow_rate!r}",
+            f"faults/poison={','.join(self.poison_ops)}",
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        caps = self.inner.capabilities()
+        return BackendCapabilities(
+            backend=self.id,
+            thresholds=caps.thresholds,
+            lot_thresholds=caps.lot_thresholds,
+            s_curve=caps.s_curve,
+            deterministic=False,  # faults consume seeded draws
+            replay=caps.replay,
+        )
+
+    # -- the injection gate ------------------------------------------------
+
+    def _gate(self, op: str) -> None:
+        """Fire at most one fault for this op, poison first."""
+        if op in self.poison_ops:
+            self.injected_errors += 1
+            raise InjectedFaultError(
+                f"injected poison: backend op {op!r} is poisoned"
+            )
+        if self.error_rate and self.monkey.should(self.error_rate):
+            self.injected_errors += 1
+            raise InjectedFaultError(
+                f"injected fault: backend op {op!r} failed "
+                f"(seed {self.monkey.seed})"
+            )
+        if self.slow_rate and self.monkey.should(self.slow_rate):
+            self.injected_stalls += 1
+            time.sleep(self.slow_s)
+
+    # -- delegated ops -----------------------------------------------------
+
+    def configure(self, design: "SensorDesign", *,
+                  rail: "SenseRail | None" = None,
+                  tech: "Technology | None" = None) -> None:
+        super().configure(design, rail=rail, tech=tech)
+        self.inner.configure(design, rail=self.rail, tech=tech)
+
+    def measure(self, level: float, *, code: int) -> BackendMeasure:
+        # Route through measure_batch (the base implementation) so a
+        # scalar measure consumes exactly one injection draw.
+        return super().measure(level, code=code)
+
+    def measure_batch(self, levels: Sequence[float] | np.ndarray, *,
+                      code: int) -> np.ndarray:
+        self._gate("measure_batch")
+        return self.inner.measure_batch(levels, code=code)
+
+    def bit_thresholds(self, code: int, *,
+                       bits: Iterable[int] | None = None
+                       ) -> tuple[float, ...]:
+        self._gate("bit_thresholds")
+        return self.inner.bit_thresholds(code, bits=bits)
+
+    def lot_thresholds(self, lot: Sequence["VariationSample"],
+                       code: int) -> np.ndarray:
+        self._gate("lot_thresholds")
+        return self.inner.lot_thresholds(lot, code)
+
+    def s_curve(self, bit: int, *, code: int, noise_rms: float,
+                n_per_level: int,
+                seed: Any,
+                span_sigmas: float = 4.0, n_levels: int = 15
+                ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        self._gate("s_curve")
+        return self.inner.s_curve(
+            bit, code=code, noise_rms=noise_rms,
+            n_per_level=n_per_level, seed=seed,
+            span_sigmas=span_sigmas, n_levels=n_levels,
+        )

@@ -18,7 +18,15 @@ without writing any Python:
 * ``backends`` — list the registered measurement drivers
   (:mod:`repro.backends`) and what each can do;
 * ``bench`` — run a perf bench from ``benchmarks/`` by name
-  (``--list`` enumerates what is available).
+  (``--list`` enumerates what is available);
+* ``serve`` / ``submit`` — the sensing-as-a-service job server
+  (:mod:`repro.service`) and its one-shot client: admission control,
+  per-tenant rate limits, deadlines, circuit breakers and graceful
+  degradation over the pluggable backends.
+
+Error hygiene: any :class:`~repro.errors.ReproError` exits nonzero
+with a one-line ``error: <Type>: <message>`` on stderr; ``repro
+--traceback <command>`` restores the full stack for debugging.
 
 Characterization sweeps (``fig4``, ``fig5``, ``yield``) accept
 ``--workers N`` (process-pool fan-out, bit-identical to serial) and
@@ -425,6 +433,99 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sensing-as-a-service job server until interrupted.
+
+    ``--max-requests N`` serves N requests and exits (smoke tests and
+    CI drills); ``--stats-out`` dumps the final stats registry as
+    JSON for post-run assertions.
+    """
+    import asyncio
+    import json
+
+    from repro.runtime import resolve_cache
+    from repro.service import FleetConfig, JobServer
+
+    config = FleetConfig(n_dies=args.dies, n_shards=args.shards,
+                         seed=args.seed)
+    cache = resolve_cache(args.cache_dir, strict=False) \
+        if args.cache_dir else None
+    server = JobServer(
+        config=config,
+        backend=args.backend or "kernel",
+        executor=args.executor,
+        pool_workers=args.pool_workers,
+        queue_depth=args.queue_depth,
+        queue_policy=args.queue_policy,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        cache=cache,
+        default_deadline_s=args.deadline,
+        degrade_margin_s=args.degrade_margin,
+    )
+
+    async def _run() -> None:
+        address = await server.start(unix_path=args.unix,
+                                     host=args.host, port=args.port)
+        print(f"serving on {address} "
+              f"({config.n_dies} dies / {config.n_shards} shards, "
+              f"executor {server.executor})", flush=True)
+        try:
+            if args.max_requests:
+                while server.counters["responses"] < args.max_requests:
+                    await asyncio.sleep(0.02)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.stop()
+            stats = server.stats()
+            if args.stats_out:
+                with open(args.stats_out, "w") as fh:
+                    json.dump(stats, fh, indent=2, sort_keys=True)
+            c = stats["counters"]
+            print(f"served {c['responses']} responses "
+                  f"(full {c['full']}, cached {c['cached']}, "
+                  f"degraded {c['degraded']}, rejected "
+                  f"{c['rejected']}, errors {c['errors']})",
+                  flush=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Send one request to a running job server and print the reply.
+
+    Exit code: 0 for an ``ok`` response (any quality), 3 when the
+    server shed the request (``rejected``), 4 when execution errored.
+    """
+    import json
+
+    from repro.errors import ProtocolError
+    from repro.service.client import ServiceClient
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"--params is not valid JSON: {exc}") \
+            from None
+    with ServiceClient(args.address, timeout=args.timeout) as client:
+        response = client.request(
+            args.kind, params=params, tenant=args.tenant,
+            deadline_s=args.deadline,
+        )
+    print(json.dumps(response, indent=2, sort_keys=True))
+    status = response.get("status")
+    if status == "ok":
+        return 0
+    return 3 if status == "rejected" else 4
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     """List the registered measurement drivers and their features."""
     from repro.backends import available, get
@@ -538,6 +639,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PSN-thermometer reproduction command line",
     )
+    parser.add_argument("--traceback", action="store_true",
+                        help="print full tracebacks for repro errors "
+                             "instead of the one-line message")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="calibrated design constants") \
@@ -693,13 +797,88 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fingerprints", action="store_true",
                    help="also print each driver's cache fingerprint")
     p.set_defaults(func=_cmd_backends)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sensing-as-a-service job server",
+    )
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="serve on a unix socket instead of TCP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0: pick a free one, printed at "
+                        "startup)")
+    p.add_argument("--dies", type=int, default=64,
+                   help="virtual dies in the fleet")
+    p.add_argument("--shards", type=int, default=4,
+                   help="shards the fleet is hashed across")
+    p.add_argument("--seed", type=int, default=2009,
+                   help="fleet variation seed")
+    p.add_argument("--executor", choices=("inline", "pool"),
+                   default="inline",
+                   help="'inline' worker threads (default) or one "
+                        "process pool per shard (survives worker "
+                        "kills)")
+    p.add_argument("--pool-workers", type=int, default=2,
+                   help="processes per shard pool")
+    p.add_argument("--queue-depth", type=int, default=32,
+                   help="admission queue depth per shard")
+    p.add_argument("--queue-policy", default="block",
+                   choices=("drop_oldest", "block", "error"),
+                   help="admission overflow policy (the telemetry "
+                        "ring semantics)")
+    p.add_argument("--tenant-rate", type=float, default=None,
+                   help="per-tenant token-bucket rate, requests/s")
+    p.add_argument("--tenant-burst", type=float, default=None,
+                   help="per-tenant burst capacity (default: rate)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive failures that open a shard's "
+                        "circuit breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="open dwell before a half-open probe")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="default per-request deadline")
+    p.add_argument("--degrade-margin", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="answer degraded when less than this budget "
+                        "remains at execution time")
+    p.add_argument("--cache-dir", default=None,
+                   help="serve repeat requests from this result cache")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="serve this many responses, then exit "
+                        "(smoke tests)")
+    p.add_argument("--stats-out", default=None, metavar="PATH",
+                   help="write the final stats registry as JSON")
+    _add_backend_arg(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="send one request to a running job server",
+    )
+    p.add_argument("address",
+                   help="'unix:<path>' or '<host>:<port>' (as printed "
+                        "by 'repro serve')")
+    p.add_argument("kind",
+                   choices=("ping", "measure", "characterize",
+                            "s_curve", "yield", "window"),
+                   help="request kind")
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="request parameters as a JSON object, e.g. "
+                        "'{\"level\": 1.05, \"code\": 3}'")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-request deadline")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="client socket timeout, seconds")
+    p.set_defaults(func=_cmd_submit)
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if getattr(args, "profile", False):
         import time as _time
 
@@ -717,6 +896,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(PROFILER.report(total=wall))
         return code
     return args.func(args)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Any :class:`~repro.errors.ReproError` — a bad flag combination, an
+    unreachable server, a driver capability miss — exits nonzero with
+    a one-line message on stderr instead of a traceback; ``repro
+    --traceback <command> ...`` opts back into the full stack for
+    debugging.
+    """
+    from repro.errors import ReproError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        if getattr(args, "traceback", False):
+            raise
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -113,6 +113,54 @@ class BackendError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The sensing-as-a-service layer could not serve a request.
+
+    Base class for the :mod:`repro.service` job server's refusals.
+    Each subclass names one robustness mechanism; the server maps them
+    onto explicit REJECTED / error responses so an accepted request
+    always receives exactly one terminal reply instead of a hang or a
+    dropped connection.
+    """
+
+
+class AdmissionRejectedError(ServiceError):
+    """A request was shed at admission.
+
+    Raised (and reported as a REJECTED response) when a shard's bounded
+    admission queue is full under the ``error`` policy, or when the
+    ``drop_oldest`` policy evicts a queued request to make room for a
+    fresher one — the serving analogue of the telemetry ring buffer's
+    overflow accounting.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before a full-quality answer.
+
+    Raised when the per-request deadline expires while the request is
+    queued, mid-execution, or inside the retry loop, and no cached or
+    degraded fallback could be served in time.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """A shard's circuit breaker is open and no fallback exists.
+
+    After ``threshold`` consecutive failures a shard stops accepting
+    work for a cooldown (half-open probes test recovery); requests that
+    cannot be answered from cache or a degraded decode surface this.
+    """
+
+
+class TenantQuotaError(ServiceError):
+    """A tenant exhausted its token-bucket rate allowance.
+
+    The request is refused before admission; the client should back
+    off and resubmit (the response carries the rejection reason).
+    """
+
+
 class TraceError(ReproError):
     """A measurement trace file is malformed or cannot be read.
 

@@ -108,6 +108,21 @@ class ChaosMonkey:
         self.seed = seed
         self._rng = random.Random(seed)
 
+    def should(self, probability: float) -> bool:
+        """One seeded Bernoulli draw (the shared injection decision).
+
+        Every fault injector that fires "with probability p" — the
+        :class:`~repro.backends.faults.FaultInjectingBackend` decorator,
+        the service chaos drill — draws through this method, so a
+        campaign's whole fault schedule replays identically under the
+        same seed.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        return self._rng.random() < probability
+
     def pick(self, n_tasks: int, n_faults: int) -> frozenset:
         """Choose ``n_faults`` distinct task indices out of ``n_tasks``."""
         if not 0 <= n_faults <= n_tasks:

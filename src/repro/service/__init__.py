@@ -1,0 +1,56 @@
+"""Sensing as a service: the fault-tolerant asyncio job server.
+
+The serving stack over the measurement backends — many concurrent
+clients, a sharded virtual-die fleet, and an explicit robustness
+surface: bounded admission queues (the telemetry overflow policies),
+per-tenant token buckets, per-request deadlines with cooperative
+cancellation, per-shard circuit breakers, bounded retries with the
+resilient runtime's deterministic backoff, and graceful degradation
+through the result cache and reduced-resolution decodes.  See
+:mod:`repro.service.server` for the full dataflow.
+"""
+
+from repro.service.admission import AdmissionQueue, TokenBucket
+from repro.service.breaker import BreakerState, CircuitBreaker
+from repro.service.chaos import LoadReport, build_load, run_load
+from repro.service.client import AsyncServiceClient, ServiceClient, \
+    parse_address
+from repro.service.fleet import Fleet, FleetConfig, die_sample, \
+    execute_job
+from repro.service.protocol import (
+    QUALITIES,
+    REQUEST_KINDS,
+    SERVICE_PROTOCOL,
+    Request,
+    encode_request,
+    make_response,
+    parse_request,
+    parse_response,
+)
+from repro.service.server import JobServer
+
+__all__ = [
+    "AdmissionQueue",
+    "AsyncServiceClient",
+    "BreakerState",
+    "CircuitBreaker",
+    "Fleet",
+    "FleetConfig",
+    "JobServer",
+    "LoadReport",
+    "QUALITIES",
+    "REQUEST_KINDS",
+    "Request",
+    "SERVICE_PROTOCOL",
+    "ServiceClient",
+    "TokenBucket",
+    "build_load",
+    "die_sample",
+    "encode_request",
+    "execute_job",
+    "make_response",
+    "parse_address",
+    "parse_request",
+    "parse_response",
+    "run_load",
+]

@@ -1,0 +1,191 @@
+"""Admission control: bounded queues and per-tenant token buckets.
+
+The serving analogue of the telemetry layer's bounded rings: a shard's
+inbox is an :class:`AdmissionQueue` of fixed depth whose overflow
+behavior is the *same* explicit :class:`~repro.telemetry.ring.
+OverflowPolicy` choice —
+
+* ``drop_oldest`` — evict the stalest queued job to admit the fresh
+  one; the evicted job gets an explicit REJECTED terminal response
+  (freshest-wins, the telemetry semantics);
+* ``block`` — the producer (one connection's reader coroutine) awaits
+  free space, which stops reading that socket: TCP backpressure all
+  the way to the client;
+* ``error`` — a full queue refuses the new job outright
+  (:class:`~repro.errors.AdmissionRejectedError` → REJECTED).
+
+Counters mirror :class:`~repro.telemetry.ring.RingBuffer` (pushed /
+popped / dropped / deferred / high-watermark) so dashboards read the
+same story at both layers.
+
+:class:`TokenBucket` is the per-tenant rate limiter in front of the
+queues: ``rate`` tokens/s refill up to ``burst``; an empty bucket is a
+:class:`~repro.errors.TenantQuotaError` REJECTED response, never a
+silent drop.  The clock is injectable so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import AdmissionRejectedError, ConfigurationError
+from repro.telemetry.ring import OverflowPolicy
+
+
+class AdmissionQueue:
+    """Bounded FIFO of pending jobs with an explicit overflow policy.
+
+    Single-consumer (the shard loop), many producers (connection
+    handlers).  All methods must run on the event-loop thread.
+    """
+
+    def __init__(self, depth: int, *,
+                 policy: OverflowPolicy | str =
+                 OverflowPolicy.BLOCK) -> None:
+        if depth < 1:
+            raise ConfigurationError("queue depth must be at least 1")
+        self.depth = int(depth)
+        self.policy = OverflowPolicy.parse(policy)
+        self._items: deque[Any] = deque()
+        self._space = asyncio.Event()
+        self._space.set()
+        self._ready = asyncio.Event()
+        self.pushed = 0
+        self.popped = 0
+        self.dropped = 0
+        self.deferred = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.depth - len(self._items)
+
+    def _admit(self, job: Any) -> None:
+        self._items.append(job)
+        self.pushed += 1
+        if len(self._items) > self.high_watermark:
+            self.high_watermark = len(self._items)
+        self._ready.set()
+        if not self.free:
+            self._space.clear()
+
+    async def put(self, job: Any) -> Any | None:
+        """Admit ``job`` per the policy.
+
+        Returns the *evicted* job under ``drop_oldest`` (the caller
+        owes it a REJECTED terminal response), else ``None``.
+
+        Raises:
+            AdmissionRejectedError: full queue under ``error``.
+        """
+        if self.free:
+            self._admit(job)
+            return None
+        if self.policy is OverflowPolicy.ERROR:
+            self.dropped += 1
+            raise AdmissionRejectedError(
+                f"admission queue full ({self.depth} deep, policy "
+                f"'error')"
+            )
+        if self.policy is OverflowPolicy.DROP_OLDEST:
+            evicted = self._items.popleft()
+            self.dropped += 1
+            self._admit(job)
+            return evicted
+        # block: backpressure the producer until the consumer drains.
+        while not self.free:
+            self.deferred += 1
+            self._space.clear()
+            await self._space.wait()
+        self._admit(job)
+        return None
+
+    async def get(self) -> Any:
+        """Pop the oldest job, waiting for one if the queue is empty."""
+        while not self._items:
+            self._ready.clear()
+            await self._ready.wait()
+        job = self._items.popleft()
+        self.popped += 1
+        self._space.set()
+        return job
+
+    def drain_nowait(self, n: int, *,
+                     want: Callable[[Any], bool] | None = None
+                     ) -> list[Any]:
+        """Pop up to ``n`` more queued jobs without waiting.
+
+        ``want`` filters from the queue head; draining stops at the
+        first job it refuses (FIFO order is never reordered).  Used to
+        coalesce compatible requests into one kernel batch call.
+        """
+        out: list[Any] = []
+        while self._items and len(out) < n:
+            head = self._items[0]
+            if want is not None and not want(head):
+                break
+            out.append(self._items.popleft())
+            self.popped += 1
+        if out:
+            self._space.set()
+        return out
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "depth": self.depth,
+            "queued": len(self._items),
+            "pushed": self.pushed,
+            "popped": self.popped,
+            "dropped": self.dropped,
+            "deferred": self.deferred,
+            "high_watermark": self.high_watermark,
+        }
+
+
+class TokenBucket:
+    """Per-tenant rate limiter: ``rate`` tokens/s, ``burst`` capacity.
+
+    Args:
+        rate: Sustained allowance, requests per second.
+        burst: Bucket capacity (max tokens banked while idle).
+        clock: Monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(self, rate: float, burst: float, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ConfigurationError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self.granted = 0
+        self.refused = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False means over quota."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            self.granted += 1
+            return True
+        self.refused += 1
+        return False

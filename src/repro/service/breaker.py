@@ -1,0 +1,115 @@
+"""Per-shard circuit breaker: open after N consecutive failures.
+
+The classic three-state machine, tuned for the job server's shards:
+
+* **closed** — requests flow; ``threshold`` *consecutive* failures
+  (a success resets the streak) trip the breaker;
+* **open** — requests are not executed (the shard answers from cache
+  or a degraded decode instead); after ``cooldown_s`` the breaker
+  half-opens;
+* **half-open** — exactly **one** probe request may execute at a time
+  (concurrent admissions racing the probe are refused until it
+  resolves); a probe success closes the breaker, a failure re-opens it
+  for another cooldown.
+
+The clock is injectable so the state machine is unit-testable without
+sleeping, and every transition is counted for the stats endpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Args:
+        threshold: Consecutive failures that trip the breaker.
+        cooldown_s: Open dwell before a half-open probe is allowed.
+        clock: Monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 1.0, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ConfigurationError("threshold must be at least 1")
+        if cooldown_s <= 0:
+            raise ConfigurationError("cooldown_s must be positive")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._streak = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, promoting OPEN to HALF_OPEN after cooldown."""
+        if self._state is BreakerState.OPEN and \
+                self._clock() - self._opened_at >= self.cooldown_s:
+            self._state = BreakerState.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request execute now?
+
+        In HALF_OPEN only one caller gets True until its probe is
+        resolved by :meth:`record_success` / :meth:`record_failure` —
+        the admission race is decided here, atomically within the
+        event loop.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            self.probes += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._streak = 0
+        if self._state is not BreakerState.CLOSED:
+            self.closes += 1
+        self._state = BreakerState.CLOSED
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: back to a full cooldown.
+            self._trip()
+            return
+        self._streak += 1
+        if self._state is BreakerState.CLOSED and \
+                self._streak >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._streak = 0
+        self._probe_inflight = False
+        self.opens += 1
+
+    def counters(self) -> dict:
+        return {
+            "state": self.state.value,
+            "opens": self.opens,
+            "closes": self.closes,
+            "probes": self.probes,
+        }

@@ -1,0 +1,194 @@
+"""FaultInjectingBackend: the shared chaos-injection path.
+
+The decorator must (a) perturb only what its seeded schedule says,
+(b) leave the wrapped driver's physics untouched when no fault fires,
+and (c) advertise a non-transparent identity so chaotic results can
+never alias clean cache entries.  ChaosMonkey.should — the one shared
+Bernoulli draw every injector uses — is pinned here too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    FaultInjectingBackend,
+    InjectedFaultError,
+    KernelBackend,
+    SimBackend,
+)
+from repro.errors import BackendError, ConfigurationError
+from repro.runtime.cache import design_fingerprint
+from repro.runtime.chaos import ChaosMonkey
+
+
+@pytest.fixture()
+def clean(design):
+    backend = KernelBackend()
+    backend.configure(design)
+    return backend
+
+
+def _wrapped(design, **kwargs):
+    backend = FaultInjectingBackend(KernelBackend(), **kwargs)
+    backend.configure(design)
+    return backend
+
+
+# -- ChaosMonkey.should --------------------------------------------------------
+
+
+def test_should_is_deterministic_per_seed():
+    m1, m2 = ChaosMonkey(42), ChaosMonkey(42)
+    seq1 = [m1.should(0.3) for _ in range(50)]
+    seq2 = [m2.should(0.3) for _ in range(50)]
+    assert seq1 == seq2
+    assert any(seq1) and not all(seq1)  # a real Bernoulli mix
+
+
+def test_should_edge_probabilities():
+    monkey = ChaosMonkey(7)
+    assert not any(monkey.should(0.0) for _ in range(20))
+    assert all(monkey.should(1.0) for _ in range(20))
+
+
+def test_should_rejects_bad_probability():
+    with pytest.raises(ConfigurationError):
+        ChaosMonkey(1).should(1.5)
+    with pytest.raises(ConfigurationError):
+        ChaosMonkey(1).should(-0.1)
+
+
+# -- construction --------------------------------------------------------------
+
+
+def test_rejects_bad_rates_and_ops():
+    inner = KernelBackend()
+    with pytest.raises(ConfigurationError):
+        FaultInjectingBackend(inner, error_rate=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultInjectingBackend(inner, slow_rate=-0.1)
+    with pytest.raises(ConfigurationError):
+        FaultInjectingBackend(inner, slow_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        FaultInjectingBackend(inner, poison_ops=("configure",))
+
+
+# -- transparency when quiet ---------------------------------------------------
+
+
+def test_no_faults_means_bit_identical_physics(design, clean):
+    chaotic = _wrapped(design)  # all rates zero
+    levels = [1.00, 1.05, 1.10]
+    np.testing.assert_array_equal(
+        chaotic.measure_batch(levels, code=3),
+        clean.measure_batch(levels, code=3),
+    )
+    assert chaotic.bit_thresholds(3) == clean.bit_thresholds(3)
+    assert chaotic.injected_errors == 0
+    assert chaotic.injected_stalls == 0
+
+
+def test_scalar_measure_routes_through_batch(design):
+    """One scalar measure consumes exactly one injection draw."""
+    chaotic = _wrapped(design, monkey=5, error_rate=1.0)
+    with pytest.raises(InjectedFaultError):
+        chaotic.measure(1.05, code=3)
+    assert chaotic.injected_errors == 1
+
+
+# -- seeded schedules ----------------------------------------------------------
+
+
+def test_error_schedule_replays_under_same_seed(design):
+    def run(seed):
+        chaotic = _wrapped(design, monkey=seed, error_rate=0.4)
+        outcomes = []
+        for _ in range(20):
+            try:
+                chaotic.measure_batch([1.05], code=3)
+                outcomes.append("ok")
+            except InjectedFaultError:
+                outcomes.append("fault")
+        return outcomes
+
+    assert run(1234) == run(1234)
+    assert "ok" in run(1234) and "fault" in run(1234)
+
+
+def test_injected_fault_is_a_backend_error(design):
+    chaotic = _wrapped(design, error_rate=1.0)
+    with pytest.raises(BackendError):
+        chaotic.bit_thresholds(3)
+
+
+def test_slow_rate_stalls_but_still_succeeds(design, clean):
+    chaotic = _wrapped(design, slow_rate=1.0, slow_s=0.0)
+    np.testing.assert_array_equal(
+        chaotic.measure_batch([1.05], code=3),
+        clean.measure_batch([1.05], code=3),
+    )
+    assert chaotic.injected_stalls == 1
+    assert chaotic.injected_errors == 0
+
+
+def test_poison_ops_always_raise_others_untouched(design, clean):
+    chaotic = _wrapped(design, poison_ops=("s_curve",))
+    with pytest.raises(InjectedFaultError):
+        chaotic.s_curve(1, code=3, noise_rms=0.01, n_per_level=5,
+                        seed=1)
+    # Non-poisoned surfaces stay clean (rates are zero).
+    np.testing.assert_array_equal(
+        chaotic.measure_batch([1.05], code=3),
+        clean.measure_batch([1.05], code=3),
+    )
+
+
+def test_shared_monkey_is_one_fault_schedule(design):
+    """Service drills and backend wraps share one ChaosMonkey: draws
+    interleave on a single stream instead of replaying per-wrapper."""
+    monkey = ChaosMonkey(99)
+    reference_stream = ChaosMonkey(99)
+    reference = [reference_stream.should(0.5) for _ in range(6)]
+    chaotic = _wrapped(design, monkey=monkey, error_rate=0.5)
+    observed = []
+    for _ in range(6):
+        try:
+            chaotic.measure_batch([1.05], code=3)
+            observed.append(False)
+        except InjectedFaultError:
+            observed.append(True)
+    assert observed == reference
+
+
+# -- identity ------------------------------------------------------------------
+
+
+def test_identity_is_not_transparent(design, clean):
+    chaotic = _wrapped(design, monkey=3, error_rate=0.25)
+    assert chaotic.id == "fault-injecting"
+    caps = chaotic.capabilities()
+    assert caps.backend == "fault-injecting"
+    assert not caps.deterministic
+    assert chaotic.fingerprint() != clean.fingerprint()
+    assert design_fingerprint(design, backend=chaotic) != \
+        design_fingerprint(design, backend=clean)
+
+
+def test_fingerprint_tracks_fault_config(design):
+    a = _wrapped(design, monkey=3, error_rate=0.25)
+    b = _wrapped(design, monkey=3, error_rate=0.50)
+    c = _wrapped(design, monkey=4, error_rate=0.25)
+    assert len({a.fingerprint(), b.fingerprint(),
+                c.fingerprint()}) == 3
+
+
+def test_capabilities_mirror_inner_driver(design):
+    sim = FaultInjectingBackend(SimBackend())
+    sim.configure(design)
+    inner_caps = SimBackend().capabilities()
+    caps = sim.capabilities()
+    assert caps.thresholds == inner_caps.thresholds
+    assert caps.lot_thresholds == inner_caps.lot_thresholds
+    assert caps.s_curve == inner_caps.s_curve

@@ -18,6 +18,19 @@ ALL_ERRORS = [
     errors.TaskTimeoutError,
     errors.TelemetryOverflowError,
     errors.RetryExhaustedError,
+    errors.BackendError,
+    errors.ServiceError,
+    errors.AdmissionRejectedError,
+    errors.DeadlineExceededError,
+    errors.CircuitOpenError,
+    errors.TenantQuotaError,
+]
+
+SERVICE_ERRORS = [
+    errors.AdmissionRejectedError,
+    errors.DeadlineExceededError,
+    errors.CircuitOpenError,
+    errors.TenantQuotaError,
 ]
 
 
@@ -39,3 +52,18 @@ def test_base_derives_from_exception():
 def test_subtypes_are_distinct():
     assert not issubclass(errors.SimulationError, errors.NetlistError)
     assert not issubclass(errors.NetlistError, errors.SimulationError)
+
+
+@pytest.mark.parametrize("exc", SERVICE_ERRORS)
+def test_service_errors_catchable_as_service_error(exc):
+    assert issubclass(exc, errors.ServiceError)
+    with pytest.raises(errors.ServiceError):
+        raise exc("shed")
+
+
+def test_service_errors_distinct_from_runtime_errors():
+    assert not issubclass(errors.DeadlineExceededError,
+                          errors.TaskTimeoutError)
+    assert not issubclass(errors.AdmissionRejectedError,
+                          errors.TelemetryOverflowError)
+    assert not issubclass(errors.ServiceError, errors.BackendError)

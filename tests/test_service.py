@@ -1,0 +1,285 @@
+"""Unit tests for the service-layer primitives.
+
+AdmissionQueue (the three overflow policies and their counters),
+TokenBucket (deterministic via an injected clock), CircuitBreaker
+(the three-state machine, single-probe atomicity), and the JSONL
+protocol codec.  Hypothesis drives the breaker through arbitrary
+success/failure schedules to pin the invariants no example test
+enumerates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    AdmissionRejectedError,
+    ConfigurationError,
+    ProtocolError,
+)
+from repro.service import (
+    AdmissionQueue,
+    BreakerState,
+    CircuitBreaker,
+    TokenBucket,
+    encode_request,
+    make_response,
+    parse_request,
+    parse_response,
+)
+from repro.service.protocol import encode_response
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# -- AdmissionQueue ------------------------------------------------------------
+
+
+def test_queue_rejects_bad_depth():
+    with pytest.raises(ConfigurationError):
+        AdmissionQueue(0)
+
+
+def test_queue_rejects_unknown_policy():
+    with pytest.raises(ConfigurationError):
+        AdmissionQueue(4, policy="newest-wins")
+
+
+def test_queue_error_policy_raises_when_full():
+    async def run():
+        q = AdmissionQueue(2, policy="error")
+        await q.put("a")
+        await q.put("b")
+        with pytest.raises(AdmissionRejectedError):
+            await q.put("c")
+        assert q.counters()["dropped"] == 1
+        assert await q.get() == "a"
+
+    asyncio.run(run())
+
+
+def test_queue_drop_oldest_returns_the_evicted_job():
+    async def run():
+        q = AdmissionQueue(2, policy="drop_oldest")
+        assert await q.put("a") is None
+        assert await q.put("b") is None
+        evicted = await q.put("c")
+        assert evicted == "a"
+        assert [await q.get(), await q.get()] == ["b", "c"]
+        c = q.counters()
+        assert c["dropped"] == 1 and c["pushed"] == 3
+        assert c["high_watermark"] == 2
+
+    asyncio.run(run())
+
+
+def test_queue_block_policy_backpressures_until_drained():
+    async def run():
+        q = AdmissionQueue(1, policy="block")
+        await q.put("a")
+        producer = asyncio.ensure_future(q.put("b"))
+        await asyncio.sleep(0)
+        assert not producer.done()  # held back: queue is full
+        assert await q.get() == "a"
+        await asyncio.wait_for(producer, 1.0)
+        assert await q.get() == "b"
+        assert q.counters()["deferred"] >= 1
+
+    asyncio.run(run())
+
+
+def test_queue_drain_nowait_stops_at_first_refusal():
+    async def run():
+        q = AdmissionQueue(8)
+        for item in ("m1", "m2", "x", "m3"):
+            await q.put(item)
+        head = await q.get()
+        assert head == "m1"
+        more = q.drain_nowait(5, want=lambda s: s.startswith("m"))
+        assert more == ["m2"]  # stops at "x"; never reorders FIFO
+        assert await q.get() == "x"
+
+    asyncio.run(run())
+
+
+# -- TokenBucket ---------------------------------------------------------------
+
+
+def test_bucket_rejects_bad_config():
+    with pytest.raises(ConfigurationError):
+        TokenBucket(0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        TokenBucket(1.0, 0.0)
+
+
+def test_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+    assert [bucket.try_take() for _ in range(4)] == \
+        [True, True, True, False]
+    clock.advance(0.5)  # +1 token
+    assert bucket.try_take()
+    assert not bucket.try_take()
+    assert bucket.granted == 4 and bucket.refused == 2
+
+
+def test_bucket_never_banks_beyond_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+    clock.advance(60.0)
+    assert bucket.tokens == pytest.approx(2.0)
+
+
+# -- CircuitBreaker ------------------------------------------------------------
+
+
+def test_breaker_validates_config():
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(0)
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(3, cooldown_s=0.0)
+
+
+def test_breaker_trips_on_consecutive_failures_only():
+    clock = FakeClock()
+    b = CircuitBreaker(3, cooldown_s=1.0, clock=clock)
+    b.record_failure()
+    b.record_failure()
+    b.record_success()  # resets the streak
+    b.record_failure()
+    b.record_failure()
+    assert b.state is BreakerState.CLOSED
+    b.record_failure()
+    assert b.state is BreakerState.OPEN
+    assert not b.allow()
+    assert b.opens == 1
+
+
+def test_breaker_half_open_probe_lifecycle():
+    clock = FakeClock()
+    b = CircuitBreaker(1, cooldown_s=1.0, clock=clock)
+    b.record_failure()
+    assert b.state is BreakerState.OPEN
+    clock.advance(1.0)
+    assert b.state is BreakerState.HALF_OPEN
+    # Exactly one probe wins the admission race.
+    assert b.allow()
+    assert not b.allow()
+    assert b.probes == 1
+    b.record_success()
+    assert b.state is BreakerState.CLOSED
+    assert b.allow()
+    assert b.closes == 1
+
+
+def test_breaker_failed_probe_restarts_full_cooldown():
+    clock = FakeClock()
+    b = CircuitBreaker(1, cooldown_s=2.0, clock=clock)
+    b.record_failure()
+    clock.advance(2.0)
+    assert b.allow()  # the probe
+    b.record_failure()
+    assert b.state is BreakerState.OPEN
+    clock.advance(1.0)  # not yet a full cooldown
+    assert b.state is BreakerState.OPEN
+    clock.advance(1.0)
+    assert b.state is BreakerState.HALF_OPEN
+    assert b.opens == 2
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(["ok", "fail", "tick", "probe"]),
+                max_size=60),
+       st.integers(min_value=1, max_value=5))
+def test_breaker_invariants_under_arbitrary_schedules(events, threshold):
+    """Whatever the schedule: never more than one probe in flight,
+    CLOSED requires fewer than `threshold` consecutive failures, and
+    allow() in CLOSED is always True."""
+    clock = FakeClock()
+    b = CircuitBreaker(threshold, cooldown_s=1.0, clock=clock)
+    streak = 0
+    inflight_probes = 0
+    for event in events:
+        if event == "ok":
+            b.record_success()
+            streak = 0
+            inflight_probes = 0
+        elif event == "fail":
+            b.record_failure()
+            streak = streak + 1
+            inflight_probes = 0
+        elif event == "tick":
+            clock.advance(0.6)
+        else:  # probe attempt
+            state = b.state
+            got = b.allow()
+            if state is BreakerState.CLOSED:
+                assert got
+            elif state is BreakerState.OPEN:
+                assert not got
+            else:  # HALF_OPEN: at most one winner until resolved
+                if got:
+                    inflight_probes += 1
+                assert inflight_probes <= 1
+        if b.state is BreakerState.CLOSED and event == "fail":
+            assert streak < threshold or b.opens > 0
+
+
+# -- protocol codec ------------------------------------------------------------
+
+
+def test_request_roundtrip():
+    line = encode_request("r1", "measure", tenant="acme",
+                          params={"level": 1.05, "code": 3},
+                          deadline_s=0.5)
+    req = parse_request(line)
+    assert req.id == "r1" and req.kind == "measure"
+    assert req.tenant == "acme"
+    assert req.params == {"level": 1.05, "code": 3}
+    assert req.deadline_s == 0.5
+
+
+@pytest.mark.parametrize("line", [
+    "not json",
+    json.dumps(["a", "list"]),
+    json.dumps({"kind": "measure"}),              # no id
+    json.dumps({"id": "x", "kind": "nope"}),      # unknown kind
+    json.dumps({"id": "x", "kind": "ping", "params": 7}),
+    json.dumps({"id": "x", "kind": "ping", "deadline_s": 0}),
+])
+def test_parse_request_rejects_malformed(line):
+    with pytest.raises(ProtocolError):
+        parse_request(line)
+
+
+def test_response_roundtrip_with_error():
+    obj = make_response("r9", status="rejected", quality="rejected",
+                        error=AdmissionRejectedError("queue full"),
+                        shard=2, attempts=1, queued_ms=1.25,
+                        service_ms=0.5)
+    parsed = parse_response(encode_response(obj))
+    assert parsed["status"] == "rejected"
+    assert parsed["error"]["type"] == "AdmissionRejectedError"
+    assert parsed["shard"] == 2
+    assert parsed["timing"]["queued_ms"] == 1.25
+
+
+def test_non_finite_floats_become_null():
+    obj = make_response("r1", status="ok", quality="full",
+                        result={"thresholds": [1.0, float("nan"),
+                                               float("inf")]})
+    parsed = parse_response(encode_response(obj))
+    assert parsed["result"]["thresholds"] == [1.0, None, None]
