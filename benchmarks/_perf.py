@@ -28,8 +28,16 @@ from benchmarks._report import REPORT_DIR
 
 
 def machine_fingerprint() -> dict[str, Any]:
-    """Enough host identity to judge whether two timings are comparable."""
+    """Enough host identity to judge whether two timings are comparable.
+
+    Folds the *numeric stack* in as well as the host: numbers produced
+    with the numba-compiled kernel backend are not comparable to
+    pure-NumPy ones, so the fingerprint records the numba version (or
+    ``"none"``) and which backend was actually active.
+    """
     import numpy
+
+    from repro.kernels import active_backend, numba_version
 
     return {
         "platform": platform.platform(),
@@ -38,6 +46,8 @@ def machine_fingerprint() -> dict[str, Any]:
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": numpy.__version__,
+        "numba": numba_version() or "none",
+        "kernel_backend": active_backend(),
     }
 
 

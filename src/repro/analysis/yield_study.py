@@ -37,6 +37,7 @@ from repro.kernels import (
     decode_bounds,
     lot_threshold_grid,
     ones_count_grid,
+    score_lot_grids,
     threshold_grid,
     word_grid,
 )
@@ -223,9 +224,50 @@ def _score_die_scalar(design: "SensorDesign", sample: VariationSample,
     )
 
 
+def _scores_from_lot_grid(lot_grid: np.ndarray,
+                          supply_grid: tuple[float, ...],
+                          nominal_ladder: tuple[float, ...]
+                          ) -> list["_DieScore"]:
+    """Fused lot scoring: one vectorized reduction across all dies.
+
+    Replaces the per-die :func:`_score_from_thresholds` loop with
+    :func:`repro.kernels.score_lot_grids` — no per-die word/diff grids
+    — while producing bit-identical :class:`_DieScore` payloads (the
+    fused kernel performs the same compares and gathers; enforced by
+    ``tests/test_kernels_fused.py``).
+    """
+    g = score_lot_grids(np.asarray(lot_grid, dtype=float),
+                        np.asarray(supply_grid, dtype=float),
+                        np.asarray(nominal_ladder, dtype=float))
+    scores: list[_DieScore] = []
+    for i in range(len(lot_grid)):
+        errs = g["abs_errors"][i][g["bounded"][i]]
+        scores.append(_DieScore(
+            thresholds=tuple(float(t) for t in lot_grid[i]),
+            monotone=bool(g["monotone"][i]),
+            bubbled=int(g["bubbled"][i]),
+            bracketed=int(g["bracketed"][i]),
+            bracketed_cal=int(g["bracketed_cal"][i]),
+            errors=tuple(float(e) for e in errs),
+        ))
+    return scores
+
+
 def _score_die_task(spec: tuple) -> _DieScore:
     """Picklable adapter: one die score from a task payload tuple."""
     return _score_die(*spec)
+
+
+def _score_die_shm_task(spec: tuple, arrays: dict) -> _DieScore:
+    """Pool adapter with the broadcast grids riding shared memory:
+    the payload carries only (design, sample, code); the supply grid
+    and nominal ladder arrive as zero-copy shared arrays (see
+    :mod:`repro.runtime.shm`).  Bit-identical to
+    :func:`_score_die_task` — same floats, different transport."""
+    design, sample, code = spec
+    supplies = tuple(float(v) for v in arrays["supplies"])
+    ladder = tuple(float(v) for v in arrays["ladder"])
+    return _score_die(design, sample, code, supplies, ladder)
 
 
 def run_yield_study(design: "SensorDesign",
@@ -307,23 +349,21 @@ def run_yield_study(design: "SensorDesign",
         # kernel reduction as the classic branches.
         bk.configure(design)
         lot_grid = bk.lot_thresholds(lot, code)
-        scores: list[_DieScore] = [
-            _score_from_thresholds(lot_grid[i], supply_grid,
-                                   nominal_ladder)
-            for i in range(len(lot))
-        ]
+        scores: list[_DieScore] = _scores_from_lot_grid(
+            lot_grid, supply_grid, nominal_ladder
+        )
     elif (store is None and (workers is None or workers <= 1)
             and failure_policy == "raise"):
-        # Batched kernel path: one lot-wide root solve instead of a
-        # per-die fan-out.  Solver batch invariance makes each row
-        # bit-identical to the per-die path used by the pool/cache
-        # branch below, so the two branches stay interchangeable.
+        # Batched kernel path: one lot-wide root solve and one fused
+        # lot-wide scoring reduction instead of a per-die fan-out.
+        # Solver batch invariance plus the fused kernel's exact parity
+        # make each die bit-identical to the per-die path used by the
+        # pool/cache branch below, so the branches stay
+        # interchangeable.
         lot_grid = lot_threshold_grid(design, lot, code)
-        scores: list[_DieScore] = [
-            _score_from_thresholds(lot_grid[i], supply_grid,
-                                   nominal_ladder)
-            for i in range(len(lot))
-        ]
+        scores: list[_DieScore] = _scores_from_lot_grid(
+            lot_grid, supply_grid, nominal_ladder
+        )
     else:
         keys = None
         if store is not None:
@@ -332,12 +372,18 @@ def run_yield_study(design: "SensorDesign",
                 task_key("die-score", fp, sample, code, supply_grid)
                 for sample in lot
             ]
+        # The per-task payload shrinks to (design, sample, code): the
+        # broadcast supply grid and nominal ladder ride shared memory
+        # (one copy-in per pool instead of one pickle per die).
         out = cached_map(
-            _score_die_task,
-            [(design, sample, code, supply_grid, nominal_ladder)
-             for sample in lot],
+            _score_die_shm_task,
+            [(design, sample, code) for sample in lot],
             keys=keys, cache=store, workers=workers, retries=retries,
             task_timeout=task_timeout, failure_policy=failure_policy,
+            shared={
+                "supplies": np.asarray(supply_grid, dtype=float),
+                "ladder": np.asarray(nominal_ladder, dtype=float),
+            },
         )
         scores = (
             [s for s in out.results if s is not None]

@@ -43,13 +43,50 @@ produces bit-identical floats to evaluating the whole grid in one call
 (elementwise ops only; converged lanes of the root solver are frozen by
 masking).  This is what lets the process-pool path (one die per task)
 and the batched serial path share results exactly.
+
+A third, raw-speed tier removes redundant work without touching the
+contract:
+
+* **fused solve+decode** (:mod:`repro.kernels.fused`) — supply levels
+  to counts/bounds/scores without materializing the intermediate word
+  and diff grids (yield scoring, telemetry decode, MC trip counting
+  collapsed to a threshold compare);
+* **precision policy** (:mod:`repro.kernels.dtype`) — ``dtype=`` on
+  kernel entry points and ``$REPRO_KERNEL_DTYPE``; float64 (default)
+  keeps every bit-identity guarantee, float32 is opt-in with a
+  measured, documented threshold error bound;
+* **compiled backend** (:mod:`repro.kernels.backend`) — an optional
+  numba-compiled lane solver behind the same interface, mirrored
+  operation for operation so backends are bit-identical, with a
+  pure-NumPy fallback that is always available.
 """
 
+from repro.kernels.backend import (
+    KERNEL_BACKEND_ENV,
+    active_backend,
+    backend_token,
+    numba_version,
+    requested_backend,
+)
 from repro.kernels.delay_law import (
     delay_grid,
     solve_supply_for_delay,
     solve_voltage_factor,
     voltage_factor_grid,
+)
+from repro.kernels.dtype import (
+    FLOAT32_THRESHOLD_BOUND_V,
+    KERNEL_DTYPE_ENV,
+    dtype_token,
+    resolve_dtype,
+)
+from repro.kernels.fused import (
+    decode_counts,
+    decode_word_rows,
+    fused_decode,
+    s_curve_trip_probability_fused,
+    score_lot_grids,
+    trip_counts_from_thresholds,
 )
 from repro.kernels.montecarlo import (
     MC_SEED_SCHEME,
@@ -87,11 +124,31 @@ from repro.kernels.transient import (
 #: different kernel generation (or by the scalar-only era, which had no
 #: version token at all).  v2: stochastic/transient tier (Monte-Carlo
 #: draw cubes under ``MC_SEED_SCHEME``, exact-ZOH PDN stepping).
-KERNEL_LAYOUT_VERSION = "kernels/v2"
+#: v3: raw-speed tier (fused solve+decode kernels, dtype policy,
+#: optional compiled backend) — fingerprints additionally fold
+#: :func:`~repro.kernels.dtype.dtype_token` and
+#: :func:`~repro.kernels.backend.backend_token`, so float32 and
+#: compiled-backend artifacts can never alias float64/NumPy ones.
+KERNEL_LAYOUT_VERSION = "kernels/v3"
 
 __all__ = [
+    "FLOAT32_THRESHOLD_BOUND_V",
+    "KERNEL_BACKEND_ENV",
+    "KERNEL_DTYPE_ENV",
     "KERNEL_LAYOUT_VERSION",
     "MC_SEED_SCHEME",
+    "active_backend",
+    "backend_token",
+    "decode_counts",
+    "decode_word_rows",
+    "dtype_token",
+    "fused_decode",
+    "numba_version",
+    "requested_backend",
+    "resolve_dtype",
+    "s_curve_trip_probability_fused",
+    "score_lot_grids",
+    "trip_counts_from_thresholds",
     "TransientStepper",
     "bracket_grid",
     "bubble_grid",

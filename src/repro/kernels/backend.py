@@ -1,0 +1,178 @@
+"""Optional compiled kernel backend (Numba), behind the same interface.
+
+The delay-law inverse (:func:`~repro.kernels.delay_law.
+solve_voltage_factor`) is the one genuinely iterative kernel: a
+safeguarded Newton-bisection per lane.  The vectorized NumPy form pays
+for full-grid temporaries on every iteration even though most lanes
+converge early; a compiled scalar loop visits each lane once and stops
+the moment its bracket collapses.  When `numba <https://numba.pydata.
+org>`_ is importable, this module provides exactly that loop —
+``@njit``-compiled, mirroring the NumPy iteration *operation for
+operation* (same bracket updates, same Newton proposal, same 2-ulp
+stopping rule) so the two backends are bit-identical and consumers
+never need to know which one ran.
+
+Selection: ``$REPRO_KERNEL_BACKEND`` is ``auto`` (default — use numba
+when importable), ``numpy`` (force the pure-NumPy path; what the CI
+no-numba leg pins) or ``numba`` (require the compiled path; raises
+when numba is missing).  The active backend is folded into cache
+fingerprints via :func:`backend_token` and into committed BENCH files
+via the machine fingerprint, so artifacts and timings from different
+backends are never conflated.
+
+Degradation: a numba that imports but fails to *compile* (ABI skew,
+unsupported platform) disables the compiled path for the process with
+a warning and falls back to NumPy — never a crash, and (because the
+loops are bit-identical) never a numerics change.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+#: Environment variable selecting the kernel backend.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+_BACKENDS = ("auto", "numpy", "numba")
+
+#: Set after a compile failure: the compiled path is disabled for the
+#: rest of the process (NumPy fallback, single warning).
+_disabled = False
+
+_compiled: Callable[..., Any] | None = None
+
+_UNPROBED = object()
+_numba_version_cache: Any = _UNPROBED
+
+
+def numba_version() -> str | None:
+    """The importable numba's version string, or ``None``.
+
+    Probed once per process: Python does not cache *failed* imports,
+    and this sits on the solver hot path.
+    """
+    global _numba_version_cache
+    if _numba_version_cache is _UNPROBED:
+        try:
+            import numba  # type: ignore[import-not-found]
+        except ImportError:
+            _numba_version_cache = None
+        else:
+            _numba_version_cache = str(numba.__version__)
+    return _numba_version_cache
+
+
+def requested_backend() -> str:
+    """The backend asked for via ``$REPRO_KERNEL_BACKEND`` (validated;
+    default ``"auto"``)."""
+    raw = os.environ.get(KERNEL_BACKEND_ENV, "").strip() or "auto"
+    if raw not in _BACKENDS:
+        raise ConfigurationError(
+            f"${KERNEL_BACKEND_ENV}={raw!r} is not a kernel backend "
+            f"(use one of {_BACKENDS})"
+        )
+    return raw
+
+
+def active_backend() -> str:
+    """The backend that will actually run: ``"numba"`` or ``"numpy"``.
+
+    ``auto`` resolves to numba only when it imports; an explicit
+    ``numba`` request without an importable numba raises (a silent
+    fallback would invalidate any perf claim the caller is making).
+    """
+    req = requested_backend()
+    if req == "numpy":
+        return "numpy"
+    available = numba_version() is not None and not _disabled
+    if req == "numba" and not available:
+        raise ConfigurationError(
+            f"${KERNEL_BACKEND_ENV}=numba but numba is not importable "
+            f"(or failed to compile); install numba or use 'auto'"
+        )
+    return "numba" if available else "numpy"
+
+
+def backend_token() -> str:
+    """Cache-key token of the active backend, e.g. ``"backend/numpy"``
+    or ``"backend/numba-0.59.1"``.  Folded into design fingerprints so
+    compiled and pure-NumPy artifacts can never collide (defensive: the
+    backends are designed bit-identical, but a cache must not *depend*
+    on that)."""
+    if active_backend() == "numba":
+        return f"backend/numba-{numba_version()}"
+    return "backend/numpy"
+
+
+def _build_compiled() -> Callable[..., Any]:
+    """Compile the scalar-loop solver core (lazily, once per process).
+
+    The loop body mirrors ``delay_law._iterate_numpy`` operation for
+    operation; a lane that hits the iteration ceiling returns NaN and
+    the caller raises the same :class:`ConfigurationError` the NumPy
+    path would.
+    """
+    import numba  # type: ignore[import-not-found]
+    import numpy as np
+
+    @numba.njit(cache=False, fastmath=False)
+    def _solve_lanes(lo, hi, vth, alpha, log_g, max_iter):
+        n = lo.shape[0]
+        x = np.empty(n, dtype=lo.dtype)
+        for i in range(n):
+            lo_i = lo[i]
+            hi_i = hi[i]
+            v = vth[i]
+            a = alpha[i]
+            lg = log_g[i]
+            xi = 0.5 * (lo_i + hi_i)
+            out = np.nan
+            for _ in range(max_iter):
+                headroom = xi - v
+                f = np.log(xi) - a * np.log(headroom) - lg
+                if f > 0.0:
+                    lo_i = xi
+                else:
+                    hi_i = xi
+                fprime = 1.0 / xi - a / headroom
+                cand = xi - f / fprime
+                if not (np.isfinite(cand) and cand > lo_i
+                        and cand < hi_i):
+                    cand = 0.5 * (lo_i + hi_i)
+                xi = cand
+                if (hi_i - lo_i) <= 2.0 * np.spacing(hi_i):
+                    out = 0.5 * (lo_i + hi_i)
+                    break
+            x[i] = out
+        return x
+
+    return _solve_lanes
+
+
+def compiled_solver() -> Callable[..., Any] | None:
+    """The compiled lane solver, or ``None`` when unavailable.
+
+    First call under an importable numba triggers the JIT build; a
+    build failure warns once, disables the compiled path for the
+    process and returns ``None`` (pure-NumPy fallback).
+    """
+    global _compiled, _disabled
+    if _disabled or numba_version() is None:
+        return None
+    if _compiled is None:
+        try:
+            _compiled = _build_compiled()
+        except Exception as exc:
+            _disabled = True
+            warnings.warn(
+                f"numba backend failed to build ({exc}); falling back "
+                f"to the pure-NumPy kernels",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+    return _compiled

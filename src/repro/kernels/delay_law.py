@@ -27,6 +27,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels.backend import active_backend, compiled_solver
+from repro.kernels.dtype import resolve_dtype
 from repro.runtime.profiling import phase
 
 #: Iteration ceiling for the safeguarded solver.  Pure bisection needs
@@ -36,10 +38,20 @@ _MAX_ITER = 128
 
 
 def voltage_factor_grid(v: np.ndarray, vth: np.ndarray | float,
-                        alpha: np.ndarray | float) -> np.ndarray:
+                        alpha: np.ndarray | float, *,
+                        dtype: "np.dtype | str | None" = None
+                        ) -> np.ndarray:
     """``g(V) = V / (V - vth)**alpha`` elementwise; ``+inf`` at or
-    below threshold (the gate never switches)."""
-    v = np.asarray(v, dtype=float)
+    below threshold (the gate never switches).
+
+    ``dtype`` selects the working precision (see
+    :mod:`repro.kernels.dtype`); the float64 default is bit-identical
+    to the scalar path.
+    """
+    dt = resolve_dtype(dtype)
+    v = np.asarray(v, dtype=dt)
+    vth = np.asarray(vth, dtype=dt)
+    alpha = np.asarray(alpha, dtype=dt)
     headroom = v - vth
     with np.errstate(divide="ignore", invalid="ignore"):
         g = np.where(headroom > 0.0,
@@ -61,10 +73,53 @@ def delay_grid(v: np.ndarray, c_total: np.ndarray | float,
     return k_eff * c_total * voltage_factor_grid(v, vth, alpha)
 
 
+def _iterate_numpy(lo: np.ndarray, hi: np.ndarray, vth_f: np.ndarray,
+                   alpha_f: np.ndarray, log_g: np.ndarray) -> np.ndarray:
+    """The vectorized safeguarded Newton-bisection core.
+
+    Masked full-grid iteration: converged lanes are frozen, so lane
+    results are independent of which other lanes are in the batch
+    (batch invariance).  The compiled backend
+    (:mod:`repro.kernels.backend`) mirrors this loop operation for
+    operation, one lane at a time.
+    """
+    x = 0.5 * (lo + hi)
+    active = np.ones(x.shape, dtype=bool)
+    for _ in range(_MAX_ITER):
+        # f(x) = ln g(x) - ln G, strictly decreasing in x.
+        headroom = np.where(active, x - vth_f, 1.0)
+        f = np.log(x) - alpha_f * np.log(headroom) - log_g
+        above = f > 0.0  # root is above x
+        lo = np.where(active & above, x, lo)
+        hi = np.where(active & ~above, x, hi)
+        # Newton proposal on the log form.
+        fprime = 1.0 / x - alpha_f / headroom
+        step = f / fprime
+        cand = x - step
+        inside = np.isfinite(cand) & (cand > lo) & (cand < hi)
+        cand = np.where(inside, cand, 0.5 * (lo + hi))
+        x = np.where(active, cand, x)
+        # A lane converges when its bracket spans <= 2 ulps.
+        done = (hi - lo) <= 2.0 * np.spacing(hi)
+        newly = active & done
+        if np.any(newly):
+            x = np.where(newly, 0.5 * (lo + hi), x)
+            active &= ~done
+        if not np.any(active):
+            break
+    else:  # pragma: no cover - defensive
+        raise ConfigurationError(
+            "voltage-factor solve failed to converge"
+        )
+    return x
+
+
 def solve_voltage_factor(g_target: np.ndarray,
                          vth: np.ndarray | float,
                          alpha: np.ndarray | float, *,
-                         v_hi: float = 3.0) -> np.ndarray:
+                         v_hi: float = 3.0,
+                         dtype: "np.dtype | str | None" = None
+                         ) -> np.ndarray:
     """Invert ``g(V) = g_target`` elementwise for ``V`` in (vth, v_hi].
 
     ``g`` is strictly decreasing on ``(vth, inf)`` for ``alpha >= 1``,
@@ -81,6 +136,10 @@ def solve_voltage_factor(g_target: np.ndarray,
         alpha: Velocity-saturation index(es), broadcastable.
         v_hi: Upper bracket, volts (the scalar oracle's
             ``supply_for_delay(..., v_hi=...)``).
+        dtype: Working precision (see :mod:`repro.kernels.dtype`);
+            float32 solves carry the documented
+            :data:`~repro.kernels.dtype.FLOAT32_THRESHOLD_BOUND_V`
+            error bound against the float64 oracle.
 
     Returns:
         Array of solved supplies, shaped like the broadcast inputs.
@@ -91,15 +150,16 @@ def solve_voltage_factor(g_target: np.ndarray,
             iteration ceiling is hit (never observed; defensive).
     """
     with phase("kernel.solve"):
+        dt = resolve_dtype(dtype)
         g_target, vth, alpha = np.broadcast_arrays(
-            np.asarray(g_target, dtype=float),
-            np.asarray(vth, dtype=float),
-            np.asarray(alpha, dtype=float),
+            np.asarray(g_target, dtype=dt),
+            np.asarray(vth, dtype=dt),
+            np.asarray(alpha, dtype=dt),
         )
         shape = g_target.shape
-        g_t = g_target.ravel().astype(float)
-        vth_f = np.ascontiguousarray(vth, dtype=float).ravel()
-        alpha_f = np.ascontiguousarray(alpha, dtype=float).ravel()
+        g_t = g_target.ravel().astype(dt)
+        vth_f = np.ascontiguousarray(vth, dtype=dt).ravel()
+        alpha_f = np.ascontiguousarray(alpha, dtype=dt).ravel()
 
         if not np.all(np.isfinite(g_t) & (g_t > 0.0)):
             raise ConfigurationError(
@@ -134,34 +194,17 @@ def solve_voltage_factor(g_target: np.ndarray,
                 )
 
         log_g = np.log(g_t)
-        x = 0.5 * (lo + hi)
-        active = np.ones(x.shape, dtype=bool)
-        for _ in range(_MAX_ITER):
-            # f(x) = ln g(x) - ln G, strictly decreasing in x.
-            headroom = np.where(active, x - vth_f, 1.0)
-            f = np.log(x) - alpha_f * np.log(headroom) - log_g
-            above = f > 0.0  # root is above x
-            lo = np.where(active & above, x, lo)
-            hi = np.where(active & ~above, x, hi)
-            # Newton proposal on the log form.
-            fprime = 1.0 / x - alpha_f / headroom
-            step = f / fprime
-            cand = x - step
-            inside = np.isfinite(cand) & (cand > lo) & (cand < hi)
-            cand = np.where(inside, cand, 0.5 * (lo + hi))
-            x = np.where(active, cand, x)
-            # A lane converges when its bracket spans <= 2 ulps.
-            done = (hi - lo) <= 2.0 * np.spacing(hi)
-            newly = active & done
-            if np.any(newly):
-                x = np.where(newly, 0.5 * (lo + hi), x)
-                active &= ~done
-            if not np.any(active):
-                break
-        else:  # pragma: no cover - defensive
-            raise ConfigurationError(
-                "voltage-factor solve failed to converge"
-            )
+        solver = compiled_solver() \
+            if active_backend() == "numba" else None
+        if solver is not None:
+            x = np.asarray(solver(lo, hi, vth_f, alpha_f, log_g,
+                                  _MAX_ITER))
+            if np.any(np.isnan(x)):  # pragma: no cover - defensive
+                raise ConfigurationError(
+                    "voltage-factor solve failed to converge"
+                )
+        else:
+            x = _iterate_numpy(lo, hi, vth_f, alpha_f, log_g)
         return x.reshape(shape)
 
 
@@ -170,7 +213,9 @@ def solve_supply_for_delay(target_delay: np.ndarray,
                            k_eff: np.ndarray | float,
                            vth: np.ndarray | float,
                            alpha: np.ndarray | float, *,
-                           v_hi: float = 3.0) -> np.ndarray:
+                           v_hi: float = 3.0,
+                           dtype: "np.dtype | str | None" = None
+                           ) -> np.ndarray:
     """Invert the full delay law elementwise: the supply ``V*`` at
     which ``k_eff * c_total * g(V*)`` equals ``target_delay``.
 
@@ -188,4 +233,5 @@ def solve_supply_for_delay(target_delay: np.ndarray,
     if np.any(c_total <= 0.0):
         raise ConfigurationError("total load must be positive")
     g_target = target_delay / (np.asarray(k_eff, dtype=float) * c_total)
-    return solve_voltage_factor(g_target, vth, alpha, v_hi=v_hi)
+    return solve_voltage_factor(g_target, vth, alpha, v_hi=v_hi,
+                                dtype=dtype)

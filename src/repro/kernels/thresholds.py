@@ -74,7 +74,8 @@ def threshold_grid(design: "SensorDesign",
                    tech: Technology | None = None, *,
                    window_tech: Technology | None = None,
                    bits: Iterable[int] | None = None,
-                   v_hi: float = 3.0) -> np.ndarray:
+                   v_hi: float = 3.0,
+                   dtype: "np.dtype | str | None" = None) -> np.ndarray:
     """Per-bit failure thresholds over a (bits x codes) grid, volts.
 
     ``out[i, j]`` equals ``design.bit_threshold(bits[i], codes[j],
@@ -93,6 +94,10 @@ def threshold_grid(design: "SensorDesign",
             slicing the full-array solve — :class:`~repro.core.degraded.
             DegradedArray` relies on this.
         v_hi: Upper root bracket, volts.
+        dtype: Working precision of the root solve (see
+            :mod:`repro.kernels.dtype`); the float64 default keeps the
+            oracle-agreement contract, float32 carries the documented
+            error bound.
     """
     bit_idx = _bits_array(design, bits)
     tech_eff = design.tech if tech is None else tech
@@ -108,13 +113,15 @@ def threshold_grid(design: "SensorDesign",
     k_eff = tech_eff.drive_constant / design.sensor_strength
     g_target = windows[None, :] / (k_eff * c_total[:, None])
     return solve_voltage_factor(
-        g_target, tech_eff.vth, tech_eff.alpha, v_hi=v_hi
+        g_target, tech_eff.vth, tech_eff.alpha, v_hi=v_hi, dtype=dtype
     )
 
 
 def lot_threshold_grid(design: "SensorDesign",
                        lot: Sequence["VariationSample"],
-                       code: int, *, v_hi: float = 3.0) -> np.ndarray:
+                       code: int, *, v_hi: float = 3.0,
+                       dtype: "np.dtype | str | None" = None
+                       ) -> np.ndarray:
     """Per-die, per-bit thresholds over a variation lot: (dies x bits).
 
     ``out[d, b-1]`` matches the scalar
@@ -158,4 +165,5 @@ def lot_threshold_grid(design: "SensorDesign",
     c_total = tech.intrinsic_cap_unit * design.sensor_strength + loads
     k_eff = k_db / design.sensor_strength
     g_target = window_d[:, None] / (k_eff * c_total[None, :])
-    return solve_voltage_factor(g_target, vth_db, tech.alpha, v_hi=v_hi)
+    return solve_voltage_factor(g_target, vth_db, tech.alpha, v_hi=v_hi,
+                                dtype=dtype)

@@ -21,7 +21,12 @@ the two pieces every such sweep needs:
   ``raise``/``partial`` failure policy with structured
   :class:`~repro.runtime.resilient.TaskFailure` records;
 * :mod:`repro.runtime.chaos` — seeded fault injection (worker kills,
-  cache corruption, stuck tasks) for end-to-end resilience drills.
+  cache corruption, stuck tasks) for end-to-end resilience drills;
+* :mod:`repro.runtime.shm` — zero-copy broadcast of large read-only
+  arrays (draw cubes, threshold grids, LTI operators) to pool workers
+  via POSIX shared memory: registered once per pool, handles instead
+  of pickles, with a per-array inline fallback that keeps the bytes
+  identical when shared memory is unavailable (``$REPRO_SHM=0``).
 
 Everything above it (``repro.core.characterization``,
 ``repro.analysis.yield_study``, ``repro.analysis.repeatability``, the
@@ -59,6 +64,15 @@ from repro.runtime.resilient import (
     resilient_cached_map,
     resilient_map,
 )
+from repro.runtime.shm import (
+    SHM_ENV,
+    SharedArrayHandle,
+    SharedArrayPool,
+    SharedTask,
+    resolve_handle,
+    shm_counters,
+    shm_enabled,
+)
 
 __all__ = [
     "ChaosMonkey",
@@ -68,6 +82,10 @@ __all__ = [
     "PhaseProfiler",
     "PhaseStat",
     "ResultCache",
+    "SHM_ENV",
+    "SharedArrayHandle",
+    "SharedArrayPool",
+    "SharedTask",
     "phase",
     "RetryPolicy",
     "RunStats",
@@ -81,7 +99,10 @@ __all__ = [
     "resilient_cached_map",
     "resilient_map",
     "resolve_cache",
+    "resolve_handle",
     "resolve_workers",
+    "shm_counters",
+    "shm_enabled",
     "stable_hash",
     "task_key",
 ]

@@ -24,6 +24,7 @@ waste a compute, never tear an entry.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import enum
 import hashlib
@@ -42,6 +43,15 @@ CACHE_SCHEMA = "repro-cache/v1"
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Per-root append-only counter log (see :meth:`ResultCache.flush_stats`):
+#: every process that used the cache appends its hit/miss/error deltas,
+#: so ``repro cache`` can report campaign-lifetime totals instead of the
+#: zeros a freshly constructed instance would show.
+STATS_LOG_NAME = "_stats.log"
+
+#: Unflushed events buffered before an automatic flush.
+_STATS_FLUSH_EVERY = 64
 
 
 # -- canonical hashing ---------------------------------------------------------
@@ -96,22 +106,31 @@ def stable_hash(obj: Any) -> str:
     return digest.hexdigest()
 
 
-def _numeric_environment() -> tuple[str, str]:
-    """(NumPy version, kernel layout version) baked into fingerprints.
+def _numeric_environment() -> tuple[str, ...]:
+    """Numeric-environment tokens baked into fingerprints: (NumPy
+    version, kernel layout version, working dtype, kernel backend).
 
     Kernel-evaluated results depend on the NumPy build's elementwise
     semantics and on the kernel layer's own numerics; folding both into
     :func:`design_fingerprint` guarantees vectorized results never
     alias entries written by a different kernel generation — or by the
     scalar-only era, whose fingerprints carried no version tokens.
-    Imported lazily: the runtime layer must not depend on
-    :mod:`repro.kernels` at import time.
+    The dtype and backend tokens extend the same guarantee to the
+    raw-speed tier: float32 results can never be served to a float64
+    consumer, and compiled-backend artifacts never alias pure-NumPy
+    ones (defense in depth — the backends are designed bit-identical,
+    but a cache must not *depend* on that).  Imported lazily: the
+    runtime layer must not depend on :mod:`repro.kernels` at import
+    time.
     """
     import numpy
 
     from repro.kernels import KERNEL_LAYOUT_VERSION
+    from repro.kernels.backend import backend_token
+    from repro.kernels.dtype import dtype_token
 
-    return (f"numpy/{numpy.__version__}", KERNEL_LAYOUT_VERSION)
+    return (f"numpy/{numpy.__version__}", KERNEL_LAYOUT_VERSION,
+            dtype_token(), backend_token())
 
 
 def design_fingerprint(design: Any, *, backend: Any = None) -> str:
@@ -188,6 +207,79 @@ class ResultCache:
         #: set when a put hit an OSError: further puts become no-ops
         #: (the sweep keeps running uncached rather than crashing).
         self.disabled = False
+        # Deltas not yet appended to the on-disk stats log.
+        self._unflushed = [0, 0, 0]  # hits, misses, errors
+        self._flush_registered = False
+
+    # -- persistent counters ----------------------------------------------
+
+    def _count(self, hits: int = 0, misses: int = 0,
+               errors: int = 0) -> None:
+        """Bump instance counters and buffer the deltas for the
+        per-root stats log (flushed every ~64 events and at exit)."""
+        self.hits += hits
+        self.misses += misses
+        self.errors += errors
+        self._unflushed[0] += hits
+        self._unflushed[1] += misses
+        self._unflushed[2] += errors
+        if not self._flush_registered:
+            self._flush_registered = True
+            atexit.register(self.flush_stats)
+        if sum(self._unflushed) >= _STATS_FLUSH_EVERY:
+            self.flush_stats()
+
+    def flush_stats(self) -> None:
+        """Append buffered counter deltas to the root's stats log.
+
+        One ``pid hits misses errors`` line per flush, written with
+        ``O_APPEND`` (atomic for short writes on POSIX), so parent and
+        pool-worker processes interleave without tearing.  Best-effort:
+        an unwritable root loses observability, never the sweep.
+        """
+        h, m, e = self._unflushed
+        if h == 0 and m == 0 and e == 0:
+            return
+        self._unflushed = [0, 0, 0]
+        line = f"{os.getpid()} {h} {m} {e}\n".encode()
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.root / STATS_LOG_NAME,
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+
+    def lifetime_stats(self) -> dict[str, int]:
+        """Aggregated counters across *every* process that used this
+        cache root — the stats log totals plus this instance's
+        unflushed deltas.  This is what survives process-pool workers:
+        each worker's :class:`ResultCache` flushes its own deltas, so
+        a later ``repro cache`` invocation (a fresh process with zeroed
+        instance counters) still reports the campaign's true totals.
+        """
+        totals = [0, 0, 0]
+        try:
+            with (self.root / STATS_LOG_NAME).open("rb") as fh:
+                for raw in fh:
+                    parts = raw.split()
+                    if len(parts) != 4:
+                        continue  # torn or foreign line: skip, not crash
+                    try:
+                        deltas = [int(p) for p in parts[1:]]
+                    except ValueError:
+                        continue
+                    for i in range(3):
+                        totals[i] += deltas[i]
+        except OSError:
+            pass
+        for i in range(3):
+            totals[i] += self._unflushed[i]
+        return {"hits": totals[0], "misses": totals[1],
+                "errors": totals[2]}
 
     def check_usable(self) -> None:
         """Probe that the cache directory can be created, listed and
@@ -219,19 +311,18 @@ class ResultCache:
             with phase("cache.get"), path.open("rb") as fh:
                 value = pickle.load(fh)
         except FileNotFoundError:
-            self.misses += 1
+            self._count(misses=1)
             return False, None
         except Exception:
             # Truncated pickle, wrong protocol, unreadable file, a
             # class that no longer unpickles: recompute, don't crash.
-            self.errors += 1
-            self.misses += 1
+            self._count(misses=1, errors=1)
             try:
                 path.unlink()
             except OSError:
                 pass
             return False, None
-        self.hits += 1
+        self._count(hits=1)
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -271,7 +362,7 @@ class ResultCache:
             raise
 
     def _disable_puts(self, exc: OSError) -> None:
-        self.errors += 1
+        self._count(errors=1)
         self.disabled = True
         warnings.warn(
             f"result cache at {str(self.root)!r} is not writable "
@@ -317,7 +408,12 @@ class ResultCache:
         return self.hits / lookups
 
     def stats(self) -> dict[str, Any]:
-        """Counters plus on-disk footprint, for tests and the CLI."""
+        """Counters plus on-disk footprint, for tests and the CLI.
+
+        Instance counters (``hits``/``misses``/``errors``) cover this
+        object's lookups only; ``lifetime`` aggregates across every
+        process that ever used the root (see :meth:`lifetime_stats`).
+        """
         entries = self.entries()
         return {
             "dir": str(self.root),
@@ -328,6 +424,7 @@ class ResultCache:
             "errors": self.errors,
             "hit_rate": self.hit_rate,
             "disabled": self.disabled,
+            "lifetime": self.lifetime_stats(),
         }
 
 

@@ -22,7 +22,15 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    TypeVar,
+)
 
 from repro.errors import ConfigurationError
 from repro.runtime.cache import ResultCache, resolve_cache
@@ -67,16 +75,40 @@ def env_workers(default: int | None = None) -> int | None:
         ) from None
 
 
-def _iter_map(fn: Callable[[_T], _R], payloads: Sequence[_T],
-              workers: int | None, chunksize: int) -> Iterator[_R]:
+def _iter_map(fn: Callable[..., _R], payloads: Sequence[_T],
+              workers: int | None, chunksize: int,
+              shared: "Mapping[str, Any] | None" = None) -> Iterator[_R]:
     """Yield ``fn(x)`` per payload *in submission order, as computed*.
 
     The streaming core of :func:`map_tasks` and :func:`cached_map`:
     consumers that persist each result as it arrives (incremental
     ``store.put()``) survive a crash mid-sweep with all completed work
     intact, while the yielded order stays bit-identical to serial.
+
+    With ``shared``, tasks are called as ``fn(payload, arrays)``: the
+    named arrays ride POSIX shared memory to the pool (one copy-in
+    total instead of one pickle per task — see
+    :mod:`repro.runtime.shm`) and read-only views in the serial path,
+    so the bytes each task sees are identical either way.
     """
     n = min(resolve_workers(workers), len(payloads))
+    if shared is not None:
+        from repro.runtime.shm import SharedArrayPool, SharedTask, \
+            _readonly_views
+
+        if n <= 1:
+            arrays = _readonly_views(shared)
+            for item in payloads:
+                yield fn(item, arrays)
+            return
+        with SharedArrayPool(shared) as shm_pool:
+            task = SharedTask(fn, shm_pool.handles)
+            shm_pool.charge_tasks(len(payloads))
+            with PROFILER.measure("runtime.pool"), \
+                    ProcessPoolExecutor(max_workers=n) as pool:
+                yield from pool.map(task, payloads,
+                                    chunksize=max(1, chunksize))
+        return
     if n <= 1:
         for item in payloads:
             yield fn(item)
@@ -92,12 +124,13 @@ def _wants_resilience(retries: int, task_timeout: float | None,
         or failure_policy != "raise"
 
 
-def map_tasks(fn: Callable[[_T], _R], items: Iterable[_T], *,
+def map_tasks(fn: Callable[..., _R], items: Iterable[_T], *,
               workers: int | None = None,
               chunksize: int = 1,
               retries: int = 0,
               task_timeout: float | None = None,
-              failure_policy: str = "raise") -> Any:
+              failure_policy: str = "raise",
+              shared: "Mapping[str, Any] | None" = None) -> Any:
     """``[fn(x) for x in items]``, optionally across a process pool.
 
     Results are returned in input order regardless of completion
@@ -122,6 +155,11 @@ def map_tasks(fn: Callable[[_T], _R], items: Iterable[_T], *,
             :class:`~repro.runtime.resilient.MapOutcome` whose failed
             slots are ``None`` plus structured ``TaskFailure``
             records).
+        shared: Named read-only arrays broadcast to every task via
+            shared memory (:mod:`repro.runtime.shm`); tasks are then
+            called as ``fn(payload, arrays)``.  Bit-identical to
+            passing the arrays inside each payload — just without the
+            per-task pickling.
 
     Returns:
         ``list`` of results under ``failure_policy="raise"``;
@@ -135,20 +173,23 @@ def map_tasks(fn: Callable[[_T], _R], items: Iterable[_T], *,
         outcome = resilient_map(
             fn, payloads, workers=workers, retries=retries,
             task_timeout=task_timeout, failure_policy=failure_policy,
+            shared=shared,
         )
         return outcome if failure_policy == "partial" \
             else outcome.results
-    return list(_iter_map(fn, payloads, workers, chunksize))
+    return list(_iter_map(fn, payloads, workers, chunksize,
+                          shared=shared))
 
 
-def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
+def cached_map(fn: Callable[..., _R], items: Iterable[_T], *,
                keys: Sequence[str] | None = None,
                cache: "ResultCache | str | os.PathLike[str] | None" = None,
                workers: int | None = None,
                chunksize: int = 1,
                retries: int = 0,
                task_timeout: float | None = None,
-               failure_policy: str = "raise") -> Any:
+               failure_policy: str = "raise",
+               shared: "Mapping[str, Any] | None" = None) -> Any:
     """:func:`map_tasks` with per-item on-disk memoization.
 
     Every memoized sweep in the repo reduces to this: look each item's
@@ -176,6 +217,9 @@ def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
         retries / task_timeout / failure_policy: Resilience options as
             in :func:`map_tasks` — under ``"partial"`` the return
             value is a :class:`~repro.runtime.resilient.MapOutcome`.
+        shared: Broadcast arrays as in :func:`map_tasks` (tasks become
+            ``fn(payload, arrays)``); cache keys must already account
+            for the shared contents.
     """
     if _wants_resilience(retries, task_timeout, failure_policy):
         from repro.runtime.resilient import resilient_cached_map
@@ -183,7 +227,7 @@ def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
         outcome = resilient_cached_map(
             fn, items, keys=keys, cache=cache, workers=workers,
             retries=retries, task_timeout=task_timeout,
-            failure_policy=failure_policy,
+            failure_policy=failure_policy, shared=shared,
         )
         return outcome if failure_policy == "partial" \
             else outcome.results
@@ -191,7 +235,7 @@ def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
     payloads: Sequence[_T] = list(items)
     if store is None or keys is None:
         return map_tasks(fn, payloads, workers=workers,
-                         chunksize=chunksize)
+                         chunksize=chunksize, shared=shared)
     if len(keys) != len(payloads):
         raise ConfigurationError(
             f"got {len(keys)} cache keys for {len(payloads)} items"
@@ -205,7 +249,7 @@ def cached_map(fn: Callable[[_T], _R], items: Iterable[_T], *,
         else:
             pending.append((i, item))
     computed = _iter_map(fn, [item for _, item in pending],
-                         workers, chunksize)
+                         workers, chunksize, shared=shared)
     for (i, _), value in zip(pending, computed):
         results[i] = value
         store.put(keys[i], value)

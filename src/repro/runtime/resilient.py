@@ -53,7 +53,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Literal, Sequence
+from typing import Any, Callable, Iterable, Literal, Mapping, Sequence
 
 from repro.errors import (
     ConfigurationError,
@@ -454,6 +454,39 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 # -- public API ----------------------------------------------------------------
 
 
+def _execute(run: _Run, fn: Callable[..., Any], n_slots: int,
+             shared: "Mapping[str, Any] | None") -> None:
+    """Drive one prepared :class:`_Run`, optionally with broadcast
+    arrays riding shared memory (pool) or read-only views (serial).
+
+    The shared blocks outlive pool rebuilds — they belong to the
+    parent, so after a worker crash the rebuilt pool's fresh workers
+    simply re-attach by name and the campaign continues.
+    """
+    n = min(run.workers, n_slots)
+    use_pool = not (n <= 1 and run.policy.task_timeout is None)
+    if shared is None:
+        if use_pool:
+            run.workers = n
+            run.run_pool()
+        else:
+            run.run_serial()
+        return
+    from repro.runtime.shm import SharedArrayPool, SharedTask, \
+        _readonly_views
+
+    if use_pool:
+        with SharedArrayPool(shared) as shm_pool:
+            run.fn = SharedTask(fn, shm_pool.handles)
+            shm_pool.charge_tasks(n_slots)
+            run.workers = n
+            run.run_pool()
+    else:
+        arrays = _readonly_views(shared)
+        run.fn = lambda item: fn(item, arrays)
+        run.run_serial()
+
+
 def resilient_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
                   workers: int | None = None,
                   retries: int = 0,
@@ -461,7 +494,8 @@ def resilient_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
                   policy: RetryPolicy | None = None,
                   failure_policy: FailurePolicy = "raise",
                   keys: Sequence[str] | None = None,
-                  on_result: Callable[[int, Any], None] | None = None
+                  on_result: Callable[[int, Any], None] | None = None,
+                  shared: "Mapping[str, Any] | None" = None
                   ) -> MapOutcome:
     """Fault-tolerant ``[fn(x) for x in items]``.
 
@@ -479,6 +513,9 @@ def resilient_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
         keys: Optional per-task labels copied into failure records.
         on_result: Streaming callback ``(index, value)`` invoked the
             moment each task completes (completion order).
+        shared: Named read-only broadcast arrays (see
+            :mod:`repro.runtime.shm`); tasks are then called as
+            ``fn(payload, arrays)``.
 
     Returns:
         A :class:`MapOutcome` — under ``"raise"`` its ``failures`` is
@@ -512,12 +549,7 @@ def resilient_map(fn: Callable[[Any], Any], items: Iterable[Any], *,
                policy=policy, failure_policy=failure_policy, keys=keys,
                on_ok=on_ok, stats=stats)
     if slots:
-        n = min(run.workers, len(slots))
-        if n <= 1 and policy.task_timeout is None:
-            run.run_serial()
-        else:
-            run.workers = n
-            run.run_pool()
+        _execute(run, fn, len(slots), shared)
     return MapOutcome(results=results, failures=tuple(run.failures),
                       stats=stats)
 
@@ -530,7 +562,8 @@ def resilient_cached_map(fn: Callable[[Any], Any],
                          retries: int = 0,
                          task_timeout: float | None = None,
                          policy: RetryPolicy | None = None,
-                         failure_policy: FailurePolicy = "raise"
+                         failure_policy: FailurePolicy = "raise",
+                         shared: "Mapping[str, Any] | None" = None
                          ) -> MapOutcome:
     """:func:`resilient_map` with per-item memoization and
     *incremental* persistence: every completed task is ``store.put()``
@@ -549,7 +582,8 @@ def resilient_cached_map(fn: Callable[[Any], Any],
         return resilient_map(fn, payloads, workers=workers,
                              retries=retries, task_timeout=task_timeout,
                              policy=policy,
-                             failure_policy=failure_policy, keys=keys)
+                             failure_policy=failure_policy, keys=keys,
+                             shared=shared)
     if len(keys) != len(payloads):
         raise ConfigurationError(
             f"got {len(keys)} cache keys for {len(payloads)} items"
@@ -580,11 +614,6 @@ def resilient_cached_map(fn: Callable[[Any], Any],
                policy=policy, failure_policy=failure_policy, keys=keys,
                on_ok=on_ok, stats=stats)
     if slots:
-        n = min(run.workers, len(slots))
-        if n <= 1 and policy.task_timeout is None:
-            run.run_serial()
-        else:
-            run.workers = n
-            run.run_pool()
+        _execute(run, fn, len(slots), shared)
     return MapOutcome(results=results, failures=tuple(run.failures),
                       stats=stats)

@@ -1,0 +1,253 @@
+"""Zero-copy shared-memory broadcast of read-only arrays to pools.
+
+The process-pool fan-outs broadcast the same large arrays — mismatch
+draw cubes, threshold/level grids, discretized LTI operators — to every
+task by value: each pickled payload carries its own copy, so a
+1000-task campaign serializes the same megabytes a thousand times.
+This module registers such arrays in POSIX shared memory **once per
+pool** and hands workers a tiny :class:`SharedArrayHandle` (name +
+shape + dtype) instead; each worker attaches the block on first use
+and maps a read-only NumPy view over it, so the broadcast cost is one
+copy-in total, independent of task count.
+
+Lifecycle (see the diagram in ``docs/ARCHITECTURE.md``):
+
+* the parent opens a :class:`SharedArrayPool` over ``{name: array}``
+  (one ``SharedMemory`` block per array, copied in under the
+  ``runtime.shm`` profiler phase), wraps the task callable in a
+  picklable :class:`SharedTask` carrying only the handles, and runs
+  the normal pool map;
+* each worker process resolves the handles lazily via
+  :func:`resolve_handle` — attach once per (process, block), cache the
+  read-only view for every subsequent task — and calls the wrapped
+  function as ``fn(payload, arrays)``;
+* on exit the parent closes **and unlinks** every block.  Workers'
+  attachments are closed implicitly at worker exit; campaigns never
+  leak segments because only the parent ever unlinks.
+
+Degradation: if ``multiprocessing.shared_memory`` is unavailable or a
+block fails to allocate, the affected array rides *inline* in the
+handle (ordinary pickling — the tier-1 behavior, bit-identical since
+the bytes are the same).  ``$REPRO_SHM=0`` forces that fallback
+globally, which is also how the equivalence is tested.  Worker crashes
+need no special handling: blocks live in the parent, a rebuilt pool's
+fresh workers simply re-attach, and unlink still happens at context
+exit.
+
+Accounting: the pool counts blocks, bytes copied in, attaches, inline
+fallbacks and — once told the task count via :meth:`SharedArrayPool.
+charge_tasks` — the pickled bytes *avoided* (shared bytes that would
+otherwise have been serialized per task).  :func:`shm_counters`
+exposes process-lifetime totals for the CLI and benches.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.runtime.profiling import phase
+
+#: Environment kill switch: ``0``/``off`` forces the inline (pickling)
+#: fallback; anything else leaves shared memory enabled.
+SHM_ENV = "REPRO_SHM"
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shm = None
+
+
+def shm_enabled() -> bool:
+    """True when shared-memory broadcast is available and not disabled
+    via ``$REPRO_SHM``."""
+    if _shm is None:
+        return False
+    raw = os.environ.get(SHM_ENV, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """A picklable reference to one broadcast array.
+
+    Either a shared-memory block reference (``name`` + layout) or —
+    when shared memory was unavailable for this array — the array
+    itself riding ``inline`` through ordinary pickling.
+    """
+
+    name: str | None
+    shape: tuple[int, ...]
+    dtype: str
+    inline: np.ndarray | None = None
+
+
+#: Worker-side attachment cache: block name -> (SharedMemory, view).
+#: One attach per (process, block); entries live until process exit.
+_ATTACHED: dict[str, tuple[Any, np.ndarray]] = {}
+
+#: Process-lifetime counters (parent and worker sides both accumulate
+#: into their own process's copy).
+_COUNTERS = {
+    "blocks": 0,
+    "bytes_shared": 0,
+    "bytes_avoided": 0,
+    "fallbacks": 0,
+    "attaches": 0,
+}
+
+
+def shm_counters() -> dict[str, int]:
+    """Process-lifetime shared-memory accounting (a copy).
+
+    ``blocks``/``bytes_shared`` count blocks created and bytes copied
+    in; ``bytes_avoided`` is the pickled traffic saved (shared bytes x
+    tasks charged); ``fallbacks`` counts arrays that rode inline;
+    ``attaches`` counts worker-side first attachments.
+    """
+    return dict(_COUNTERS)
+
+
+def _readonly_views(arrays: Mapping[str, np.ndarray]
+                    ) -> dict[str, np.ndarray]:
+    """Read-only views over the originals — the serial-path analogue of
+    a worker's attached views (zero-copy, same bytes)."""
+    out: dict[str, np.ndarray] = {}
+    for key, arr in arrays.items():
+        view = np.asarray(arr).view()
+        view.flags.writeable = False
+        out[key] = view
+    return out
+
+
+def resolve_handle(handle: SharedArrayHandle) -> np.ndarray:
+    """A read-only NumPy view of the broadcast array (worker side).
+
+    Inline handles return a read-only view of the pickled copy.
+    Shared handles attach the named block once per process and cache
+    the view; repeated tasks in the same worker pay one dict lookup.
+    """
+    if handle.inline is not None or handle.name is None:
+        arr = np.asarray(handle.inline)
+        view = arr.view()
+        view.flags.writeable = False
+        return view
+    cached = _ATTACHED.get(handle.name)
+    if cached is None:
+        # On Python < 3.13 attaching registers the segment with the
+        # resource tracker a second time (the parent already did at
+        # creation); with forked workers both talk to the *same*
+        # tracker process, so the duplicate registration — or
+        # unregistering it — corrupts the parent's cleanup accounting.
+        # Suppress registration for the attach instead: the parent
+        # owns the block and unlinks it exactly once.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **kw: None
+        try:
+            block = _shm.SharedMemory(name=handle.name)
+        finally:
+            resource_tracker.register = original
+        _COUNTERS["attaches"] += 1
+        view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                          buffer=block.buf)
+        view.flags.writeable = False
+        _ATTACHED[handle.name] = (block, view)
+        cached = _ATTACHED[handle.name]
+    return cached[1]
+
+
+class SharedTask:
+    """Picklable wrapper calling ``fn(payload, arrays)`` with resolved
+    broadcast arrays.
+
+    The pickle payload is the function plus the *handles* — a few
+    hundred bytes — regardless of how large the broadcast arrays are.
+    """
+
+    def __init__(self, fn: Callable[..., Any],
+                 handles: Mapping[str, SharedArrayHandle]):
+        self.fn = fn
+        self.handles = dict(handles)
+
+    def __call__(self, payload: Any) -> Any:
+        arrays = {k: resolve_handle(h) for k, h in self.handles.items()}
+        return self.fn(payload, arrays)
+
+
+@dataclass
+class SharedArrayPool:
+    """Context manager owning the shared blocks for one pool campaign.
+
+    Usage::
+
+        with SharedArrayPool({"cube": draws}) as pool:
+            task = SharedTask(score_one, pool.handles)
+            pool.charge_tasks(len(payloads))
+            results = list(executor.map(task, payloads))
+
+    Blocks are created (and the arrays copied in) at ``__enter__``
+    under the ``runtime.shm`` profiler phase, and closed + unlinked at
+    ``__exit__`` — also on error paths, so a crashed campaign cannot
+    leak segments.  Arrays that fail to allocate ride inline instead
+    (per-array fallback, not all-or-nothing).
+    """
+
+    arrays: Mapping[str, np.ndarray]
+    handles: dict[str, SharedArrayHandle] = field(default_factory=dict)
+    _blocks: list[Any] = field(default_factory=list)
+    shared_bytes: int = 0
+
+    def __enter__(self) -> "SharedArrayPool":
+        with phase("runtime.shm"):
+            enabled = shm_enabled()
+            for key, arr in self.arrays.items():
+                a = np.ascontiguousarray(arr)
+                handle = None
+                if enabled and a.nbytes > 0:
+                    try:
+                        block = _shm.SharedMemory(create=True,
+                                                  size=a.nbytes)
+                    except Exception:
+                        _COUNTERS["fallbacks"] += 1
+                    else:
+                        self._blocks.append(block)
+                        dst = np.ndarray(a.shape, dtype=a.dtype,
+                                         buffer=block.buf)
+                        dst[...] = a
+                        handle = SharedArrayHandle(
+                            name=block.name, shape=a.shape,
+                            dtype=a.dtype.str,
+                        )
+                        _COUNTERS["blocks"] += 1
+                        _COUNTERS["bytes_shared"] += a.nbytes
+                        self.shared_bytes += a.nbytes
+                elif not enabled:
+                    _COUNTERS["fallbacks"] += 1
+                if handle is None:
+                    handle = SharedArrayHandle(
+                        name=None, shape=a.shape, dtype=a.dtype.str,
+                        inline=a,
+                    )
+                self.handles[key] = handle
+        return self
+
+    def charge_tasks(self, n_tasks: int) -> None:
+        """Record that ``n_tasks`` payloads will ride this pool: the
+        shared bytes would otherwise have been pickled once per task."""
+        if n_tasks > 1:
+            _COUNTERS["bytes_avoided"] += \
+                self.shared_bytes * (n_tasks - 1)
+
+    def __exit__(self, *exc: Any) -> None:
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except Exception:  # pragma: no cover - cleanup best-effort
+                pass
+        self._blocks.clear()

@@ -146,12 +146,29 @@ def _nominal_ladder(code: int) -> tuple[float, ...]:
 
 
 def _decode_level_word(word_bits: np.ndarray, code: int) -> dict:
-    """Word bits -> response fragment with the decoded range."""
+    """Word bits -> response fragment with the decoded range (the
+    scalar reference for :func:`_decode_word_batch`)."""
     from repro.analysis.thermometer import ThermometerWord, decode_word
 
     word = ThermometerWord(tuple(int(b) for b in word_bits))
     rng = decode_word(word, _nominal_ladder(code), strict=False)
     return {"word": word.to_string(), "lo": rng.lo, "hi": rng.hi}
+
+
+def _decode_word_batch(words: np.ndarray, code: int) -> list[dict]:
+    """Fused decode of a measure batch: one ladder gather for every
+    row instead of a ``ThermometerWord`` round trip per row.  Word
+    strings keep the raw (possibly bubbled) bits; the bounds match
+    :func:`_decode_level_word` exactly (ones-count decode)."""
+    from repro.kernels import decode_word_rows
+
+    rows = np.asarray(words)
+    _, lo, hi = decode_word_rows(_nominal_ladder(code), rows)
+    return [
+        {"word": "".join(str(int(b)) for b in row[::-1]),
+         "lo": float(a), "hi": float(b)}
+        for row, a, b in zip(np.atleast_2d(rows), lo, hi)
+    ]
 
 
 # -- chaos directives ----------------------------------------------------------
@@ -229,10 +246,16 @@ def execute_job(payload: dict,
     config = FleetConfig(**fleet_cfg) if fleet_cfg else FleetConfig()
 
     if kind == "measure":
-        levels = params.get("levels")
-        if levels is None:
-            levels = [_require(params, "level")]
-        levels = [float(v) for v in levels]
+        shm_handle = payload.get("levels_shm")
+        if shm_handle is not None:
+            from repro.runtime.shm import resolve_handle
+
+            levels = [float(v) for v in resolve_handle(shm_handle)]
+        else:
+            levels = params.get("levels")
+            if levels is None:
+                levels = [_require(params, "level")]
+            levels = [float(v) for v in levels]
         if not levels or len(levels) > MAX_LEVELS:
             raise ConfigurationError(
                 f"measure wants 1..{MAX_LEVELS} levels, got {len(levels)}"
@@ -241,7 +264,7 @@ def execute_job(payload: dict,
         return {
             "code": code,
             "levels": levels,
-            "measures": [_decode_level_word(row, code) for row in words],
+            "measures": _decode_word_batch(np.asarray(words), code),
         }
 
     if kind == "characterize":
@@ -308,6 +331,19 @@ def execute_job(payload: dict,
         lot = [die_sample(config, d, design.n_bits) for d in dies]
         table = np.asarray(backend.lot_thresholds(lot, code))
         sigma = np.nanstd(table, axis=0)
+        # Fused decode-quality stats: which dies keep an ascending
+        # ladder, and how often a die would emit a bubbled word when
+        # probed at the nominal inter-rung midpoints.
+        from repro.kernels import decode_counts
+
+        monotone = np.all(np.diff(table, axis=1) > 0, axis=1)
+        ladder = np.asarray(_nominal_ladder(code))
+        mids = 0.5 * (ladder[:-1] + ladder[1:])
+        if mids.size:
+            _, bubbled = decode_counts(mids[None, :], table[:, None, :])
+            bubble_frac = float(np.mean(bubbled))
+        else:
+            bubble_frac = 0.0
         return {
             "code": code,
             "dies": dies,
@@ -316,6 +352,8 @@ def execute_job(payload: dict,
             "spread_mv": float(
                 (np.nanmax(table) - np.nanmin(table)) * 1e3
             ),
+            "monotone_frac": float(np.mean(monotone)),
+            "bubble_frac": bubble_frac,
         }
 
     if kind == "window":

@@ -119,6 +119,13 @@ class DroopDetector:
         self._worst_rung = 0
         self._worst_word = ""
 
+    @property
+    def in_episode(self) -> bool:
+        """True while an episode is currently open.  The pipeline's
+        fused voltage decode uses this to skip synthesizing word
+        payloads for chunks that cannot touch an episode."""
+        return self._in_episode
+
     def _close(self, truncated: bool) -> None:
         if self._n >= self.min_duration:
             self.events.append(DroopEvent(

@@ -47,6 +47,7 @@ from repro.errors import ConfigurationError
 from repro.kernels import (
     bubble_grid,
     decode_bounds,
+    fused_decode,
     midpoint_grid,
     ones_count_grid,
     word_grid,
@@ -270,14 +271,29 @@ class TelemetryPipeline:
             return
         with phase("telemetry.decode"):
             if state.kind == "voltage":
+                # Fused path: counts/bounds/mids via searchsorted, no
+                # word or diff grid — bit-identical to the unfused
+                # chain (:func:`batch_decode` remains the reference).
+                # An ascending ladder cannot bubble, and the word cube
+                # is synthesized (as the prefix code it provably is)
+                # only when the droop detector could need a worst-word
+                # payload from this chunk.
                 volts = payload[:, 0]
-                words = word_grid(volts, self.ladder)
+                ks, lo, hi, mids = fused_decode(self.ladder, volts)
+                bubbles = np.zeros(ks.shape, dtype=bool)
+                words = None
+                if state.detector.in_episode \
+                        or bool(np.any(ks <= self.enter_rung)):
+                    words = (
+                        np.arange(self.design.n_bits)[None, :]
+                        < ks[:, None]
+                    ).astype(np.uint8)
             else:
                 words = payload.astype(np.uint8)
-            ks = ones_count_grid(words)
-            bubbles = bubble_grid(words)
-            lo, hi = decode_bounds(self.ladder, ks)
-            mids = midpoint_grid(lo, hi)
+                ks = ones_count_grid(words)
+                bubbles = bubble_grid(words)
+                lo, hi = decode_bounds(self.ladder, ks)
+                mids = midpoint_grid(lo, hi)
         with phase("telemetry.aggregate"):
             state.stats.update_block(mids)
             for est in state.quantiles.values():

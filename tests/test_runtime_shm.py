@@ -1,0 +1,283 @@
+"""Zero-copy shared-memory broadcast: equivalence and accounting.
+
+The shm layer's contract is *bit-identity with degradation*: a task
+sees the same bytes whether the array rode a POSIX shared block, an
+inline pickle fallback, or a serial read-only view.  These tests pin
+the round trip, every fallback path, the counters, and the wiring
+through ``map_tasks``/``resilient_map`` and the service job executor.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime import shm as shm_mod
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import map_tasks
+from repro.runtime.shm import (
+    SharedArrayHandle,
+    SharedArrayPool,
+    SharedTask,
+    resolve_handle,
+    shm_counters,
+    shm_enabled,
+)
+
+
+# -- module-level task callables (pool workers need picklable fns) ----
+
+
+def _dot_task(payload, arrays):
+    """Reduce the broadcast matrix against a per-task vector."""
+    idx = payload["row"]
+    return float(arrays["mat"][idx] @ arrays["vec"])
+
+
+def _sum_task(payload, arrays):
+    return float(payload + np.sum(arrays["data"]))
+
+
+def _flaky_task(payload, arrays):
+    if payload == 2:
+        raise ValueError("die 2 is cursed")
+    return float(arrays["data"][payload])
+
+
+def _cache_stats_task(root):
+    """Miss + put + hit inside a pool worker, with an explicit flush.
+
+    ``atexit`` is not guaranteed to run in pool workers torn down by
+    the executor, so the worker flushes its counters itself — exactly
+    what long-lived service workers do.
+    """
+    cache = ResultCache(root)
+    key = "shm-stats-probe"
+    hit, _ = cache.get(key)  # miss
+    cache.put(key, 42)
+    hit2, value = cache.get(key)  # hit
+    cache.flush_stats()
+    return (hit, hit2, value)
+
+
+# -- handle round trip -------------------------------------------------
+
+
+class TestSharedArrayPool:
+    def test_round_trip_bit_identical(self):
+        arrays = {
+            "a": np.arange(12.0).reshape(3, 4),
+            "b": np.array([1, 2, 3], dtype=np.int32),
+        }
+        with SharedArrayPool(arrays) as pool:
+            for key, src in arrays.items():
+                view = resolve_handle(pool.handles[key])
+                assert view.shape == src.shape
+                assert view.dtype == src.dtype
+                np.testing.assert_array_equal(view, src)
+
+    def test_views_are_read_only(self):
+        with SharedArrayPool({"a": np.ones(4)}) as pool:
+            view = resolve_handle(pool.handles["a"])
+            with pytest.raises((ValueError, RuntimeError)):
+                view[0] = 99.0
+
+    def test_blocks_unlinked_on_exit(self):
+        with SharedArrayPool({"a": np.ones(64)}) as pool:
+            handle = pool.handles["a"]
+        if handle.name is not None:
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=handle.name)
+
+    def test_empty_array_rides_inline(self):
+        with SharedArrayPool({"a": np.empty(0)}) as pool:
+            handle = pool.handles["a"]
+            assert handle.name is None
+            assert resolve_handle(handle).size == 0
+
+    def test_counters_account_blocks_and_avoided_bytes(self):
+        before = shm_counters()
+        arr = np.arange(1000.0)
+        with SharedArrayPool({"a": arr}) as pool:
+            assert pool.shared_bytes == arr.nbytes
+            pool.charge_tasks(11)
+        after = shm_counters()
+        assert after["blocks"] - before["blocks"] == 1
+        assert after["bytes_shared"] - before["bytes_shared"] \
+            == arr.nbytes
+        # shared once, would have been pickled 11 times: 10 avoided.
+        assert after["bytes_avoided"] - before["bytes_avoided"] \
+            == arr.nbytes * 10
+
+    def test_charge_single_task_avoids_nothing(self):
+        before = shm_counters()["bytes_avoided"]
+        with SharedArrayPool({"a": np.ones(16)}) as pool:
+            pool.charge_tasks(1)
+        assert shm_counters()["bytes_avoided"] == before
+
+
+class TestDegradation:
+    def test_env_kill_switch_forces_inline(self, monkeypatch):
+        monkeypatch.setenv(shm_mod.SHM_ENV, "0")
+        assert not shm_enabled()
+        before = shm_counters()
+        with SharedArrayPool({"a": np.arange(5.0)}) as pool:
+            handle = pool.handles["a"]
+            assert handle.name is None
+            assert handle.inline is not None
+            np.testing.assert_array_equal(
+                resolve_handle(handle), np.arange(5.0)
+            )
+        after = shm_counters()
+        assert after["fallbacks"] - before["fallbacks"] == 1
+        assert after["blocks"] == before["blocks"]
+
+    @pytest.mark.parametrize("raw", ["off", "false", "no"])
+    def test_kill_switch_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(shm_mod.SHM_ENV, raw)
+        assert not shm_enabled()
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(shm_mod.SHM_ENV, raising=False)
+        assert shm_enabled()
+
+    def test_allocation_failure_falls_back_per_array(self, monkeypatch):
+        """A block that fails to allocate rides inline; the campaign
+        still runs with identical bytes."""
+
+        class _Boom:
+            def __init__(self, *a, **kw):
+                raise OSError("no shm for you")
+
+        monkeypatch.setattr(shm_mod._shm, "SharedMemory", _Boom)
+        before = shm_counters()["fallbacks"]
+        arr = np.arange(7.0)
+        with SharedArrayPool({"a": arr}) as pool:
+            handle = pool.handles["a"]
+            assert handle.name is None
+            np.testing.assert_array_equal(resolve_handle(handle), arr)
+        assert shm_counters()["fallbacks"] == before + 1
+
+    def test_inline_handle_view_read_only(self):
+        handle = SharedArrayHandle(name=None, shape=(3,), dtype="<f8",
+                                   inline=np.ones(3))
+        view = resolve_handle(handle)
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 5.0
+
+
+class TestSharedTask:
+    def test_pickles_small_regardless_of_array_size(self):
+        big = np.zeros(200_000)  # 1.6 MB
+        with SharedArrayPool({"data": big}) as pool:
+            if pool.handles["data"].name is None:
+                pytest.skip("shared memory unavailable on this host")
+            task = SharedTask(_sum_task, pool.handles)
+            assert len(pickle.dumps(task)) < 2000
+
+    def test_calls_fn_with_resolved_arrays(self):
+        with SharedArrayPool({"data": np.arange(4.0)}) as pool:
+            task = SharedTask(_sum_task, pool.handles)
+            assert task(10.0) == 10.0 + 6.0
+
+
+# -- map_tasks wiring --------------------------------------------------
+
+
+class TestMapTasksShared:
+    def _expected(self, mat, vec):
+        return [float(mat[i] @ vec) for i in range(mat.shape[0])]
+
+    def test_serial_shared_views(self):
+        rng = np.random.default_rng(7)
+        mat = rng.normal(size=(6, 5))
+        vec = rng.normal(size=5)
+        got = map_tasks(_dot_task, [{"row": i} for i in range(6)],
+                        workers=1, shared={"mat": mat, "vec": vec})
+        assert got == self._expected(mat, vec)
+
+    def test_pool_bit_identical_to_serial(self):
+        rng = np.random.default_rng(11)
+        mat = rng.normal(size=(8, 16))
+        vec = rng.normal(size=16)
+        payloads = [{"row": i} for i in range(8)]
+        serial = map_tasks(_dot_task, payloads, workers=1,
+                           shared={"mat": mat, "vec": vec})
+        pooled = map_tasks(_dot_task, payloads, workers=2,
+                           shared={"mat": mat, "vec": vec})
+        assert pooled == serial
+
+    def test_pool_with_kill_switch_still_identical(self, monkeypatch):
+        monkeypatch.setenv(shm_mod.SHM_ENV, "0")
+        rng = np.random.default_rng(13)
+        mat = rng.normal(size=(4, 3))
+        vec = rng.normal(size=3)
+        got = map_tasks(_dot_task, [{"row": i} for i in range(4)],
+                        workers=2, shared={"mat": mat, "vec": vec})
+        assert got == self._expected(mat, vec)
+
+    def test_resilient_partial_with_shared(self):
+        data = np.arange(5.0)
+        outcome = map_tasks(_flaky_task, list(range(5)), workers=2,
+                            retries=0, failure_policy="partial",
+                            shared={"data": data})
+        assert outcome.results[2] is None
+        assert [r for i, r in enumerate(outcome.results) if i != 2] \
+            == [0.0, 1.0, 3.0, 4.0]
+        assert len(outcome.failures) == 1
+        assert outcome.failures[0].index == 2
+
+
+# -- service wiring ----------------------------------------------------
+
+
+class TestServiceShm:
+    def test_execute_job_resolves_levels_handle(self):
+        from repro.service.fleet import execute_job
+
+        levels = [1.08, 1.10, 1.12]
+        baseline = execute_job({
+            "kind": "measure", "params": {"levels": levels, "code": 3},
+        })
+        with SharedArrayPool({"levels": np.asarray(levels)}) as pool:
+            via_shm = execute_job({
+                "kind": "measure", "params": {"code": 3},
+                "levels_shm": pool.handles["levels"],
+            })
+        assert via_shm["measures"] == baseline["measures"]
+
+
+# -- cache lifetime stats across pool workers --------------------------
+
+
+class TestCacheLifetimeStats:
+    def test_pool_worker_stats_aggregate(self, tmp_path):
+        root = str(tmp_path / "cache")
+        outcomes = map_tasks(_cache_stats_task, [root, root, root],
+                             workers=2)
+        # later tasks may hit the first writer's entry on their first
+        # get; everyone sees the value on the second.
+        assert all(o[1:] == (True, 42) for o in outcomes)
+        fresh = ResultCache(root)
+        lifetime = fresh.lifetime_stats()
+        assert lifetime["hits"] >= 3
+        assert lifetime["misses"] >= 1  # first writer misses for sure
+        assert "lifetime" in fresh.stats()
+
+    def test_lifetime_includes_unflushed_local_counts(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.get("nope")  # unflushed miss
+        assert cache.lifetime_stats()["misses"] >= 1
+
+    def test_lifetime_survives_torn_log_line(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.get("nope")
+        cache.flush_stats()
+        log = tmp_path / "c" / "_stats.log"
+        log.write_text(log.read_text() + "garbage not numbers\n")
+        assert ResultCache(str(tmp_path / "c")) \
+            .lifetime_stats()["misses"] >= 1
