@@ -1,26 +1,29 @@
-"""A12 — chaos campaign: the sweep runtime under injected faults.
+"""A12 — chaos campaign: the declarative drill under injected faults.
 
 The resilience claim is end-to-end: a characterization sweep should
-survive *worker kills* (OOM/segfault), *vandalized cache entries*
-(killed writer, disk hiccup) and a *stuck-at sensor stage* — and
-still produce results bit-identical to a clean serial run on every
-surviving bit.  This bench stages exactly that drill, seeded and
-reproducible:
+survive *worker kills* (OOM/segfault) and *vandalized cache entries*
+(killed writer, disk hiccup) — and still produce results
+bit-identical to a clean run.  Since the campaign subsystem landed,
+the drill is no longer hand-staged: it is a ``campaign/v1`` spec
+whose ``[chaos]`` block declares the fault schedule, and the
+acceptance bar is :func:`~repro.campaign.diff_campaign` reporting
+zero divergences against the clean run of the *same* spec:
 
-1. a serial, cached sim-threshold sweep seeds the on-disk cache and
-   fixes the clean reference values;
-2. :class:`~repro.runtime.chaos.ChaosMonkey` corrupts a subset of the
-   cache entries (truncate / garble / zero);
-3. the sweep reruns with ``workers=2, retries=2,
-   failure_policy="partial"`` while a
-   :class:`~repro.runtime.chaos.KillOnceTask` SIGKILLs the worker of
-   one recomputed task on its first attempt;
+1. a clean campaign run seeds the shared task cache and freezes the
+   reference manifest + per-stage results;
+2. the same spec reruns with ``chaos = {corrupt_cache = 2,
+   kill_worker_tasks = 1}``: the runner vandalizes two warm cache
+   entries, then SIGKILLs the pool worker of one recomputed task on
+   its first attempt (``workers=2, retries=2``);
+3. ``diff_campaign(chaos, clean)`` at ``float_tol=0`` must find
+   nothing — chaos is excluded from the spec hash, so both runs
+   share one cache/golden identity by construction;
 4. separately, a stuck-at fault is injected into the event-driven
-   array, caught by the production screen, and the word is re-decoded
+   array, caught by the production screen, and the word re-decoded
    in degraded mode with the suspect stages masked.
 
-The acceptance bar: chaos results == clean results (bit-identical),
-every corrupted entry healed on disk, the crash recovered within the
+The acceptance bar: zero divergences (bit-identical), every
+corrupted entry healed on disk, the crash recovered within the
 retry budget, and the degraded decode still brackets the clean one.
 """
 
@@ -29,35 +32,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from benchmarks._report import emit, fmt_rows
+from repro.campaign import (
+    CAMPAIGN_SCHEMA,
+    DiffReport,
+    diff_campaign,
+    run_campaign,
+    spec_from_mapping,
+)
 from repro.core.array import SensorArray
-from repro.core.characterization import _sim_bracket, _sim_threshold_task
 from repro.core.degraded import DegradedArray
 from repro.core.faults import FaultInjector, FaultType, screen_suspects
-from repro.core.sensor import SenseRail
-from repro.runtime import (
-    ChaosMonkey,
-    KillOnceTask,
-    ResultCache,
-    RunStats,
-    design_fingerprint,
-    resilient_cached_map,
-    task_key,
-)
-from repro.runtime.chaos import enumerate_for
+from repro.runtime import ResultCache
 
 
 @dataclass(frozen=True)
 class CampaignReport:
-    """Outcome of one chaos campaign.
+    """Outcome of one chaos campaign drill.
 
     Attributes:
         n_tasks: Sweep size (one sim-threshold bisection per bit).
         corrupted: Cache entries vandalized before the chaos run.
-        kill_index: Task whose first recompute attempt killed its
-            worker.
-        stats: Runtime counters of the chaos run.
-        identical: Chaos results == clean serial results, bitwise.
-        healed: Every corrupted entry reads back cleanly afterwards.
+        killed_tasks: Task indices whose first recompute attempt
+            killed its worker.
+        crashes: Worker crashes the chaos run absorbed.
+        pool_rebuilds: Pool rebuilds those crashes forced.
+        retries: Retries the chaos run spent.
+        diff: The golden diff of the chaos run vs the clean run.
+        healed: Every cache entry reads back cleanly afterwards.
         masked_bits: Stages the production screen implicated.
         clean_range: Decoded range of the healthy array at the probe
             level.
@@ -66,67 +67,78 @@ class CampaignReport:
 
     n_tasks: int
     corrupted: int
-    kill_index: int
-    stats: RunStats
-    identical: bool
+    killed_tasks: tuple[int, ...]
+    crashes: int
+    pool_rebuilds: int
+    retries: int
+    diff: DiffReport
     healed: bool
     masked_bits: tuple[int, ...]
     clean_range: tuple[float, float]
     degraded_range: tuple[float, float]
 
 
-def _threshold_specs(design, code: int, tol: float) -> list[tuple]:
-    """The (design, bit, code, rail, tech, v_lo, v_hi, tol) payloads a
-    sim-method sweep dispatches (mirrors ``_solve_sim_thresholds``)."""
-    specs = []
-    for b in range(1, design.n_bits + 1):
-        est = design.bit_threshold(b, code)
-        v_lo, v_hi = _sim_bracket(est, SenseRail.VDD, 0.15)
-        specs.append((design, b, code, SenseRail.VDD, None,
-                      v_lo, v_hi, tol))
-    return specs
+def _drill_spec(*, chaos: bool, code: int, tol: float,
+                n_corrupt: int, seed: int):
+    """The drill as a spec mapping (chaos rides in one extra block)."""
+    raw = {
+        "schema": CAMPAIGN_SCHEMA,
+        "name": "chaos-campaign-drill",
+        "description": "sim-threshold sweep under kills + vandalism",
+        "seed": 2009,
+        "backend": {"spec": "kernel"},
+        "runtime": {"workers": 2, "retries": 2,
+                    "failure_policy": "partial"},
+        "stages": [{
+            "id": "sweep",
+            "kind": "threshold_sweep",
+            "params": {"code": code, "tol": tol},
+            "checks": [
+                {"kind": "monotone", "field": "thresholds",
+                 "strict": True},
+                {"kind": "equals", "field": "n_failed", "value": 0},
+            ],
+        }],
+    }
+    if chaos:
+        raw["chaos"] = {"seed": seed, "corrupt_cache": n_corrupt,
+                        "kill_worker_tasks": 1}
+    return spec_from_mapping(raw, source="<bench>")
 
 
-def run_campaign(design, work_dir, *, code: int = 3,
-                 tol: float = 5e-3, n_corrupt: int = 2,
-                 seed: int = 1337) -> CampaignReport:
+def run_drill(design, work_dir, *, code: int = 3, tol: float = 5e-3,
+              n_corrupt: int = 2, seed: int = 1337) -> CampaignReport:
     """Stage the full drill; see the module docstring for the plot."""
-    work_dir = str(work_dir)
-    specs = _threshold_specs(design, code, tol)
-    fp = design_fingerprint(design)
-    keys = [task_key("chaos-threshold", fp, b, code, tol)
-            for b in range(1, design.n_bits + 1)]
+    work = work_dir
+    clean_spec = _drill_spec(chaos=False, code=code, tol=tol,
+                             n_corrupt=n_corrupt, seed=seed)
+    chaos_spec = _drill_spec(chaos=True, code=code, tol=tol,
+                             n_corrupt=n_corrupt, seed=seed)
+    # Chaos is an execution condition, not an identity: both runs
+    # must share one spec hash (and hence one cache/golden identity).
+    assert clean_spec.spec_hash() == chaos_spec.spec_hash()
 
-    # 1. Clean serial seed run: reference values + warm cache.
-    cache = ResultCache(f"{work_dir}/cache")
-    clean = resilient_cached_map(
-        _sim_threshold_task, specs, keys=keys, cache=cache,
-    ).results
+    cache_root = work / "cache"
 
-    # 2. Vandalize entries; map the victim files back to task indices
-    #    so the worker kill targets a task that will actually recompute
-    #    (cache hits never reach the pool).
-    monkey = ChaosMonkey(seed)
-    victims = monkey.corrupt_cache(cache, n_entries=n_corrupt)
-    by_path = {str(cache._path(k)): i for i, k in enumerate(keys)}
-    miss_indices = sorted(by_path[str(p)] for p in victims)
-    kill_index = miss_indices[0]
+    # 1. Clean run: reference manifest + warm task cache.
+    clean = run_campaign(clean_spec, out_dir=work / "clean",
+                         cache=cache_root)
+    assert clean.ok, clean.outcome
 
-    # 3. Chaos rerun: two workers, one kill, bounded retries.
-    killer = KillOnceTask(fn=_sim_threshold_task,
-                          kill_indices=frozenset({kill_index}),
-                          marker_dir=work_dir)
-    chaos_cache = ResultCache(cache.root)
-    outcome = resilient_cached_map(
-        killer, enumerate_for(specs), keys=keys, cache=chaos_cache,
-        workers=2, retries=2, failure_policy="partial",
-    )
-    identical = outcome.results == clean and not outcome.failures
+    # 2-3. Chaos rerun on the same cache: the runner vandalizes
+    # entries, the sweep re-executes (chaos bypasses stage-cache
+    # reads) and one recomputed task kills its worker.
+    chaos = run_campaign(chaos_spec, out_dir=work / "chaos",
+                         cache=cache_root)
+    sweep = chaos.record("sweep")
 
-    # Healing: every victim entry must read back as a clean hit now.
-    probe = ResultCache(cache.root)
-    healed = all(probe.get(keys[i]) == (True, clean[i])
-                 for i in miss_indices)
+    diff = diff_campaign(work / "chaos", work / "clean", float_tol=0.0)
+
+    # Healing: every entry in the shared cache — the vandalized ones
+    # included — must read back as a clean hit now.
+    probe = ResultCache(cache_root)
+    healed = all(probe.get(p.stem)[0] for p in probe.entries()) \
+        and probe.stats()["errors"] == 0
 
     # 4. Stuck-at stage -> screen -> masked decode.
     injector = FaultInjector(design)
@@ -140,11 +152,13 @@ def run_campaign(design, work_dir, *, code: int = 3,
     degraded = DegradedArray(design, masked).measure(code, vdd_n=level)
 
     return CampaignReport(
-        n_tasks=len(specs),
-        corrupted=len(victims),
-        kill_index=kill_index,
-        stats=outcome.stats,
-        identical=identical,
+        n_tasks=sweep.volatile["tasks"],
+        corrupted=n_corrupt,
+        killed_tasks=tuple(sweep.volatile["killed_task_indices"]),
+        crashes=sweep.volatile["crashes"],
+        pool_rebuilds=sweep.volatile["pool_rebuilds"],
+        retries=sweep.volatile["retries"],
+        diff=diff,
         healed=healed,
         masked_bits=masked,
         clean_range=(clean_rng.lo, clean_rng.hi),
@@ -153,16 +167,16 @@ def run_campaign(design, work_dir, *, code: int = 3,
 
 
 def test_chaos_campaign(design, tmp_path):
-    rep = run_campaign(design, tmp_path)
-    s = rep.stats
+    rep = run_drill(design, tmp_path)
     rows = [
         ["tasks", str(rep.n_tasks)],
         ["cache entries corrupted", str(rep.corrupted)],
-        ["worker killed on task", str(rep.kill_index)],
-        ["crashes / pool rebuilds", f"{s.crashes} / {s.pool_rebuilds}"],
-        ["retries spent", str(s.retries)],
-        ["cache hits / misses", f"{s.cache_hits} / {s.cache_misses}"],
-        ["bit-identical to clean run", str(rep.identical)],
+        ["worker killed on task", str(list(rep.killed_tasks))],
+        ["crashes / pool rebuilds",
+         f"{rep.crashes} / {rep.pool_rebuilds}"],
+        ["retries spent", str(rep.retries)],
+        ["golden-diff divergences", str(len(rep.diff.divergences))],
+        ["stages payload-compared", str(rep.diff.compared_stages)],
         ["corrupted entries healed", str(rep.healed)],
         ["stages masked by screen", str(rep.masked_bits)],
     ]
@@ -171,12 +185,16 @@ def test_chaos_campaign(design, tmp_path):
         f"{rep.clean_range[1]:.4f}] V"
         f"\ndegraded decode ({rep.degraded_range[0]:.4f}, "
         f"{rep.degraded_range[1]:.4f}] V"
-        "\nshape: kills + corrupt cache + stuck stage; the sweep "
-        "completes, heals, and stays bit-identical on surviving bits"
+        "\nshape: one campaign/v1 spec, run twice (clean, then with "
+        "a [chaos] block); diff_campaign proves bit-identity"
     ))
-    assert rep.identical
+    # The headline: the chaos run diverges from the clean run in
+    # exactly nothing, at float_tol=0 (bit-identical payloads).
+    assert rep.diff.ok, [str(d) for d in rep.diff.divergences]
+    assert rep.diff.compared_stages == ["sweep"]
     assert rep.healed
-    assert s.crashes >= 1 and s.pool_rebuilds >= 1
+    assert rep.crashes >= 1 and rep.pool_rebuilds >= 1
+    assert rep.killed_tasks, "chaos never got to kill a worker"
     assert 2 in rep.masked_bits
     # The degraded range must still contain the clean one (correct,
     # merely wider where masked rungs used to split it).

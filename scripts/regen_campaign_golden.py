@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the committed campaign golden fixture.
+
+Runs ``tests/data/campaigns/smoke.toml`` from a cold cache and writes
+the resulting manifest + per-stage results to
+``tests/data/campaigns/golden_smoke/`` (the task/stage caches go to a
+throwaway temp dir so no pickles land in the fixture).
+
+Run this (and commit the result) whenever the smoke spec, a stage
+executor's payload shape, or the provenance tuple changes:
+
+    PYTHONPATH=src python scripts/regen_campaign_golden.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign import load_spec, run_campaign  # noqa: E402
+
+SPEC = REPO / "tests" / "data" / "campaigns" / "smoke.toml"
+GOLDEN = REPO / "tests" / "data" / "campaigns" / "golden_smoke"
+
+
+def main() -> int:
+    spec = load_spec(SPEC)
+    if GOLDEN.exists():
+        shutil.rmtree(GOLDEN)
+    with tempfile.TemporaryDirectory(prefix="repro-golden-") as tmp:
+        run = run_campaign(spec, out_dir=GOLDEN,
+                           cache=Path(tmp) / "cache")
+    print(f"outcome: {run.outcome}")
+    for record in run.records:
+        verdicts = "".join("P" if c["ok"] else "F"
+                           for c in record.checks) or "-"
+        print(f"  {record.id:<12} {record.status:<7} checks={verdicts}")
+    if not run.ok:
+        print("refusing to freeze a failing run", file=sys.stderr)
+        return 1
+    print(f"golden written to {GOLDEN}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,9 +1,13 @@
 """CI smoke drill for the sensing service, end to end.
 
-Starts a real ``repro serve`` subprocess (pool executor, one worker
-per shard so every seeded kill hits), pushes a mixed load with
+Since the campaign subsystem landed, the drill is declarative: this
+script runs ``examples/campaigns/chaos_service_drill.toml`` through
+:func:`repro.campaign.run_campaign`.  The spec's ``service_drill``
+stage boots a real ``repro serve`` subprocess (pool executor, one
+worker per shard so every seeded kill hits), pushes a mixed load with
 injected worker kills and poison requests through concurrent clients,
-and asserts the service layer's headline contract from the outside:
+and its declarative checks assert the service layer's headline
+contract from the outside:
 
 * every request gets exactly one terminal response (no duplicates,
   no dead air, no dropped connections);
@@ -12,77 +16,50 @@ and asserts the service layer's headline contract from the outside:
   as a wedged server;
 * ``--max-requests`` drains cleanly: exit code 0 and a stats dump.
 
+The spec's ``[chaos]`` block additionally vandalizes the task cache
+and kills a sweep worker in the upstream ``threshold_sweep`` stage —
+the same campaign proves compute-layer healing on the way in.
+
 Run from the repository root: ``PYTHONPATH=src python
 scripts/service_smoke.py``.
 """
 
-import asyncio
-import json
-import os
 import pathlib
-import subprocess
 import sys
 import tempfile
-import time
 
 sys.path.insert(0, "src")
 
-from repro.service import FleetConfig, build_load, run_load  # noqa: E402
+from repro.campaign import load_spec, run_campaign  # noqa: E402
+
+SPEC = (pathlib.Path(__file__).resolve().parents[1]
+        / "examples" / "campaigns" / "chaos_service_drill.toml")
 
 
 def main() -> int:
-    tmp = pathlib.Path(tempfile.mkdtemp(prefix="service-smoke-"))
-    sock = tmp / "svc.sock"
-    markers = tmp / "markers"
-    markers.mkdir()
-    n = 24
-    config = FleetConfig(n_dies=16, n_shards=2)
-    requests = build_load(
-        2009, n, config=config,
-        mix=("measure", "characterize", "measure", "window"),
-        kill_rate=0.15, marker_dir=str(markers), poison_rate=0.1,
-    )
-    n_kills = sum(1 for r in requests
-                  if "kill_marker" in r["params"].get("chaos", {}))
-    n_poison = sum(1 for r in requests
-                   if r["params"].get("chaos", {}).get("poison"))
-    assert n_kills >= 1 and n_poison >= 1, (n_kills, n_poison)
+    spec = load_spec(SPEC)
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        run = run_campaign(spec, out_dir=pathlib.Path(tmp) / "out")
 
-    server = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--unix", str(sock),
-         "--backend", "kernel", "--executor", "pool",
-         "--pool-workers", "1", "--dies", "16", "--shards", "2",
-         "--max-requests", str(n),
-         "--stats-out", str(tmp / "stats.json")],
-        env=dict(os.environ, PYTHONPATH="src"),
-    )
-    try:
-        for _ in range(300):
-            if sock.exists():
-                break
-            time.sleep(0.1)
-        else:
-            raise RuntimeError("server socket never appeared")
-        report = asyncio.run(run_load(f"unix:{sock}", requests,
-                                      n_clients=3, depth=3,
-                                      timeout_s=300))
-        server.wait(timeout=60)
-    finally:
-        if server.poll() is None:
-            server.kill()
+        drill = run.record("service")
+        assert drill is not None, "spec lost its service stage"
+        for check in drill.checks:
+            status = "ok  " if check["ok"] else "FAIL"
+            print(f"  {status} {check['kind']:<12} {check['detail']}")
+        if not run.ok:
+            print(f"campaign outcome: {run.outcome}", file=sys.stderr)
+            return 1
 
-    assert report.problems() == [], report.problems()
-    assert server.returncode == 0, server.returncode
-    counters = json.loads((tmp / "stats.json").read_text())["counters"]
-    assert counters["responses"] == n, counters
-    assert counters["dropped_connections"] == 0, counters
-    assert counters["crashes"] >= n_kills, (counters, n_kills)
-    errors = sum(1 for r in report.responses.values()
-                 if r["status"] == "error")
-    assert errors == n_poison, (errors, n_poison)
-    print(f"service smoke drill ok: {n} requests, {n_kills} worker "
-          f"kills survived, {n_poison} poison surfaced; "
-          f"counters={counters}")
+        payload = drill.payload
+        sweep = run.record("thresholds")
+        print(
+            f"service smoke drill ok: {payload['n_requests']} "
+            f"requests, {payload['kills_injected']} worker kills "
+            f"survived, {payload['poison_injected']} poison "
+            f"surfaced; sweep healed "
+            f"{sweep.volatile['crashes']} crash(es) and "
+            f"{len(run.manifest['stages'])} stage(s) passed"
+        )
     return 0
 
 

@@ -1,0 +1,88 @@
+"""Declarative campaign orchestration with provenance and resume.
+
+The paper's workflow is campaign-shaped — characterize an INV+FF
+array, sweep supplies, trim, re-measure across corners and lots — and
+production test practice scripts such flows declaratively: a spec
+binds drivers, sweeps and pass/fail criteria, and a runner executes
+it repeatably.  This package is that layer for the reproduction:
+
+* :mod:`~repro.campaign.schema` — the versioned ``campaign/v1`` spec
+  shape and its validation;
+* :mod:`~repro.campaign.spec` — frozen :class:`CampaignSpec`
+  dataclasses with a stable :meth:`~CampaignSpec.spec_hash`
+  (chaos excluded: injection must never change the answers);
+* :mod:`~repro.campaign.stages` — the stage verbs (characterization,
+  cap/threshold sweeps, yield studies, s-curves, telemetry, fault
+  screens, service load drills), each bound to a
+  :class:`~repro.backends.SensorBackend`;
+* :mod:`~repro.campaign.criteria` — declarative checks (bounds,
+  monotonicity, parity-vs-oracle, quality-mix floors);
+* :mod:`~repro.campaign.runner` — resumable DAG execution on the
+  resilient runtime: stage results keyed by a campaign fingerprint
+  (spec hash + design/backend fingerprint), so a SIGKILLed campaign
+  re-invoked with the same spec finishes from cache bit-identically;
+* :mod:`~repro.campaign.manifest` — the provenance manifest (spec
+  hash, engine versions, per-stage timings/counters/artifacts);
+* :mod:`~repro.campaign.diff` — golden-result diffing separating
+  regression (divergence) from numerics drift (provenance).
+
+Quickstart::
+
+    from repro.campaign import load_spec, run_campaign, diff_campaign
+
+    spec = load_spec("examples/campaigns/corner_lot.toml")
+    run = run_campaign(spec, out_dir="out/corner_lot")
+    assert run.ok
+    report = diff_campaign(run.out_dir, "golden/corner_lot")
+    report.raise_on_divergence()
+
+CLI: ``repro campaign validate|run|resume|diff``.
+"""
+
+from repro.campaign.diff import DiffReport, Divergence, diff_campaign
+from repro.campaign.manifest import (
+    MANIFEST_SCHEMA,
+    provenance_info,
+    read_manifest,
+    read_stage_payload,
+)
+from repro.campaign.runner import (
+    CampaignRun,
+    StageRecord,
+    campaign_fingerprint,
+    run_campaign,
+)
+from repro.campaign.schema import CAMPAIGN_SCHEMA, validate_spec_mapping
+from repro.campaign.spec import (
+    CampaignSpec,
+    ChaosSpec,
+    CheckSpec,
+    StageSpec,
+    load_spec,
+    spec_from_mapping,
+)
+from repro.campaign.stages import NONDETERMINISTIC_KINDS, STAGE_KINDS
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignRun",
+    "CampaignSpec",
+    "ChaosSpec",
+    "CheckSpec",
+    "DiffReport",
+    "Divergence",
+    "MANIFEST_SCHEMA",
+    "NONDETERMINISTIC_KINDS",
+    "STAGE_KINDS",
+    "StageRecord",
+    "StageSpec",
+    "campaign_fingerprint",
+    "diff_campaign",
+    "load_spec",
+    "provenance_info",
+    "read_manifest",
+    "read_stage_payload",
+    "run_campaign",
+    "spec_from_mapping",
+    "validate_spec_mapping",
+]

@@ -1,0 +1,234 @@
+"""Declarative pass/fail criteria evaluated over stage payloads.
+
+A stage's ``checks`` array declares what its result must look like;
+this module evaluates those declarations against the stage's JSON
+payload after it runs.  Five kinds (schema-pinned in
+:data:`repro.campaign.schema.CHECK_KINDS`):
+
+``bounds``
+    Every value of ``field`` lies in ``[min, max]`` (either bound may
+    be omitted).  ``field`` may resolve to a scalar or a flat list.
+``monotone``
+    The values of ``field`` are non-decreasing (``strict = true``
+    demands strictly increasing) — the thermometer-property check.
+``equals``
+    ``field`` equals ``value`` exactly (counters, booleans, statuses).
+``parity``
+    Max |a - b| between this stage's ``field`` and the same field of
+    an oracle ``stage`` is ``<= tol`` — the kernel-vs-sim parity gate.
+``quality_mix``
+    The payload's ``quality`` (or ``status``) counter table meets
+    per-key ``floors`` / ``ceilings`` — the service-drill floor.
+
+Fields are dotted paths into the payload (``"report.bubble_rate"``);
+list indices are plain numeric segments (``"thresholds.3"``).  A path
+that does not resolve is a *failed* check, not an error — a missing
+field is exactly the regression the criteria exist to catch.
+
+Checks are evaluated fresh on every run — including resumed ones — so
+a tightened criterion re-judges cached results without re-measuring.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.campaign.spec import CheckSpec, StageSpec
+
+
+def resolve_field(payload: Any, path: str) -> tuple[bool, Any]:
+    """Follow a dotted path; returns ``(found, value)``."""
+    node = payload
+    for part in path.split("."):
+        if isinstance(node, dict):
+            if part not in node:
+                return False, None
+            node = node[part]
+        elif isinstance(node, (list, tuple)):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError):
+                return False, None
+        else:
+            return False, None
+    return True, node
+
+
+def _as_values(value: Any) -> list | None:
+    """Scalar -> [scalar]; flat list -> list; anything else -> None."""
+    if isinstance(value, (list, tuple)):
+        if any(isinstance(v, (list, tuple, dict)) for v in value):
+            return None
+        return list(value)
+    if isinstance(value, (int, float)) or value is None:
+        return [value]
+    return None
+
+
+def _numbers(values: list) -> list | None:
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            return None
+        if isinstance(v, float) and math.isnan(v):
+            continue  # masked bits (degraded mode) don't break bounds
+        out.append(v)
+    return out
+
+
+def _result(check: CheckSpec, ok: bool, detail: str) -> dict[str, Any]:
+    return {"kind": check.kind,
+            "field": check.option("field"),
+            "ok": bool(ok),
+            "detail": detail}
+
+
+def _check_bounds(check: CheckSpec, payload: Any) -> dict[str, Any]:
+    path = check.option("field")
+    found, raw = resolve_field(payload, path)
+    if not found:
+        return _result(check, False, f"field {path!r} not in payload")
+    values = _as_values(raw)
+    numbers = _numbers(values) if values is not None else None
+    if numbers is None:
+        return _result(check, False,
+                       f"field {path!r} is not numeric: {raw!r}")
+    lo = check.option("min")
+    hi = check.option("max")
+    bad = [v for v in numbers
+           if (lo is not None and v < lo)
+           or (hi is not None and v > hi)]
+    if bad:
+        return _result(
+            check, False,
+            f"{len(bad)}/{len(numbers)} value(s) outside "
+            f"[{lo if lo is not None else '-inf'}, "
+            f"{hi if hi is not None else '+inf'}]; worst {bad[0]!r}")
+    return _result(check, True,
+                   f"{len(numbers)} value(s) within bounds")
+
+
+def _check_monotone(check: CheckSpec, payload: Any) -> dict[str, Any]:
+    path = check.option("field")
+    strict = bool(check.option("strict", False))
+    found, raw = resolve_field(payload, path)
+    if not found:
+        return _result(check, False, f"field {path!r} not in payload")
+    values = _as_values(raw)
+    numbers = _numbers(values) if values is not None else None
+    if numbers is None:
+        return _result(check, False,
+                       f"field {path!r} is not a numeric sequence")
+    for i in range(1, len(numbers)):
+        a, b = numbers[i - 1], numbers[i]
+        if (b < a) or (strict and b == a):
+            word = "strictly increasing" if strict else "non-decreasing"
+            return _result(check, False,
+                           f"not {word} at index {i}: {a!r} -> {b!r}")
+    return _result(check, True,
+                   f"{len(numbers)} value(s) monotone"
+                   + (" (strict)" if strict else ""))
+
+
+def _check_equals(check: CheckSpec, payload: Any) -> dict[str, Any]:
+    path = check.option("field")
+    expected = check.option("value")
+    found, actual = resolve_field(payload, path)
+    if not found:
+        return _result(check, False, f"field {path!r} not in payload")
+    if actual == expected and isinstance(actual, bool) == \
+            isinstance(expected, bool):
+        return _result(check, True, f"{path} == {expected!r}")
+    return _result(check, False,
+                   f"expected {expected!r}, got {actual!r}")
+
+
+def _check_parity(check: CheckSpec, payload: Any,
+                  all_payloads: dict[str, Any]) -> dict[str, Any]:
+    path = check.option("field")
+    oracle_id = check.option("stage")
+    tol = float(check.option("tol", 0.0))
+    oracle = all_payloads.get(oracle_id)
+    if oracle is None:
+        return _result(check, False,
+                       f"oracle stage {oracle_id!r} has no payload "
+                       f"(failed or skipped?)")
+    found_a, raw_a = resolve_field(payload, path)
+    found_b, raw_b = resolve_field(oracle, path)
+    if not found_a or not found_b:
+        where = "this stage" if not found_a else f"stage {oracle_id!r}"
+        return _result(check, False,
+                       f"field {path!r} not in {where}'s payload")
+    a = _numbers(_as_values(raw_a) or []) if _as_values(raw_a) else None
+    b = _numbers(_as_values(raw_b) or []) if _as_values(raw_b) else None
+    if a is None or b is None:
+        return _result(check, False, f"field {path!r} is not numeric")
+    if len(a) != len(b):
+        return _result(check, False,
+                       f"length mismatch: {len(a)} vs {len(b)}")
+    worst = max((abs(x - y) for x, y in zip(a, b)), default=0.0)
+    if worst <= tol:
+        return _result(check, True,
+                       f"max |delta| {worst:.3e} <= tol {tol:.3e} "
+                       f"vs stage {oracle_id!r}")
+    return _result(check, False,
+                   f"max |delta| {worst:.3e} > tol {tol:.3e} "
+                   f"vs stage {oracle_id!r}")
+
+
+def _check_quality_mix(check: CheckSpec,
+                       payload: Any) -> dict[str, Any]:
+    floors = check.option("floors", {}) or {}
+    ceilings = check.option("ceilings", {}) or {}
+    counters: dict[str, int] = {}
+    for table_name in ("quality", "status"):
+        found, table = resolve_field(payload, table_name)
+        if found and isinstance(table, dict):
+            counters.update({str(k): v for k, v in table.items()})
+    problems = []
+    for key, floor in floors.items():
+        have = counters.get(key, 0)
+        if have < floor:
+            problems.append(f"{key}: {have} < floor {floor}")
+    for key, ceiling in ceilings.items():
+        have = counters.get(key, 0)
+        if have > ceiling:
+            problems.append(f"{key}: {have} > ceiling {ceiling}")
+    if problems:
+        return _result(check, False, "; ".join(problems))
+    return _result(check, True,
+                   f"mix ok ({len(floors)} floor(s), "
+                   f"{len(ceilings)} ceiling(s))")
+
+
+def evaluate_checks(stage: StageSpec, payload: Any,
+                    all_payloads: dict[str, Any]) -> list[dict[str, Any]]:
+    """Evaluate every declared check of ``stage`` against its payload.
+
+    Args:
+        payload: The stage's JSON-safe result payload.
+        all_payloads: ``stage id -> payload`` for every stage that has
+            one so far (parity oracles; schema validation guarantees
+            oracles are declared dependencies, hence already run).
+
+    Returns:
+        One ``{kind, field, ok, detail}`` record per declared check,
+        in declaration order.
+    """
+    results = []
+    for check in stage.checks:
+        if check.kind == "bounds":
+            results.append(_check_bounds(check, payload))
+        elif check.kind == "monotone":
+            results.append(_check_monotone(check, payload))
+        elif check.kind == "equals":
+            results.append(_check_equals(check, payload))
+        elif check.kind == "parity":
+            results.append(_check_parity(check, payload, all_payloads))
+        elif check.kind == "quality_mix":
+            results.append(_check_quality_mix(check, payload))
+        else:  # pragma: no cover - schema validation forbids this
+            results.append(_result(check, False,
+                                   f"unknown check kind {check.kind!r}"))
+    return results

@@ -1,0 +1,234 @@
+"""Golden-result diffing: did the campaign reproduce its frozen run?
+
+:func:`diff_campaign` compares a run directory (manifest + per-stage
+results) against a committed golden tree and classifies every
+difference into three buckets:
+
+**Divergences** (the regression signal) — differences in what the
+campaign *computed*: campaign name/schema, spec hash, outcome, stage
+ids/kinds/statuses/check verdicts, and — for deterministic stages —
+the full ``results/<id>.json`` payload trees, compared exactly or
+under a caller-supplied ``float_tol`` (numbers only; structure and
+strings always compare exactly).  Any divergence fails the diff.
+
+**Provenance drift** (reported separately) — differences in what
+*produced* the numbers: the provenance tuple, backend fingerprints,
+the campaign fingerprint, stage cache keys.  A golden recorded on
+NumPy 1.26 diffed on 2.1 drifts here even when every number matches;
+that is a signal to re-freeze the golden, not (necessarily) a bug.
+``strict_provenance=True`` promotes drift to divergence.
+
+**Volatile** (ignored) — wall/CPU times, cache counters, chaos
+schedules, nondeterministic-stage payloads: legitimate run-to-run
+noise, never compared.
+
+The classification is what makes one golden fixture serve three
+masters: the bit-identity crash/resume drill (``float_tol=0``), the
+cross-environment CI gate (small ``float_tol``, provenance reported
+but tolerated), and the numerics-migration audit (``--strict-
+provenance``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.manifest import read_manifest, read_stage_payload
+from repro.errors import GoldenDivergenceError
+
+#: Manifest keys compared exactly (the computed identity).
+_HARD_KEYS = ("name", "campaign_schema", "spec_hash", "corner",
+              "seed", "outcome")
+
+#: Manifest keys classified as provenance (reported, not failed).
+_PROVENANCE_KEYS = ("campaign_fingerprint",)
+
+#: Per-stage manifest keys compared exactly.
+_STAGE_HARD_KEYS = ("kind", "status", "deterministic", "artifact")
+
+#: Everything else in a stage record is volatile (wall_s, cpu_s,
+#: volatile, resumed) or provenance (key).
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One difference between run and golden.
+
+    Attributes:
+        path: Dotted location (``stages[s2].results.thresholds[3]``).
+        kind: ``missing`` / ``extra`` / ``type`` / ``value`` /
+            ``float``.
+        a: The run's value (summarized).
+        b: The golden's value (summarized).
+    """
+
+    path: str
+    kind: str
+    a: str
+    b: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.kind}: run={self.a} golden={self.b}"
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one golden comparison."""
+
+    run_dir: str
+    golden_dir: str
+    float_tol: float
+    divergences: list = field(default_factory=list)
+    provenance: list = field(default_factory=list)
+    compared_stages: list = field(default_factory=list)
+    skipped_stages: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def raise_on_divergence(self, *,
+                            strict_provenance: bool = False) -> None:
+        """Raise :class:`~repro.errors.GoldenDivergenceError` when the
+        diff failed (with ``strict_provenance``, drift fails too)."""
+        bad = list(self.divergences)
+        if strict_provenance:
+            bad += self.provenance
+        if bad:
+            lines = "\n  ".join(str(d) for d in bad[:20])
+            more = f"\n  ... and {len(bad) - 20} more" \
+                if len(bad) > 20 else ""
+            raise GoldenDivergenceError(
+                f"campaign diverged from golden "
+                f"({len(bad)} difference(s)):\n  {lines}{more}"
+            )
+
+
+def _check_verdicts(stage_record: dict) -> list:
+    """The comparable core of a stage's check results (no detail)."""
+    return [{k: c.get(k) for k in ("kind", "field", "ok")}
+            for c in stage_record.get("checks", [])]
+
+
+def _summ(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _compare(a: Any, b: Any, path: str, out: list,
+             float_tol: float) -> None:
+    """Structural compare; floats within ``float_tol`` are equal.
+
+    int-vs-float type skew is tolerated for equal values (TOML/JSON
+    round-trips legitimately produce ``1.0`` where Python had ``1``),
+    everything else must match in type and shape exactly.
+    """
+    a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+    if a_num and b_num:
+        if a == b:
+            return
+        if isinstance(a, float) or isinstance(b, float):
+            fa, fb = float(a), float(b)
+            if math.isfinite(fa) and math.isfinite(fb) \
+                    and abs(fa - fb) <= float_tol:
+                return
+            out.append(Divergence(path, "float",
+                                  f"{fa!r}", f"{fb!r}"))
+        else:
+            out.append(Divergence(path, "value", _summ(a), _summ(b)))
+        return
+    if type(a) is not type(b):
+        out.append(Divergence(path, "type", type(a).__name__,
+                              type(b).__name__))
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in b:
+                out.append(Divergence(f"{path}.{key}", "extra",
+                                      _summ(a[key]), "<absent>"))
+            elif key not in a:
+                out.append(Divergence(f"{path}.{key}", "missing",
+                                      "<absent>", _summ(b[key])))
+            else:
+                _compare(a[key], b[key], f"{path}.{key}", out,
+                         float_tol)
+        return
+    if isinstance(a, list):
+        if len(a) != len(b):
+            out.append(Divergence(path, "value",
+                                  f"len {len(a)}", f"len {len(b)}"))
+            return
+        for i, (va, vb) in enumerate(zip(a, b)):
+            _compare(va, vb, f"{path}[{i}]", out, float_tol)
+        return
+    if a != b:
+        out.append(Divergence(path, "value", _summ(a), _summ(b)))
+
+
+def diff_campaign(run_dir: str | Path, golden_dir: str | Path, *,
+                  float_tol: float = 0.0) -> DiffReport:
+    """Compare a run tree against a golden tree (see module
+    docstring for the divergence/provenance/volatile taxonomy).
+
+    Raises:
+        CampaignError: either tree is missing or unreadable (a broken
+            fixture is an error, not a divergence).
+    """
+    run_dir, golden_dir = Path(run_dir), Path(golden_dir)
+    run = read_manifest(run_dir)
+    gold = read_manifest(golden_dir)
+    report = DiffReport(run_dir=str(run_dir),
+                        golden_dir=str(golden_dir),
+                        float_tol=float_tol)
+
+    for key in _HARD_KEYS:
+        _compare(run.get(key), gold.get(key), key,
+                 report.divergences, 0.0)
+    for key in _PROVENANCE_KEYS:
+        _compare(run.get(key), gold.get(key), key,
+                 report.provenance, 0.0)
+    _compare(run.get("provenance"), gold.get("provenance"),
+             "provenance", report.provenance, 0.0)
+    _compare(run.get("backend"), gold.get("backend"), "backend",
+             report.provenance, 0.0)
+
+    run_stages = {s["id"]: s for s in run.get("stages", [])}
+    gold_stages = {s["id"]: s for s in gold.get("stages", [])}
+    for sid in sorted(set(run_stages) | set(gold_stages)):
+        path = f"stages[{sid}]"
+        if sid not in gold_stages:
+            report.divergences.append(Divergence(
+                path, "extra", run_stages[sid]["kind"], "<absent>"))
+            continue
+        if sid not in run_stages:
+            report.divergences.append(Divergence(
+                path, "missing", "<absent>", gold_stages[sid]["kind"]))
+            continue
+        rs, gs = run_stages[sid], gold_stages[sid]
+        for key in _STAGE_HARD_KEYS:
+            _compare(rs.get(key), gs.get(key), f"{path}.{key}",
+                     report.divergences, 0.0)
+        _compare(rs.get("key"), gs.get("key"), f"{path}.key",
+                 report.provenance, 0.0)
+        # Check verdicts are hard; their free-form ``detail`` strings
+        # embed formatted floats (legitimate last-digit drift under
+        # float_tol) and stay volatile.
+        _compare(_check_verdicts(rs), _check_verdicts(gs),
+                 f"{path}.checks", report.divergences, 0.0)
+        if not (gs.get("deterministic", True)
+                and rs.get("deterministic", True)):
+            report.skipped_stages.append(sid)
+            continue
+        if gs.get("artifact") is None or rs.get("artifact") is None:
+            # failed/skipped stage: status compare above covers it
+            continue
+        run_payload = read_stage_payload(run_dir, sid)
+        gold_payload = read_stage_payload(golden_dir, sid)
+        _compare(run_payload, gold_payload, f"{path}.results",
+                 report.divergences, float_tol)
+        report.compared_stages.append(sid)
+    return report

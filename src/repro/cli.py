@@ -22,7 +22,15 @@ without writing any Python:
 * ``serve`` / ``submit`` — the sensing-as-a-service job server
   (:mod:`repro.service`) and its one-shot client: admission control,
   per-tenant rate limits, deadlines, circuit breakers and graceful
-  degradation over the pluggable backends.
+  degradation over the pluggable backends;
+* ``campaign`` — declarative campaign orchestration
+  (:mod:`repro.campaign`): ``validate`` a TOML/JSON spec, ``run`` /
+  ``resume`` it on the resilient runtime (kill it mid-run, re-invoke,
+  it finishes from cache bit-identically), ``diff`` a run against a
+  committed golden tree;
+* ``versions`` — the full provenance tuple (package, numpy/numba,
+  kernel layout, MC seed scheme, wire-format schemas) that campaign
+  manifests embed; ``repro --version`` prints the short form.
 
 Error hygiene: any :class:`~repro.errors.ReproError` exits nonzero
 with a one-line ``error: <Type>: <message>`` on stderr; ``repro
@@ -686,6 +694,105 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 1 if snap["alerts"] and args.fail_on_alert else 0
 
 
+def _cmd_versions(args: argparse.Namespace) -> int:
+    """Print the full provenance tuple — the same table every
+    campaign manifest embeds, so an operator can check whether a
+    golden fixture was frozen under the numerics they are running."""
+    import json
+
+    from repro.campaign.manifest import provenance_info
+
+    info = provenance_info()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        print(f"  {key:<{width}} : {value}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Declarative campaign orchestration (see :mod:`repro.campaign`).
+
+    ``validate`` parses and schema-checks a spec and prints its stage
+    order and spec hash.  ``run`` executes the stage DAG resumably
+    (``resume`` is the same verb, spelled for re-invocations of an
+    interrupted run — both replay completed work from the cache under
+    ``--out``).  ``diff`` compares a run tree against a golden tree.
+
+    Exit codes: 0 — passed; 1 — campaign error (bad spec, missing
+    tree, golden divergence); 2 — stages ran but checks failed.
+    """
+    import json
+
+    from repro.campaign import (
+        diff_campaign,
+        load_spec,
+        run_campaign,
+    )
+
+    if args.campaign_cmd == "validate":
+        spec = load_spec(args.spec)
+        order = spec.topo_order()
+        print(f"{spec.source}: valid campaign/v1 spec")
+        print(f"  name       : {spec.name}")
+        print(f"  backend    : {spec.backend}")
+        print(f"  corner     : {spec.corner or 'nominal'}")
+        print(f"  chaos      : "
+              f"{'active' if spec.chaos and spec.chaos.active else 'none'}")
+        print(f"  stage order: {' -> '.join(order)}")
+        print(f"  spec hash  : {spec.spec_hash()}")
+        return 0
+
+    if args.campaign_cmd == "diff":
+        report = diff_campaign(args.run_dir, args.golden_dir,
+                               float_tol=args.float_tol)
+        print(f"compared {len(report.compared_stages)} deterministic "
+              f"stage payload(s); skipped "
+              f"{len(report.skipped_stages)} nondeterministic")
+        for d in report.provenance:
+            print(f"  provenance drift: {d}")
+        for d in report.divergences:
+            print(f"  DIVERGENCE: {d}")
+        report.raise_on_divergence(
+            strict_provenance=args.strict_provenance)
+        print("zero divergences"
+              + (f" ({len(report.provenance)} provenance drift(s) "
+                 f"tolerated)" if report.provenance else ""))
+        return 0
+
+    # run / resume (one verb: the runner resumes from the out dir)
+    spec = load_spec(args.spec)
+    run = run_campaign(
+        spec, out_dir=args.out, cache=args.cache_dir,
+        kill_after_puts=args.chaos_kill_after,
+    )
+    for record in run.records:
+        flags = []
+        if record.resumed:
+            flags.append("resumed")
+        if not record.deterministic:
+            flags.append("nondeterministic")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        print(f"  {record.id:<20} {record.kind:<18} "
+              f"{record.status:<8} {record.wall_s:8.2f}s{suffix}")
+        for check in record.checks:
+            mark = "ok" if check["ok"] else "FAIL"
+            print(f"    check {check['kind']:<12} {mark:<5} "
+                  f"{check['detail']}")
+    print(f"campaign {run.manifest['name']!r}: {run.outcome} "
+          f"(manifest: {run.out_dir / 'manifest.json'})")
+    if args.json:
+        print(json.dumps(run.manifest, indent=2, sort_keys=True))
+    if args.golden is not None:
+        report = diff_campaign(run.out_dir, args.golden,
+                               float_tol=args.float_tol)
+        report.raise_on_divergence()
+        print(f"golden diff vs {args.golden}: zero divergences")
+    return 0 if run.ok else 2
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.core.faults import coverage_study
 
@@ -704,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--traceback", action="store_true",
                         help="print full tracebacks for repro errors "
                              "instead of the one-line message")
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__} "
+                                f"('repro versions' prints the full "
+                                f"provenance tuple)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="calibrated design constants") \
@@ -839,6 +952,70 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache directory (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro-psn)")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "versions",
+        help="print the full provenance tuple (package, numpy/numba, "
+             "kernel layout, seed scheme, wire schemas)",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="print the tuple as JSON")
+    p.set_defaults(func=_cmd_versions)
+
+    p = sub.add_parser(
+        "campaign",
+        help="declarative campaign orchestration: validate, run "
+             "(resumable), diff against a golden",
+    )
+    csub = p.add_subparsers(dest="campaign_cmd", required=True)
+
+    pv = csub.add_parser("validate",
+                         help="schema-check a spec; print stage order "
+                              "and spec hash")
+    pv.add_argument("spec", help="campaign spec file (.toml or .json)")
+    pv.set_defaults(func=_cmd_campaign)
+
+    for verb, doc in (("run", "execute a campaign spec"),
+                      ("resume", "re-invoke an interrupted run "
+                                 "(same as run: completed stages "
+                                 "replay from the cache)")):
+        pr = csub.add_parser(verb, help=doc)
+        pr.add_argument("spec",
+                        help="campaign spec file (.toml or .json)")
+        pr.add_argument("--out", required=True, metavar="DIR",
+                        help="output directory (results/, "
+                             "manifest.json, and — by default — the "
+                             "resume cache)")
+        pr.add_argument("--cache-dir", default=None,
+                        help="task/stage cache root (default: "
+                             "<out>/cache)")
+        pr.add_argument("--golden", default=None, metavar="DIR",
+                        help="after the run, diff against this golden "
+                             "tree (nonzero exit on divergence)")
+        pr.add_argument("--float-tol", type=float, default=0.0,
+                        help="numeric tolerance for --golden payload "
+                             "comparison (default: exact)")
+        pr.add_argument("--json", action="store_true",
+                        help="also print the manifest as JSON")
+        pr.add_argument("--chaos-kill-after", type=int, default=None,
+                        metavar="N",
+                        help="crash drill: SIGKILL this process after "
+                             "the Nth task-cache write (armed once "
+                             "per out dir; re-invoke to resume)")
+        pr.set_defaults(func=_cmd_campaign)
+
+    pd = csub.add_parser("diff",
+                         help="compare a run tree against a golden "
+                              "tree")
+    pd.add_argument("run_dir", help="the run to judge")
+    pd.add_argument("golden_dir", help="the committed golden tree")
+    pd.add_argument("--float-tol", type=float, default=0.0,
+                    help="numeric tolerance for payload comparison "
+                         "(default: exact)")
+    pd.add_argument("--strict-provenance", action="store_true",
+                    help="fail on provenance drift (engine versions, "
+                         "fingerprints, cache keys) too")
+    pd.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("faults",
                        help="stuck-at screening coverage study")

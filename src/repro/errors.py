@@ -161,6 +161,46 @@ class TenantQuotaError(ServiceError):
     """
 
 
+class CampaignError(ReproError):
+    """The declarative campaign layer could not run a campaign.
+
+    Base class for the :mod:`repro.campaign` orchestration failures:
+    invalid specs, stages that cannot execute, and golden-result
+    divergences surface through this branch so campaign drivers can
+    catch the whole family with one clause.
+    """
+
+
+class CampaignSpecError(CampaignError):
+    """A campaign spec file is malformed or semantically invalid.
+
+    Raised for unknown schema tags (a ``campaign/v*`` newer than this
+    library), missing/unknown keys, unknown stage kinds or check
+    kinds, duplicate stage ids, and dependency cycles — anything that
+    makes the declared campaign unrunnable before a single stage
+    executes.
+    """
+
+
+class StageExecutionError(CampaignError):
+    """A campaign stage could not produce its result payload.
+
+    Wraps the underlying failure (the original exception rides as
+    ``__cause__``); the runner records it in the manifest and applies
+    the campaign's ``on_fail`` policy instead of crashing the run.
+    """
+
+
+class GoldenDivergenceError(CampaignError):
+    """A campaign run diverged from its committed golden results.
+
+    Raised by the strict diff path when :func:`repro.campaign.diff.
+    diff_campaign` finds divergences — the regression analogue of
+    :class:`ReplayMismatchError` one layer up: the campaign no longer
+    reproduces the numbers the golden tree froze.
+    """
+
+
 class TraceError(ReproError):
     """A measurement trace file is malformed or cannot be read.
 

@@ -93,6 +93,44 @@ def enumerate_for(items: Sequence[Any]) -> list[tuple[int, Any]]:
     return list(enumerate(items))
 
 
+class KillAfterPuts(ResultCache):
+    """A :class:`ResultCache` that SIGKILLs its own process after the
+    Nth successful :meth:`put` — the campaign crash-resume drill.
+
+    Where :class:`KillOnceTask` kills a pool *worker* (the sweep
+    engine recovers in-process), this injector kills the *campaign
+    process itself* mid-stage, right after the Nth task result landed
+    on disk.  A marker file arms the kill exactly once, so re-invoking
+    the same campaign resumes from the persisted entries and runs to
+    completion — the incremental-persistence claim of
+    :func:`~repro.runtime.resilient.resilient_cached_map`, proven the
+    hard way.
+
+    Buffered cache-stats deltas are flushed before the kill so the
+    per-root lifetime counters stay honest across the crash.
+    """
+
+    def __init__(self, root, *, kill_after: int,
+                 marker: str | os.PathLike) -> None:
+        if kill_after < 1:
+            raise ConfigurationError(
+                f"kill_after must be >= 1, got {kill_after}"
+            )
+        super().__init__(root)
+        self.kill_after = int(kill_after)
+        self.marker = Path(marker)
+        self._puts = 0
+
+    def put(self, key: str, value: Any) -> None:
+        super().put(key, value)
+        self._puts += 1
+        if self._puts >= self.kill_after and not self.marker.exists():
+            self.marker.parent.mkdir(parents=True, exist_ok=True)
+            self.marker.touch()
+            self.flush_stats()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
 class ChaosMonkey:
     """Deterministic fault selection and cache vandalism.
 

@@ -803,6 +803,13 @@ class JobServer:
                     "server shutting down"
                 ))
             shard.close()
+        if self.cache is not None:
+            # Persist this process's hit/miss deltas to the cache
+            # root's cross-process stats log before exit, so a
+            # post-mortem reader (``repro cache``, a campaign
+            # manifest's service drill) sees the server's lifetime
+            # counters even though the server process is gone.
+            self.cache.flush_stats()
         self._running = False
 
     async def serve_forever(self) -> None:

@@ -30,12 +30,12 @@ def test_chaos_campaign_smoke(design, tmp_path):
     """The end-to-end resilience drill stays green in tier-1: injected
     worker kills, vandalized cache entries and a stuck-at stage must
     not change the sweep's results on any surviving bit."""
-    from benchmarks.bench_chaos_campaign import run_campaign
+    from benchmarks.bench_chaos_campaign import run_drill
 
-    rep = run_campaign(design, tmp_path)
-    assert rep.identical
+    rep = run_drill(design, tmp_path)
+    assert rep.diff.ok, [str(d) for d in rep.diff.divergences]
     assert rep.healed
-    assert rep.stats.crashes >= 1
+    assert rep.crashes >= 1
     assert rep.masked_bits  # the stuck stage was caught and masked
 
 

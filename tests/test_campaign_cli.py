@@ -1,0 +1,123 @@
+"""CLI surface: repro --version / versions / campaign subcommands."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).parent.parent
+
+TINY_SPEC = """\
+schema = "campaign/v1"
+name = "cli-tiny"
+
+[[stages]]
+id = "sweep"
+kind = "threshold_sweep"
+params = { bits = [1, 2], tol = 5e-3 }
+checks = [{ kind = "monotone", field = "thresholds" }]
+"""
+
+
+def repro_cli(*args, timeout=300):
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join(
+        (src, existing))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *map(str, args)],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+@pytest.fixture()
+def tiny_spec(tmp_path):
+    path = tmp_path / "tiny.toml"
+    path.write_text(TINY_SPEC)
+    return path
+
+
+def test_version_flag():
+    out = repro_cli("--version")
+    assert out.returncode == 0
+    assert out.stdout.startswith("repro ")
+
+
+def test_versions_table_and_json():
+    table = repro_cli("versions")
+    assert table.returncode == 0
+    for key in ("repro", "python", "numpy", "kernel_layout",
+                "campaign_schema", "manifest_schema"):
+        assert key in table.stdout
+    machine = repro_cli("versions", "--json")
+    data = json.loads(machine.stdout)
+    assert data["campaign_schema"] == "campaign/v1"
+    assert data["repro"]
+
+
+def test_campaign_validate_good_and_bad(tiny_spec, tmp_path):
+    good = repro_cli("campaign", "validate", tiny_spec)
+    assert good.returncode == 0
+    assert "valid campaign/v1 spec" in good.stdout
+    assert "sweep" in good.stdout
+
+    bad_path = tmp_path / "bad.toml"
+    bad_path.write_text(TINY_SPEC.replace("threshold_sweep", "nope"))
+    bad = repro_cli("campaign", "validate", bad_path)
+    assert bad.returncode == 1
+    assert "nope" in bad.stderr
+
+
+def test_campaign_run_emits_manifest_json(tiny_spec, tmp_path):
+    out_dir = tmp_path / "out"
+    run = repro_cli("campaign", "run", tiny_spec, "--out", out_dir,
+                    "--json")
+    assert run.returncode == 0, run.stderr
+    # --json appends the manifest; it starts at the first brace line.
+    payload = run.stdout[run.stdout.index("{"):]
+    manifest = json.loads(payload)
+    assert manifest["name"] == "cli-tiny"
+    assert manifest["outcome"] == "passed"
+    assert (out_dir / "manifest.json").exists()
+
+
+def test_campaign_run_failing_check_exits_2(tmp_path):
+    spec = tmp_path / "fail.toml"
+    spec.write_text(TINY_SPEC.replace(
+        '{ kind = "monotone", field = "thresholds" }',
+        '{ kind = "bounds", field = "thresholds", min = 99.0 }'))
+    run = repro_cli("campaign", "run", spec, "--out", tmp_path / "o")
+    assert run.returncode == 2
+    assert "FAIL" in run.stdout
+
+
+def test_campaign_diff_detects_tampering(tiny_spec, tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    assert repro_cli("campaign", "run", tiny_spec, "--out", a,
+                     ).returncode == 0
+    assert repro_cli("campaign", "run", tiny_spec, "--out", b,
+                     ).returncode == 0
+    clean = repro_cli("campaign", "diff", a, b)
+    assert clean.returncode == 0
+    assert "zero divergences" in clean.stdout
+
+    result = b / "results" / "sweep.json"
+    data = json.loads(result.read_text())
+    data["thresholds"][0] += 0.5
+    result.write_text(json.dumps(data))
+    tampered = repro_cli("campaign", "diff", a, b)
+    assert tampered.returncode == 1
+    assert "DIVERGENCE" in tampered.stdout
+
+
+def test_campaign_missing_spec_is_clean_error(tmp_path):
+    gone = repro_cli("campaign", "run", tmp_path / "gone.toml",
+                     "--out", tmp_path / "o")
+    assert gone.returncode == 1
+    assert gone.stderr.strip()

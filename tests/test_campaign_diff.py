@@ -1,0 +1,174 @@
+"""Golden diffing: divergence taxonomy, float_tol, provenance."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.campaign import (
+    CAMPAIGN_SCHEMA,
+    diff_campaign,
+    run_campaign,
+    spec_from_mapping,
+)
+from repro.errors import CampaignError, GoldenDivergenceError
+
+
+@pytest.fixture(scope="module")
+def run_pair(tmp_path_factory):
+    """One campaign run plus a verbatim copy standing in as golden."""
+    root = tmp_path_factory.mktemp("diff")
+    spec = spec_from_mapping({
+        "schema": CAMPAIGN_SCHEMA,
+        "name": "diff-test",
+        "stages": [{"id": "sweep", "kind": "threshold_sweep",
+                    "params": {"bits": [1, 2], "tol": 5e-3},
+                    "checks": [{"kind": "monotone",
+                                "field": "thresholds"}]}],
+    })
+    run_campaign(spec, out_dir=root / "run")
+    shutil.copytree(root / "run", root / "golden",
+                    ignore=shutil.ignore_patterns("cache"))
+    return root / "run", root / "golden"
+
+
+@pytest.fixture()
+def mutable_pair(run_pair, tmp_path):
+    """A fresh scratch copy of the golden, safe to tamper with."""
+    run_dir, golden_dir = run_pair
+    scratch = tmp_path / "golden"
+    shutil.copytree(golden_dir, scratch)
+    return run_dir, scratch
+
+
+def _edit(path, mutate):
+    data = json.loads(path.read_text())
+    mutate(data)
+    path.write_text(json.dumps(data))
+
+
+def test_identical_trees_diff_clean(run_pair):
+    run_dir, golden_dir = run_pair
+    report = diff_campaign(run_dir, golden_dir)
+    assert report.ok
+    assert report.divergences == [] and report.provenance == []
+    assert report.compared_stages == ["sweep"]
+    report.raise_on_divergence(strict_provenance=True)  # no raise
+
+
+def test_payload_drift_diverges_within_tol_passes(mutable_pair):
+    run_dir, golden_dir = mutable_pair
+
+    def bump(data):
+        data["thresholds"][0] += 1e-7
+
+    _edit(golden_dir / "results" / "sweep.json", bump)
+    strict = diff_campaign(run_dir, golden_dir)
+    assert not strict.ok
+    (div,) = strict.divergences
+    assert div.kind == "float"
+    assert "results.thresholds[0]" in div.path
+    with pytest.raises(GoldenDivergenceError, match="thresholds"):
+        strict.raise_on_divergence()
+    loose = diff_campaign(run_dir, golden_dir, float_tol=1e-6)
+    assert loose.ok
+
+
+def test_structural_drift_is_never_tolerated(mutable_pair):
+    run_dir, golden_dir = mutable_pair
+
+    def drop(data):
+        del data["thresholds"][1]
+        data["extra_key"] = True
+
+    _edit(golden_dir / "results" / "sweep.json", drop)
+    report = diff_campaign(run_dir, golden_dir, float_tol=1e6)
+    kinds = {d.kind for d in report.divergences}
+    assert not report.ok
+    assert "missing" in kinds or "value" in kinds
+
+
+def test_outcome_and_spec_hash_are_hard_keys(mutable_pair):
+    run_dir, golden_dir = mutable_pair
+
+    def tamper(data):
+        data["outcome"] = "failed"
+        data["spec_hash"] = "0" * 64
+
+    _edit(golden_dir / "manifest.json", tamper)
+    report = diff_campaign(run_dir, golden_dir)
+    paths = {d.path for d in report.divergences}
+    assert {"outcome", "spec_hash"} <= paths
+
+
+def test_provenance_drift_reported_not_failed(mutable_pair):
+    run_dir, golden_dir = mutable_pair
+
+    def age(data):
+        data["provenance"]["numpy"] = "1.26.0"
+        data["campaign_fingerprint"] = "f" * 64
+
+    _edit(golden_dir / "manifest.json", age)
+    report = diff_campaign(run_dir, golden_dir)
+    assert report.ok  # drift alone never fails the diff
+    assert len(report.provenance) == 2
+    report.raise_on_divergence()  # fine without strict
+    with pytest.raises(GoldenDivergenceError, match="numpy"):
+        report.raise_on_divergence(strict_provenance=True)
+
+
+def test_check_verdict_flip_diverges_detail_does_not(mutable_pair):
+    run_dir, golden_dir = mutable_pair
+
+    def reword(data):
+        data["stages"][0]["checks"][0]["detail"] = "rephrased"
+
+    _edit(golden_dir / "manifest.json", reword)
+    assert diff_campaign(run_dir, golden_dir).ok
+
+    def flip(data):
+        data["stages"][0]["checks"][0]["ok"] = False
+
+    _edit(golden_dir / "manifest.json", flip)
+    report = diff_campaign(run_dir, golden_dir)
+    assert not report.ok
+    assert any("checks" in d.path for d in report.divergences)
+
+
+def test_nondeterministic_stage_payload_skipped(mutable_pair):
+    run_dir, golden_dir = mutable_pair
+
+    def mark(data):
+        data["stages"][0]["deterministic"] = False
+
+    _edit(golden_dir / "manifest.json", mark)
+    # Also corrupt the golden payload: it must not even be read.
+    (golden_dir / "results" / "sweep.json").write_text("{}")
+    report = diff_campaign(run_dir, golden_dir)
+    assert report.skipped_stages == ["sweep"]
+    assert report.compared_stages == []
+    # The deterministic flag itself is a hard key, though.
+    assert any(d.path == "stages[sweep].deterministic"
+               for d in report.divergences)
+
+
+def test_missing_and_extra_stages_diverge(mutable_pair):
+    run_dir, golden_dir = mutable_pair
+
+    def rename(data):
+        data["stages"][0]["id"] = "renamed"
+
+    _edit(golden_dir / "manifest.json", rename)
+    report = diff_campaign(run_dir, golden_dir)
+    kinds = {(d.path, d.kind) for d in report.divergences}
+    assert ("stages[sweep]", "extra") in kinds
+    assert ("stages[renamed]", "missing") in kinds
+
+
+def test_broken_fixture_is_an_error_not_a_divergence(run_pair,
+                                                     tmp_path):
+    run_dir, _ = run_pair
+    with pytest.raises(CampaignError):
+        diff_campaign(run_dir, tmp_path / "no-such-golden")

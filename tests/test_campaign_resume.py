@@ -1,0 +1,93 @@
+"""Crash/resume drill: SIGKILL a campaign mid-stage, resume, prove
+bit-identity against an untouched clean run.
+
+This is the committed CI spec (``tests/data/campaigns/smoke.toml``)
+exercised exactly the way the CI campaign-smoke job runs it, via the
+CLI in subprocesses:
+
+1. ``repro campaign run --chaos-kill-after N`` arms a
+   :class:`~repro.runtime.chaos.KillAfterPuts` cache wrapper that
+   SIGKILLs the process after its Nth task-cache put — mid-stage,
+   with some results durably cached and some not;
+2. ``repro campaign resume`` re-invokes the same spec on the same
+   out dir and must finish from the cache;
+3. a clean run in a separate directory, plus ``repro campaign
+   diff``, proves the resumed run is bit-identical: zero
+   divergences at ``float_tol=0`` and byte-identical result files.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).parent.parent
+SPEC = REPO / "tests" / "data" / "campaigns" / "smoke.toml"
+GOLDEN = REPO / "tests" / "data" / "campaigns" / "golden_smoke"
+
+
+def repro_cli(*args, timeout=300):
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join(
+        (src, existing))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *map(str, args)],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+def test_kill_resume_is_bit_identical(tmp_path):
+    killed = tmp_path / "killed"
+    clean = tmp_path / "clean"
+
+    # 1. Arm the kill: the process must die, not exit.
+    first = repro_cli("campaign", "run", SPEC, "--out", killed,
+                      "--chaos-kill-after", "2")
+    assert first.returncode != 0, first.stdout
+    assert (killed / "chaos-kill.marker").exists()
+    assert not (killed / "manifest.json").exists()
+
+    # 2. Resume: the marker disarms the killer; cached task results
+    # replay and the campaign completes from where it died.
+    second = repro_cli("campaign", "resume", SPEC, "--out", killed)
+    assert second.returncode == 0, second.stdout + second.stderr
+    assert (killed / "manifest.json").exists()
+
+    # 3. Clean reference run, then the golden diff: nothing diverges.
+    third = repro_cli("campaign", "run", SPEC, "--out", clean)
+    assert third.returncode == 0, third.stdout + third.stderr
+
+    diff = repro_cli("campaign", "diff", killed, clean)
+    assert diff.returncode == 0, diff.stdout + diff.stderr
+    assert "zero divergences" in diff.stdout
+
+    # Belt and braces: the per-stage result files are byte-identical.
+    killed_results = sorted((killed / "results").glob("*.json"))
+    clean_results = sorted((clean / "results").glob("*.json"))
+    assert [p.name for p in killed_results] == \
+        [p.name for p in clean_results] != []
+    for a, b in zip(killed_results, clean_results):
+        assert a.read_bytes() == b.read_bytes(), a.name
+
+
+def test_committed_golden_still_reproduces(tmp_path):
+    """The frozen fixture under tests/data must match a fresh run.
+
+    ``--float-tol`` absorbs cross-environment last-digit drift; the
+    committed golden was frozen by scripts/regen_campaign_golden.py.
+    """
+    out = tmp_path / "out"
+    run = repro_cli("campaign", "run", SPEC, "--out", out,
+                    "--golden", GOLDEN, "--float-tol", "1e-9")
+    assert run.returncode == 0, run.stdout + run.stderr
+    assert "zero divergences" in run.stdout
+
+
+def test_kill_after_puts_requires_positive_count(tmp_path):
+    bad = repro_cli("campaign", "run", SPEC, "--out", tmp_path / "o",
+                    "--chaos-kill-after", "0")
+    assert bad.returncode != 0

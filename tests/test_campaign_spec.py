@@ -1,0 +1,193 @@
+"""Campaign spec layer: schema validation, hashing, loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CAMPAIGN_SCHEMA,
+    load_spec,
+    spec_from_mapping,
+    validate_spec_mapping,
+)
+from repro.errors import CampaignSpecError
+
+
+def minimal_raw(**overrides):
+    raw = {
+        "schema": CAMPAIGN_SCHEMA,
+        "name": "t",
+        "stages": [
+            {"id": "a", "kind": "threshold_sweep",
+             "params": {"bits": [1], "tol": 5e-3}},
+        ],
+    }
+    raw.update(overrides)
+    return raw
+
+
+# ---------------------------------------------------------------- schema
+
+def test_minimal_spec_validates():
+    assert validate_spec_mapping(minimal_raw()) == ["a"]
+
+
+@pytest.mark.parametrize("raw, needle", [
+    ({**minimal_raw(), "schema": "campaign/v2"}, "schema"),
+    ({**minimal_raw(), "bogus": 1}, "bogus"),
+    ({**minimal_raw(), "name": ""}, "name"),
+    ({**minimal_raw(), "seed": "x"}, "seed"),
+    ({**minimal_raw(), "stages": []}, "stages"),
+    ({**minimal_raw(), "design": {"corner": "XX"}}, "corner"),
+    ({**minimal_raw(), "runtime": {"workers": True}}, "workers"),
+    ({**minimal_raw(), "runtime": {"on_fail": "explode"}}, "on_fail"),
+], ids=["bad-schema", "unknown-key", "empty-name", "string-seed",
+        "no-stages", "bad-corner", "bool-workers", "bad-on-fail"])
+def test_bad_top_level_rejected(raw, needle):
+    with pytest.raises(CampaignSpecError) as err:
+        validate_spec_mapping(raw)
+    assert needle in str(err.value)
+
+
+@pytest.mark.parametrize("stage, needle", [
+    ({"id": "a", "kind": "not_a_kind"}, "kind"),
+    ({"id": "a", "kind": "threshold_sweep", "needs": ["ghost"]},
+     "ghost"),
+    ({"id": "a", "kind": "threshold_sweep", "needs": ["a"]}, "itself"),
+    ({"id": "", "kind": "threshold_sweep"}, "id"),
+    ({"id": "a", "kind": "threshold_sweep", "wat": 1}, "wat"),
+], ids=["unknown-kind", "undeclared-need", "self-need", "empty-id",
+        "unknown-stage-key"])
+def test_bad_stage_rejected(stage, needle):
+    with pytest.raises(CampaignSpecError) as err:
+        validate_spec_mapping(minimal_raw(stages=[stage]))
+    assert needle in str(err.value)
+
+
+def test_duplicate_stage_ids_rejected():
+    stages = [{"id": "a", "kind": "threshold_sweep"},
+              {"id": "a", "kind": "characterization"}]
+    with pytest.raises(CampaignSpecError, match="duplicate"):
+        validate_spec_mapping(minimal_raw(stages=stages))
+
+
+def test_dependency_cycle_rejected():
+    stages = [
+        {"id": "a", "kind": "threshold_sweep", "needs": ["b"]},
+        {"id": "b", "kind": "characterization", "needs": ["a"]},
+    ]
+    with pytest.raises(CampaignSpecError, match="cycle"):
+        validate_spec_mapping(minimal_raw(stages=stages))
+
+
+def test_topo_order_respects_needs_and_declaration():
+    stages = [
+        {"id": "late", "kind": "characterization", "needs": ["base"]},
+        {"id": "base", "kind": "threshold_sweep"},
+        {"id": "also", "kind": "s_curve", "needs": ["base"]},
+    ]
+    order = validate_spec_mapping(minimal_raw(stages=stages))
+    assert order == ["base", "late", "also"]
+    spec = spec_from_mapping(minimal_raw(stages=stages))
+    assert list(spec.topo_order()) == ["base", "late", "also"]
+
+
+def test_parity_check_requires_declared_oracle():
+    stages = [
+        {"id": "a", "kind": "threshold_sweep"},
+        {"id": "b", "kind": "threshold_sweep",
+         "checks": [{"kind": "parity", "field": "thresholds",
+                     "stage": "a", "tol": 1e-9}]},
+    ]
+    # Not in needs: rejected (the oracle's payload may not exist yet).
+    with pytest.raises(CampaignSpecError, match="needs"):
+        validate_spec_mapping(minimal_raw(stages=stages))
+    stages[1]["needs"] = ["a"]
+    validate_spec_mapping(minimal_raw(stages=stages))
+
+
+def test_kill_chaos_needs_pool_and_retries():
+    raw = minimal_raw(chaos={"kill_worker_tasks": 1})
+    with pytest.raises(CampaignSpecError, match="workers"):
+        validate_spec_mapping(raw)
+    raw["runtime"] = {"workers": 2}
+    with pytest.raises(CampaignSpecError, match="retries"):
+        validate_spec_mapping(raw)
+    raw["runtime"] = {"workers": 2, "retries": 1}
+    validate_spec_mapping(raw)
+
+
+def test_unknown_check_kind_rejected():
+    stages = [{"id": "a", "kind": "threshold_sweep",
+               "checks": [{"kind": "vibes", "field": "thresholds"}]}]
+    with pytest.raises(CampaignSpecError, match="vibes"):
+        validate_spec_mapping(minimal_raw(stages=stages))
+
+
+# --------------------------------------------------------------- hashing
+
+def test_spec_hash_excludes_chaos_and_source():
+    clean = spec_from_mapping(minimal_raw(), source="/tmp/a.toml")
+    chaotic = spec_from_mapping(
+        minimal_raw(runtime={"workers": 2, "retries": 1},
+                    chaos={"corrupt_cache": 1,
+                           "kill_worker_tasks": 1}),
+        source="/elsewhere/b.toml")
+    # Chaos changes the runtime block too, so compare like-for-like:
+    clean_rt = spec_from_mapping(
+        minimal_raw(runtime={"workers": 2, "retries": 1}),
+        source="/third/c.toml")
+    assert chaotic.spec_hash() == clean_rt.spec_hash()
+    assert clean.spec_hash() != clean_rt.spec_hash()  # runtime counts
+    # Source never matters.
+    again = spec_from_mapping(minimal_raw(), source="<inline>")
+    assert again.spec_hash() == clean.spec_hash()
+
+
+def test_spec_hash_tracks_computation_inputs():
+    base = spec_from_mapping(minimal_raw())
+    reseeded = spec_from_mapping(minimal_raw(seed=7))
+    recoded = spec_from_mapping(minimal_raw(stages=[
+        {"id": "a", "kind": "threshold_sweep",
+         "params": {"bits": [1], "tol": 1e-3}}]))
+    assert len({base.spec_hash(), reseeded.spec_hash(),
+                recoded.spec_hash()}) == 3
+
+
+# --------------------------------------------------------------- loading
+
+def test_load_spec_toml_and_json_agree(tmp_path):
+    raw = minimal_raw()
+    toml_path = tmp_path / "c.toml"
+    toml_path.write_text(
+        'schema = "campaign/v1"\nname = "t"\n\n'
+        "[[stages]]\nid = \"a\"\nkind = \"threshold_sweep\"\n"
+        "params = { bits = [1], tol = 5e-3 }\n"
+    )
+    json_path = tmp_path / "c.json"
+    json_path.write_text(json.dumps(raw))
+    a, b = load_spec(toml_path), load_spec(json_path)
+    assert a.spec_hash() == b.spec_hash()
+    assert a.source == str(toml_path)
+
+
+def test_load_spec_refuses_unknown_extension(tmp_path):
+    path = tmp_path / "c.yaml"
+    path.write_text("nope")
+    with pytest.raises(CampaignSpecError, match="yaml"):
+        load_spec(path)
+
+
+def test_load_spec_missing_file(tmp_path):
+    with pytest.raises(CampaignSpecError):
+        load_spec(tmp_path / "absent.toml")
+
+
+def test_stage_param_accessors():
+    spec = spec_from_mapping(minimal_raw())
+    stage = spec.stage("a")
+    assert stage.param("tol") == 5e-3
+    assert stage.param("absent", 42) == 42
+    assert stage.params_dict() == {"bits": [1], "tol": 5e-3}

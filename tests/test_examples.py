@@ -9,6 +9,7 @@ import pytest
 
 REPO = pathlib.Path(__file__).parent.parent
 EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+CAMPAIGN_SPECS = sorted((REPO / "examples" / "campaigns").glob("*.toml"))
 
 
 def _env_with_repro():
@@ -47,3 +48,33 @@ def test_expected_examples_present():
             "process_trimming", "dvfs_guardband",
             "verification_monitor", "hotspot_migration",
             "tester_characterization"} <= names
+
+
+@pytest.mark.parametrize("spec_path", CAMPAIGN_SPECS,
+                         ids=lambda p: p.stem)
+def test_example_campaign_spec_validates(spec_path):
+    """Every committed example spec must parse as campaign/v1."""
+    from repro.campaign import CAMPAIGN_SCHEMA, load_spec
+
+    spec = load_spec(spec_path)
+    assert spec.stages, "spec declares no stages"
+    assert len(spec.topo_order()) == len(spec.stages)
+    assert spec.spec_hash()  # hashable identity (chaos excluded)
+    assert CAMPAIGN_SCHEMA == "campaign/v1"
+
+
+def test_expected_example_campaigns_present():
+    names = {p.stem for p in CAMPAIGN_SPECS}
+    assert {"corner_lot_characterization",
+            "chaos_service_drill"} <= names
+
+
+def test_corner_lot_campaign_runs_clean(tmp_path):
+    """The corner-lot example passes end to end (kernel backend)."""
+    from repro.campaign import load_spec, run_campaign
+
+    spec = load_spec(REPO / "examples" / "campaigns"
+                     / "corner_lot_characterization.toml")
+    run = run_campaign(spec, out_dir=tmp_path / "out")
+    assert run.ok, run.manifest["outcome"]
+    assert [r.status for r in run.records] == ["ok"] * len(run.records)

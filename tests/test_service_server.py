@@ -318,3 +318,65 @@ def test_stop_rejects_still_queued_jobs(tmp_path):
     job = asyncio.run(_run())
     assert job.responded
     assert server.counters["rejected"] == 1
+
+
+def test_serve_stats_out_includes_cache_lifetime(tmp_path):
+    """``repro serve --stats-out`` must report the ResultCache's
+    cross-process lifetime counters — the server flushes its deltas
+    to the cache root's stats log on stop, so the dump (and any later
+    ``repro cache`` call) sees the run's true totals."""
+    import json
+    import pathlib
+    import subprocess
+    import sys
+    import time
+
+    from repro.service.chaos import run_load
+
+    repo = pathlib.Path(__file__).parent.parent
+    sock = tmp_path / "svc.sock"
+    stats_path = tmp_path / "stats.json"
+    cache_root = tmp_path / "cache"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--unix", str(sock), "--backend", "sim",
+         "--dies", "8", "--shards", "2",
+         "--cache-dir", str(cache_root),
+         "--max-requests", "3",
+         "--stats-out", str(stats_path)],
+        env=env,
+    )
+    try:
+        for _ in range(300):
+            if sock.exists():
+                break
+            time.sleep(0.1)
+        else:
+            raise RuntimeError("server socket never appeared")
+        req = {"kind": "measure", "params": {"level": 1.05, "code": 3}}
+        requests = [dict(req, id=f"r{i}") for i in range(3)]
+        report = asyncio.run(run_load(
+            f"unix:{sock}", requests, n_clients=1, depth=1,
+            timeout_s=120))
+        server.wait(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    assert report.problems() == []
+    assert server.returncode == 0
+    stats = json.loads(stats_path.read_text())
+    cache_stats = stats["cache"]
+    assert cache_stats is not None, "serve dropped its cache stats"
+    lifetime = cache_stats["lifetime"]
+    # Identical requests: one miss computes, the repeats hit.
+    assert lifetime["misses"] >= 1
+    assert lifetime["hits"] >= 1
+    assert lifetime["errors"] == 0
+
+    # The stop() flush persisted the counters: a *fresh* process
+    # reading the same root sees the same lifetime totals.
+    probe = ResultCache(cache_root)
+    assert probe.lifetime_stats() == lifetime
