@@ -21,6 +21,10 @@ it repeatably.  This package is that layer for the reproduction:
   resilient runtime: stage results keyed by a campaign fingerprint
   (spec hash + design/backend fingerprint), so a SIGKILLed campaign
   re-invoked with the same spec finishes from cache bit-identically;
+* :mod:`~repro.campaign.scheduler` — the ready-set stage executor
+  that fans independent DAG stages across a bounded thread pool or a
+  ``repro.service`` job server, with recording replayed in serial
+  topo order so every mode's manifest is bit-identical;
 * :mod:`~repro.campaign.manifest` — the provenance manifest (spec
   hash, engine versions, per-stage timings/counters/artifacts);
 * :mod:`~repro.campaign.diff` — golden-result diffing separating
@@ -52,7 +56,14 @@ from repro.campaign.runner import (
     campaign_fingerprint,
     run_campaign,
 )
-from repro.campaign.schema import CAMPAIGN_SCHEMA, validate_spec_mapping
+from repro.campaign.scheduler import (
+    DEFAULT_STAGE_WORKERS,
+    StageOutcome,
+    execute_outcomes,
+    finalize_records,
+)
+from repro.campaign.schema import CAMPAIGN_SCHEMA, EXECUTION_MODES, \
+    validate_spec_mapping
 from repro.campaign.spec import (
     CampaignSpec,
     ChaosSpec,
@@ -69,15 +80,20 @@ __all__ = [
     "CampaignSpec",
     "ChaosSpec",
     "CheckSpec",
+    "DEFAULT_STAGE_WORKERS",
     "DiffReport",
     "Divergence",
+    "EXECUTION_MODES",
     "MANIFEST_SCHEMA",
     "NONDETERMINISTIC_KINDS",
     "STAGE_KINDS",
+    "StageOutcome",
     "StageRecord",
     "StageSpec",
     "campaign_fingerprint",
     "diff_campaign",
+    "execute_outcomes",
+    "finalize_records",
     "load_spec",
     "provenance_info",
     "read_manifest",

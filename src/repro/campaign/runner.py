@@ -3,11 +3,20 @@
 Execution model
 ---------------
 
-Stages run serially in topological order (each stage fans out its own
-parallelism through :func:`~repro.runtime.resilient.
-resilient_cached_map`, so the campaign loop itself stays simple and
-deterministic).  Every stage result is memoized in a dedicated
-*stage-result* cache under the task cache root, keyed by::
+Stage execution is delegated to the campaign scheduler
+(:mod:`repro.campaign.scheduler`): a ready-set executor over the
+spec's DAG that dispatches every stage whose ``needs`` are satisfied
+across a bounded stage-worker pool (``execution = "threads"``, the
+default), one at a time (``"serial"``, the oracle), or as
+``campaign_stage`` jobs on a ``repro.service`` job server
+(``"service"``).  Recording is *not* delegated: the runner replays
+the serial skip/abort walk over the scheduler's outcomes in topo
+order (:func:`~repro.campaign.scheduler.finalize_records`), so the
+manifest is bit-identical across execution modes — same records in
+the same order, same stage-cache keys, same resume behaviour.
+
+Every stage result is memoized in a dedicated *stage-result* cache
+under the task cache root, keyed by::
 
     task_key("campaign-stage", campaign_fingerprint, stage_id)
 
@@ -38,6 +47,7 @@ heavy lifting, which is exactly the claim under test.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -49,17 +59,19 @@ from repro.campaign.manifest import (
     dump_json,
     provenance_info,
 )
-from repro.campaign.schema import CAMPAIGN_SCHEMA
-from repro.campaign.spec import CampaignSpec
-from repro.campaign.stages import (
-    NONDETERMINISTIC_KINDS,
-    StageContext,
-    execute_stage,
+from repro.campaign.scheduler import (
+    execute_outcomes,
+    finalize_records,
+    hosted_service,
+    resolve_stage_workers,
+    service_stage_runner,
 )
-from repro.campaign.criteria import evaluate_checks
-from repro.errors import CampaignError, StageExecutionError
+from repro.campaign.schema import CAMPAIGN_SCHEMA, EXECUTION_MODES
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.stages import NONDETERMINISTIC_KINDS, StageContext
+from repro.errors import CampaignError
 from repro.runtime.cache import ResultCache, design_fingerprint, \
-    stable_hash, task_key
+    stable_hash
 from repro.runtime.chaos import ChaosMonkey, KillAfterPuts
 
 #: Subdirectory of the output dir holding the task + stage caches when
@@ -140,7 +152,10 @@ def _corner_tech(spec: CampaignSpec, design: Any):
 
 def run_campaign(spec: CampaignSpec, *, out_dir: str | Path,
                  cache: ResultCache | str | None = None,
-                 kill_after_puts: int | None = None) -> CampaignRun:
+                 kill_after_puts: int | None = None,
+                 execution: str | None = None,
+                 stage_workers: int | None = None,
+                 service: str | None = None) -> CampaignRun:
     """Execute (or resume) a campaign; write results + manifest.
 
     Args:
@@ -155,6 +170,19 @@ def run_campaign(spec: CampaignSpec, *, out_dir: str | Path,
             the Nth task-cache put (armed once via a marker file in
             ``out_dir``; see
             :class:`~repro.runtime.chaos.KillAfterPuts`).
+        execution: Override the spec's ``runtime.execution`` mode
+            (``serial`` / ``threads`` / ``service``); None keeps the
+            spec's choice.  Chaos drills (an active ``[chaos]`` block
+            or ``kill_after_puts``) force ``service`` down to
+            ``threads`` — the armed cache and the seeded monkey live
+            in *this* process, and shipping their stages elsewhere
+            would defuse the drill.
+        stage_workers: Override the spec's ``runtime.stage_workers``
+            pool width (0/None = default).
+        service: Address of a running job server for
+            ``execution = "service"`` (e.g. ``unix:/run/repro.sock``);
+            None self-hosts a ``repro serve`` subprocess for the
+            duration of the run.
 
     Returns:
         The :class:`CampaignRun`; ``run.ok`` is the pass/fail verdict
@@ -209,88 +237,73 @@ def run_campaign(spec: CampaignSpec, *, out_dir: str | Path,
 
     results_dir = out_dir / RESULTS_DIR
     records: list[StageRecord] = []
-    payloads: dict[str, Any] = {}
-    order = spec.topo_order()
     started = time.time()
-    aborted = False
-    failed_ids: set[str] = set()
 
-    for stage_id in order:
-        stage = spec.stage(stage_id)
-        key = task_key("campaign-stage", fingerprint, stage_id)
+    mode = spec.execution if execution is None else execution
+    if mode not in EXECUTION_MODES:
+        raise CampaignError(
+            f"unknown execution mode {mode!r} "
+            f"(expected one of {EXECUTION_MODES})"
+        )
+    # Chaos drills pin execution to this process: the armed
+    # KillAfterPuts budget and the seeded monkey's kill counters live
+    # on the one shared StageContext, so stages must share it (and
+    # must not be shipped to a job server).
+    share_ctx = monkey is not None or kill_after_puts is not None
+    if share_ctx and mode == "service":
+        mode = "threads"
+
+    if mode == "service":
+        host = hosted_service(spec.backend) if service is None \
+            else nullcontext(service)
+        with host as address:
+            outcomes = execute_outcomes(
+                spec, ctx, stage_store=stage_store,
+                fingerprint=fingerprint, execution="threads",
+                stage_workers=resolve_stage_workers(spec, stage_workers),
+                share_ctx=share_ctx,
+                run_one=service_stage_runner(address),
+            )
+    else:
+        outcomes = execute_outcomes(
+            spec, ctx, stage_store=stage_store,
+            fingerprint=fingerprint, execution=mode,
+            stage_workers=resolve_stage_workers(spec, stage_workers),
+            share_ctx=share_ctx,
+        )
+
+    # Recording replays the serial walk over the outcomes, so the
+    # manifest below is bit-identical no matter which mode ran.
+    for stage, status, outcome, key in finalize_records(
+            spec, outcomes, fingerprint):
         deterministic = stage.kind not in NONDETERMINISTIC_KINDS
-        artifact = f"{RESULTS_DIR}/{stage_id}.json"
-
-        if aborted or any(dep in failed_ids for dep in stage.needs):
+        if status == "skipped":
             records.append(StageRecord(
-                id=stage_id, kind=stage.kind, status="skipped",
+                id=stage.id, kind=stage.kind, status="skipped",
                 key=key, deterministic=deterministic, resumed=False,
                 payload=None, checks=[], volatile={}, artifact=None,
                 wall_s=0.0, cpu_s=0.0,
             ))
-            failed_ids.add(stage_id)
             continue
-
-        wall0, cpu0 = time.perf_counter(), time.process_time()
-        stats0 = task_cache.stats()
-        resumed = False
-        error: str | None = None
-        payload = None
-        volatile: dict = {}
-
-        # A chaos drill must re-execute sweeps (the runtime under
-        # test), so stage-cache reads are bypassed; deterministic
-        # stage results are still safe to *write* — chaos never
-        # changes answers, only the road.
-        if deterministic and monkey is None:
-            hit, cached = stage_store.get(key)
-            if hit:
-                payload, resumed = cached, True
-        if payload is None:
-            try:
-                payload, volatile = execute_stage(ctx, stage)
-            except StageExecutionError as exc:
-                error = str(exc)
-            else:
-                if deterministic:
-                    stage_store.put(key, payload)
-
-        wall = time.perf_counter() - wall0
-        cpu = time.process_time() - cpu0
-        stats1 = task_cache.stats()
-        volatile = dict(volatile)
-        volatile["task_cache_delta"] = {
-            k: stats1[k] - stats0[k]
-            for k in ("hits", "misses", "errors")
-        }
-
-        if error is not None:
+        if status == "error":
             records.append(StageRecord(
-                id=stage_id, kind=stage.kind, status="error",
+                id=stage.id, kind=stage.kind, status="error",
                 key=key, deterministic=deterministic, resumed=False,
-                payload=None, checks=[], volatile=volatile,
-                artifact=None, wall_s=wall, cpu_s=cpu,
+                payload=None, checks=[], volatile=outcome.volatile,
+                artifact=None, wall_s=outcome.wall_s,
+                cpu_s=outcome.cpu_s,
             ))
-            failed_ids.add(stage_id)
-            volatile["error"] = error
-            if spec.on_fail == "abort":
-                aborted = True
+            outcome.volatile["error"] = outcome.error
             continue
-
-        payloads[stage_id] = payload
-        checks = evaluate_checks(stage, payload, payloads)
-        status = "ok" if all(c["ok"] for c in checks) else "failed"
-        dump_json(payload, results_dir / f"{stage_id}.json")
+        dump_json(outcome.payload, results_dir / f"{stage.id}.json")
         records.append(StageRecord(
-            id=stage_id, kind=stage.kind, status=status, key=key,
-            deterministic=deterministic, resumed=resumed,
-            payload=payload, checks=checks, volatile=volatile,
-            artifact=artifact, wall_s=wall, cpu_s=cpu,
+            id=stage.id, kind=stage.kind, status=status, key=key,
+            deterministic=deterministic, resumed=outcome.resumed,
+            payload=outcome.payload, checks=outcome.checks,
+            volatile=outcome.volatile,
+            artifact=f"{RESULTS_DIR}/{stage.id}.json",
+            wall_s=outcome.wall_s, cpu_s=outcome.cpu_s,
         ))
-        if status == "failed":
-            failed_ids.add(stage_id)
-            if spec.on_fail == "abort":
-                aborted = True
 
     task_cache.flush_stats()
     n_ok = sum(1 for r in records if r.ok)

@@ -20,7 +20,7 @@ Top-level shape::
     [design]   corner = "SS"                    # optional corner
     [backend]  spec = "kernel"                  # driver registry spec
     [runtime]  workers / retries / task_timeout / failure_policy
-               / on_fail
+               / on_fail / execution / stage_workers
     [chaos]    seed / corrupt_cache / kill_worker_tasks
                # fault injection; EXCLUDED from the spec hash --
                # chaos must never change what the campaign computes
@@ -49,7 +49,8 @@ _TOP_KEYS = {"schema", "name", "description", "seed", "design",
 _DESIGN_KEYS = {"corner"}
 _BACKEND_KEYS = {"spec"}
 _RUNTIME_KEYS = {"workers", "retries", "task_timeout",
-                 "failure_policy", "on_fail"}
+                 "failure_policy", "on_fail", "execution",
+                 "stage_workers"}
 _CHAOS_KEYS = {"seed", "corrupt_cache", "kill_worker_tasks"}
 _STAGE_KEYS = {"id", "kind", "needs", "params", "checks"}
 
@@ -65,6 +66,14 @@ CHECK_KINDS: dict[str, set[str]] = {
 
 _FAILURE_POLICIES = ("raise", "partial")
 _ON_FAIL = ("abort", "continue")
+
+#: Stage-scheduler execution modes (see
+#: :mod:`repro.campaign.scheduler`): ``serial`` is the oracle loop,
+#: ``threads`` the bounded in-process stage-worker pool (default),
+#: ``service`` ships stage execution to a ``repro.service`` job
+#: server.  Excluded from the spec hash — scheduling never changes
+#: what a campaign computes.
+EXECUTION_MODES = ("serial", "threads", "service")
 
 
 def _fail(path: str, message: str, *, source: str) -> None:
@@ -242,7 +251,7 @@ def validate_spec_mapping(raw: Mapping[str, Any], *,
 
     runtime = raw.get("runtime", {})
     _check_keys(runtime, _RUNTIME_KEYS, "runtime", source=source)
-    for key in ("workers", "retries"):
+    for key in ("workers", "retries", "stage_workers"):
         if key in runtime:
             _check_type(runtime[key], (int,), f"runtime.{key}", key,
                         source=source)
@@ -261,6 +270,9 @@ def validate_spec_mapping(raw: Mapping[str, Any], *,
     if runtime.get("on_fail", "abort") not in _ON_FAIL:
         _fail("runtime.on_fail", f"must be one of {_ON_FAIL}",
               source=source)
+    if runtime.get("execution", "threads") not in EXECUTION_MODES:
+        _fail("runtime.execution",
+              f"must be one of {EXECUTION_MODES}", source=source)
 
     chaos = raw.get("chaos")
     if chaos is not None:

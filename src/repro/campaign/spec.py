@@ -123,6 +123,8 @@ class CampaignSpec:
     task_timeout: float | None = None
     failure_policy: str = "raise"
     on_fail: str = "abort"
+    execution: str = "threads"
+    stage_workers: int = 0
     stages: tuple = ()
     chaos: ChaosSpec | None = None
     source: str = field(default="<spec>", compare=False)
@@ -132,12 +134,62 @@ class CampaignSpec:
 
         Chaos and the source path are excluded: neither changes the
         answers, and a drill must share cache entries with its clean
-        counterpart.
+        counterpart.  The scheduling knobs (``execution``,
+        ``stage_workers``) are normalized out for the same reason —
+        a serial run and its parallel twin must share the spec hash,
+        the campaign fingerprint, and every stage-cache key, or
+        resume and golden diffing across modes would break.
         """
         return stable_hash((
             CAMPAIGN_SCHEMA,
-            dataclasses.replace(self, chaos=None, source="<spec>"),
+            dataclasses.replace(self, chaos=None, source="<spec>",
+                                execution="threads", stage_workers=0),
         ))
+
+    def to_mapping(self) -> dict[str, Any]:
+        """The raw ``campaign/v1`` mapping this spec freezes.
+
+        Round-trips: ``spec_from_mapping(spec.to_mapping())`` yields an
+        identical :meth:`spec_hash`.  The chaos block is deliberately
+        dropped — this is the wire form for shipping stages to a job
+        server (``execution = "service"``), and chaos drills stay
+        confined to the submitting process.
+        """
+        runtime: dict[str, Any] = {
+            "workers": self.workers,
+            "retries": self.retries,
+            "failure_policy": self.failure_policy,
+            "on_fail": self.on_fail,
+            "execution": self.execution,
+            "stage_workers": self.stage_workers,
+        }
+        if self.task_timeout is not None:
+            runtime["task_timeout"] = self.task_timeout
+        raw: dict[str, Any] = {
+            "schema": CAMPAIGN_SCHEMA,
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "backend": {"spec": self.backend},
+            "runtime": runtime,
+            "stages": [
+                {
+                    "id": s.id,
+                    "kind": s.kind,
+                    "needs": list(s.needs),
+                    "params": s.params_dict(),
+                    "checks": [
+                        {"kind": c.kind,
+                         **{k: _thaw(v) for k, v in c.options}}
+                        for c in s.checks
+                    ],
+                }
+                for s in self.stages
+            ],
+        }
+        if self.corner is not None:
+            raw["design"] = {"corner": self.corner}
+        return raw
 
     def stage(self, stage_id: str) -> StageSpec:
         for stage in self.stages:
@@ -205,6 +257,8 @@ def spec_from_mapping(raw: Mapping[str, Any], *,
         task_timeout=float(timeout) if timeout is not None else None,
         failure_policy=runtime.get("failure_policy", "raise"),
         on_fail=runtime.get("on_fail", "abort"),
+        execution=runtime.get("execution", "threads"),
+        stage_workers=int(runtime.get("stage_workers", 0)),
         stages=stages,
         chaos=chaos,
         source=source,

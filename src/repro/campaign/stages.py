@@ -39,6 +39,11 @@ Registered kinds:
 ``service_drill``     a real ``repro serve`` subprocess under client
                       load with seeded kills/poison (nondeterministic:
                       latencies and kill schedules vary)
+``synthetic``         scheduler drill/bench probe: a deterministic
+                      payload behind an emulated instrument dwell
+                      (``dwell_ms``), with optional forced failure —
+                      the workload the scheduler benchmarks and
+                      random-DAG property tests are built from
 =================  ====================================================
 """
 
@@ -393,6 +398,44 @@ def _run_fault_screen(ctx: StageContext,
     return payload, {}
 
 
+def _run_synthetic(ctx: StageContext,
+                   stage: StageSpec) -> tuple[dict, dict]:
+    """Scheduler probe: emulated instrument dwell + trivial compute.
+
+    Deterministic given its params, so it supports golden diffing,
+    stage-cache resume and chaos vandalism like any real stage, while
+    costing nothing but the dwell — which is exactly what the campaign
+    scheduler's benchmarks and random-DAG property tests need: stages
+    whose wall-clock the scheduler can overlap without burning CPU.
+
+    Params: ``value`` (folded into the payload), ``dwell_ms``
+    (blocking wait, emulating an instrument's measurement dwell),
+    ``fail`` (truthy: raise *after* the dwell — a seeded stage-error
+    placement hook; dwelling first lets tests stage slow failures that
+    race faster successes through the scheduler).
+    """
+    value = float(stage.param("value", float(ctx.spec.seed)))
+    dwell_ms = float(stage.param("dwell_ms", 0.0))
+    if dwell_ms > 0:
+        time.sleep(dwell_ms * 1e-3)
+    fail = stage.param("fail", None)
+    if fail:
+        raise StageExecutionError(
+            f"stage {stage.id!r}: synthetic failure ({fail})"
+        )
+    key = task_key("campaign-synthetic", ctx.fingerprint(),
+                   ctx.tech_token(), stage.id, value)
+    result = ctx.cache.get_or_compute(
+        key, lambda: {"value": value, "scaled": value * 2.0})
+    payload = {
+        "stage": stage.id,
+        "value": float(result["value"]),
+        "scaled": float(result["scaled"]),
+        "dwell_ms": dwell_ms,
+    }
+    return payload, {}
+
+
 def _run_service_drill(ctx: StageContext,
                        stage: StageSpec) -> tuple[dict, dict]:
     import asyncio
@@ -515,6 +558,7 @@ STAGE_KINDS: dict[str, Callable[[StageContext, StageSpec],
     "telemetry": _run_telemetry,
     "fault_screen": _run_fault_screen,
     "service_drill": _run_service_drill,
+    "synthetic": _run_synthetic,
 }
 
 

@@ -767,6 +767,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     run = run_campaign(
         spec, out_dir=args.out, cache=args.cache_dir,
         kill_after_puts=args.chaos_kill_after,
+        execution=args.execution, stage_workers=args.stage_workers,
+        service=args.service,
     )
     for record in run.records:
         flags = []
@@ -1002,6 +1004,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="crash drill: SIGKILL this process after "
                              "the Nth task-cache write (armed once "
                              "per out dir; re-invoke to resume)")
+        pr.add_argument("--execution", default=None,
+                        choices=("serial", "threads", "service"),
+                        help="override runtime.execution: 'serial' "
+                             "(the oracle loop), 'threads' (bounded "
+                             "stage-worker pool, the default), or "
+                             "'service' (stages as job-server jobs); "
+                             "all three produce bit-identical "
+                             "manifests")
+        pr.add_argument("--stage-workers", type=int, default=None,
+                        metavar="N",
+                        help="override runtime.stage_workers (pool "
+                             "width for concurrent stages; 0 = "
+                             "default)")
+        pr.add_argument("--service", default=None, metavar="ADDR",
+                        help="job-server address for "
+                             "--execution service (host:port or "
+                             "unix:/path); omitted, the run "
+                             "self-hosts a 'repro serve' subprocess")
+        pr.add_argument("--profile", action="store_true",
+                        help="print the per-phase wall-time breakdown "
+                             "(campaign.stage.<id> per stage plus "
+                             "campaign.schedule overhead) after the "
+                             "run")
         pr.set_defaults(func=_cmd_campaign)
 
     pd = csub.add_parser("diff",
@@ -1109,8 +1134,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "by 'repro serve')")
     p.add_argument("kind",
                    choices=("ping", "measure", "characterize",
-                            "s_curve", "yield", "window"),
-                   help="request kind")
+                            "s_curve", "yield", "window",
+                            "campaign_stage"),
+                   help="request kind (campaign_stage wants the "
+                        "params the campaign scheduler ships: spec, "
+                        "stage_id, cache_root, out_dir)")
     p.add_argument("--params", default=None, metavar="JSON",
                    help="request parameters as a JSON object, e.g. "
                         "'{\"level\": 1.05, \"code\": 3}'")

@@ -35,6 +35,11 @@ import warnings
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+try:
+    import fcntl
+except ModuleNotFoundError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 from repro.errors import ConfigurationError
 from repro.runtime.profiling import phase
 
@@ -52,6 +57,11 @@ STATS_LOG_NAME = "_stats.log"
 
 #: Unflushed events buffered before an automatic flush.
 _STATS_FLUSH_EVERY = 64
+
+#: Stats-log line count past which :meth:`ResultCache.flush_stats`
+#: folds the whole history into one summed baseline line — totals are
+#: preserved exactly; only the per-process breakdown is forgotten.
+_STATS_COMPACT_LINES = 256
 
 
 # -- canonical hashing ---------------------------------------------------------
@@ -236,6 +246,15 @@ class ResultCache:
         ``O_APPEND`` (atomic for short writes on POSIX), so parent and
         pool-worker processes interleave without tearing.  Best-effort:
         an unwritable root loses observability, never the sweep.
+
+        The log is self-compacting: once it grows past
+        :data:`_STATS_COMPACT_LINES` lines the whole history is folded
+        into a single summed baseline line (pid 0), under an exclusive
+        ``flock`` so a concurrent flusher can neither tear the fold nor
+        lose its own append.  Totals are invariant across compaction —
+        :meth:`lifetime_stats` cannot tell it happened.  Without
+        ``fcntl`` (non-POSIX) compaction is skipped; the log just
+        grows, as before.
         """
         h, m, e = self._unflushed
         if h == 0 and m == 0 and e == 0:
@@ -245,13 +264,54 @@ class ResultCache:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             fd = os.open(self.root / STATS_LOG_NAME,
-                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+                         os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
             try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
                 os.write(fd, line)
+                # Cheap size gate first (every line is >= 8 bytes), so
+                # the common flush never reads the log back.
+                if fcntl is not None and os.fstat(fd).st_size \
+                        > 8 * _STATS_COMPACT_LINES:
+                    self._compact_locked(fd)
             finally:
-                os.close(fd)
+                os.close(fd)  # releases the flock with it
         except OSError:
             pass
+
+    @staticmethod
+    def _compact_locked(fd: int) -> None:
+        """Fold the stats log into one baseline line, in place.
+
+        Caller holds ``LOCK_EX`` on ``fd``.  The fold reuses the same
+        inode (truncate + ``O_APPEND`` rewrite) rather than a rename,
+        so writers blocked on the flock — which hold fds to *this*
+        inode — append after the baseline instead of resurrecting a
+        replaced file.
+        """
+        os.lseek(fd, 0, os.SEEK_SET)
+        chunks = []
+        while True:
+            chunk = os.read(fd, 1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        lines = b"".join(chunks).splitlines()
+        if len(lines) <= _STATS_COMPACT_LINES:
+            return
+        totals = [0, 0, 0]
+        for raw in lines:
+            parts = raw.split()
+            if len(parts) != 4:
+                continue  # torn or foreign line: drop from the fold
+            try:
+                deltas = [int(p) for p in parts[1:]]
+            except ValueError:
+                continue
+            for i in range(3):
+                totals[i] += deltas[i]
+        os.ftruncate(fd, 0)
+        os.write(fd, f"0 {totals[0]} {totals[1]} {totals[2]}\n".encode())
 
     def lifetime_stats(self) -> dict[str, int]:
         """Aggregated counters across *every* process that used this
@@ -264,6 +324,9 @@ class ResultCache:
         totals = [0, 0, 0]
         try:
             with (self.root / STATS_LOG_NAME).open("rb") as fh:
+                if fcntl is not None:
+                    # Shared lock: never observe a half-folded log.
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_SH)
                 for raw in fh:
                     parts = raw.split()
                     if len(parts) != 4:
